@@ -1,0 +1,153 @@
+package dfpr
+
+// One benchmark per table and figure of the paper's evaluation (§5), plus
+// micro-benchmarks for the kernels the figures bottleneck on. The figure
+// benchmarks run the harness drivers in Quick mode at reduced scale so the
+// full suite completes in a couple of minutes; `cmd/prbench` runs the
+// full-scale versions.
+
+import (
+	"testing"
+	"time"
+
+	"dfpr/internal/batch"
+	"dfpr/internal/core"
+	"dfpr/internal/fault"
+	"dfpr/internal/gen"
+	"dfpr/internal/harness"
+)
+
+// benchOpts mirror the harness test options: tiny but real.
+func benchOpts() harness.Options {
+	return harness.Options{Scale: 0.15, Threads: 4, Quick: true, Seed: 11}
+}
+
+func runExperiment(b *testing.B, id string) {
+	exp, ok := harness.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		secs := exp.Run(benchOpts())
+		if len(secs) == 0 {
+			b.Fatal("no output")
+		}
+	}
+}
+
+// BenchmarkFig1_BarrierWait regenerates Figure 1 (computation vs barrier
+// wait over chunk sizes).
+func BenchmarkFig1_BarrierWait(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkTable1_TemporalDatasets regenerates Table 1.
+func BenchmarkTable1_TemporalDatasets(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2_StaticDatasets regenerates Table 2.
+func BenchmarkTable2_StaticDatasets(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkFig5_TemporalGraphs regenerates Figure 5 (six approaches on
+// temporal streams).
+func BenchmarkFig5_TemporalGraphs(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6_StrongScaling regenerates Figure 6 (thread scaling).
+func BenchmarkFig6_StrongScaling(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7_BatchFractionSweep regenerates Figure 7 (runtime and error
+// over batch fractions).
+func BenchmarkFig7_BatchFractionSweep(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkStability regenerates the §5.2.3 delete-then-reinsert study.
+func BenchmarkStability(b *testing.B) { runExperiment(b, "stability") }
+
+// BenchmarkFig8_RandomDelays regenerates Figure 8 (random thread delays).
+func BenchmarkFig8_RandomDelays(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9_ThreadCrashes regenerates Figure 9 (crash-stop failures).
+func BenchmarkFig9_ThreadCrashes(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkDTvsND regenerates the §3.5.2 DT-vs-ND comparison.
+func BenchmarkDTvsND(b *testing.B) { runExperiment(b, "dt") }
+
+// BenchmarkTauFSweep regenerates the §4.5 frontier-tolerance sweep.
+func BenchmarkTauFSweep(b *testing.B) { runExperiment(b, "tauf") }
+
+// BenchmarkAblation runs the flag/convergence/chunk ablations.
+func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablate") }
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks: per-algorithm cost on a fixed mid-size update, the unit
+// of work every figure above aggregates.
+
+type fixture struct {
+	in   core.Input
+	cfg  core.Config
+	prev []float64
+}
+
+func newFixture(class gen.Class, n, deg, size int) fixture {
+	spec := gen.Spec{Name: "bench", Class: class, N: n, Deg: deg, Seed: 3}
+	d := spec.Build()
+	g := d.Snapshot()
+	cfg := core.Config{Threads: 4, Tol: 1e-3 / float64(g.N())}
+	cfg.FrontierTol = cfg.Tol
+	prev := core.StaticBB(g, cfg).Ranks
+	up := batch.Random(d, size, 17)
+	gOld, gNew := batch.Transition(d, up)
+	return fixture{
+		in:  core.Input{GOld: gOld, GNew: gNew, Del: up.Del, Ins: up.Ins, Prev: prev},
+		cfg: cfg,
+	}
+}
+
+func benchAlgo(b *testing.B, a core.Algo, f fixture) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := core.Run(a, f.in, f.cfg)
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+func BenchmarkAlgoStaticBB(b *testing.B) {
+	benchAlgo(b, core.AlgoStaticBB, newFixture(gen.Web, 1<<13, 12, 16))
+}
+
+func BenchmarkAlgoStaticLF(b *testing.B) {
+	benchAlgo(b, core.AlgoStaticLF, newFixture(gen.Web, 1<<13, 12, 16))
+}
+
+func BenchmarkAlgoNDBB(b *testing.B) {
+	benchAlgo(b, core.AlgoNDBB, newFixture(gen.Web, 1<<13, 12, 16))
+}
+
+func BenchmarkAlgoNDLF(b *testing.B) {
+	benchAlgo(b, core.AlgoNDLF, newFixture(gen.Web, 1<<13, 12, 16))
+}
+
+func BenchmarkAlgoDTLF(b *testing.B) {
+	benchAlgo(b, core.AlgoDTLF, newFixture(gen.Web, 1<<13, 12, 16))
+}
+
+func BenchmarkAlgoDFBB(b *testing.B) {
+	benchAlgo(b, core.AlgoDFBB, newFixture(gen.Web, 1<<13, 12, 16))
+}
+
+func BenchmarkAlgoDFLF(b *testing.B) {
+	benchAlgo(b, core.AlgoDFLF, newFixture(gen.Web, 1<<13, 12, 16))
+}
+
+// BenchmarkAlgoDFLFRoad exercises the sparse/high-diameter case the paper
+// highlights as DF's best regime.
+func BenchmarkAlgoDFLFRoad(b *testing.B) {
+	benchAlgo(b, core.AlgoDFLF, newFixture(gen.Road, 1<<13, 3, 8))
+}
+
+// BenchmarkAlgoDFLFUnderDelays measures the fault-injected hot path.
+func BenchmarkAlgoDFLFUnderDelays(b *testing.B) {
+	f := newFixture(gen.Web, 1<<12, 8, 8)
+	f.cfg.Fault = fault.Plan{DelayProb: 1e-4, DelayDur: 100 * time.Microsecond, Seed: 9}
+	benchAlgo(b, core.AlgoDFLF, f)
+}

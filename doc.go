@@ -1,0 +1,30 @@
+// Package dfpr is a from-scratch Go reproduction of "Lock-Free Computation
+// of PageRank in Dynamic Graphs" (Subhajit Sahu, IPPS 2024,
+// arXiv:2407.19562).
+//
+// The paper's contribution — the Dynamic Frontier approach for updating
+// PageRank after batch edge updates, and its lock-free fault-tolerant
+// implementation DFLF — lives in internal/core together with every baseline
+// the paper compares against (Static, Naive-dynamic and Dynamic-Traversal
+// PageRank, each barrier-based and lock-free). Supporting substrates:
+//
+//	internal/avec      atomic float64 and flag vectors
+//	internal/graph     CSR snapshots, dynamic edge store, batch application
+//	internal/gen       synthetic stand-ins for the paper's datasets
+//	internal/batch     batch-update generation and temporal replay
+//	internal/sched     dynamic chunk scheduling, instrumented barriers
+//	internal/fault     thread delay and crash-stop injection
+//	internal/traverse  reachability marking for the DT baseline
+//	internal/metrics   norms, geometric means, table formatting
+//	internal/harness   one driver per table/figure of the evaluation
+//
+// Binaries: cmd/prbench regenerates every table and figure, cmd/prgen emits
+// datasets as edge lists, cmd/prrank ranks an edge list with any variant.
+// Runnable examples live under examples/. The benchmarks in this root
+// package (bench_test.go) run trimmed versions of every experiment under
+// `go test -bench`.
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory and
+// the paper→reproduction substitution map, and EXPERIMENTS.md for measured
+// results against the paper's claims.
+package dfpr

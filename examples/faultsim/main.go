@@ -1,0 +1,75 @@
+// Faultsim: demonstrate the fault tolerance of lock-free Dynamic Frontier
+// PageRank (the paper's §5.3–§5.4, Figures 8–9, as a runnable program).
+//
+// The example runs the same batch update three ways:
+//
+//  1. fault-free, as the baseline;
+//  2. with random thread delays injected after vertex computations —
+//     barrier-based DFBB stalls on every delayed straggler while DFLF's
+//     remaining workers keep making progress;
+//  3. with half the workers crash-stopping mid-computation — DFBB deadlocks
+//     (our barrier detects it deterministically) while DFLF still converges
+//     to the correct ranks.
+//
+// Run with:
+//
+//	go run ./examples/faultsim
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"dfpr/internal/batch"
+	"dfpr/internal/core"
+	"dfpr/internal/fault"
+	"dfpr/internal/gen"
+	"dfpr/internal/metrics"
+)
+
+func main() {
+	const workers = 8
+	spec := gen.Spec{Name: "web", Class: gen.Web, N: 1 << 13, Deg: 12, Seed: 99}
+	d := spec.Build()
+	g := d.Snapshot()
+	cfg := core.Config{Threads: workers, Tol: 1e-3 / float64(g.N())}
+	cfg.FrontierTol = cfg.Tol
+
+	prev := core.StaticLF(g, cfg).Ranks
+	up := batch.Random(d, g.M()/1000, 5)
+	gOld, gNew := batch.Transition(d, up)
+	in := core.Input{GOld: gOld, GNew: gNew, Del: up.Del, Ins: up.Ins, Prev: prev}
+	ref := core.Reference(gNew, core.Config{})
+
+	report := func(label string, a core.Algo, plan fault.Plan) {
+		c := cfg
+		c.Fault = plan
+		res := core.Run(a, in, c)
+		status := fmt.Sprintf("converged in %s (%d iterations, err %.1e)",
+			metrics.FormatDur(res.Elapsed), res.Iterations, metrics.LInf(res.Ranks, ref))
+		if res.Err != nil {
+			status = "FAILED: " + res.Err.Error()
+		}
+		fmt.Printf("  %-28s %s\n", label+":", status)
+	}
+
+	fmt.Printf("graph: %d vertices, %d edges; batch: %d updates; %d workers\n\n",
+		g.N(), g.M(), up.Size(), workers)
+
+	fmt.Println("fault-free baseline")
+	report("DFBB", core.AlgoDFBB, fault.Plan{})
+	report("DFLF", core.AlgoDFLF, fault.Plan{})
+
+	fmt.Println("\nrandom thread delays (expected ~1 sleep of 2ms per iteration)")
+	delay := fault.Plan{DelayProb: 1 / float64(g.N()), DelayDur: 2 * time.Millisecond, Seed: 1}
+	report("DFBB under delays", core.AlgoDFBB, delay)
+	report("DFLF under delays", core.AlgoDFLF, delay)
+
+	fmt.Printf("\ncrash-stop: %d of %d workers die mid-computation\n", workers/2, workers)
+	crash := fault.Plan{CrashWorkers: fault.CrashSet(workers/2, workers), CrashHorizon: g.N() / 2, Seed: 2}
+	report("DFBB with crashes", core.AlgoDFBB, crash)
+	report("DFLF with crashes", core.AlgoDFLF, crash)
+
+	fmt.Println("\nlock-freedom in action: the barrier-based variant cannot outlive a")
+	fmt.Println("single crash, while DFLF finishes at reduced speed with correct ranks.")
+}

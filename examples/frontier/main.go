@@ -1,0 +1,73 @@
+// Frontier: visualize how the Dynamic Frontier grows and drains.
+//
+// The defining property of the DF approach (paper §4.1, Figure 4) is that a
+// batch update touches a small, incrementally-expanding set of vertices
+// rather than the whole graph. This example applies the same-size batch to
+// two structurally opposite graphs — a high-diameter road network and a
+// small-world web graph — and prints the affected-set size per iteration as
+// an ASCII curve, with and without frontier pruning.
+//
+// The contrast explains the paper's Figure 7(a) observation directly: on
+// the road network the frontier stays a tiny fraction of the graph (DF wins
+// big); on the web graph it floods within a few hops (DF degrades toward
+// Naive-dynamic).
+//
+// Run with:
+//
+//	go run ./examples/frontier
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"dfpr/internal/batch"
+	"dfpr/internal/core"
+	"dfpr/internal/gen"
+)
+
+func main() {
+	specs := []gen.Spec{
+		{Name: "road (high diameter)", Class: gen.Road, N: 1 << 14, Deg: 3, Seed: 1},
+		{Name: "web (small world)", Class: gen.Web, N: 1 << 14, Deg: 12, Seed: 2},
+	}
+	for _, spec := range specs {
+		d := spec.Build()
+		g := d.Snapshot()
+		tol := 1e-3 / float64(g.N())
+		cfg := core.Config{Threads: 1, Tol: tol, FrontierTol: tol}
+		prev := core.StaticBB(g, cfg).Ranks
+		up := batch.Random(d, 8, 7)
+		gOld, gNew := batch.Transition(d, up)
+
+		fmt.Printf("\n=== %s — %d vertices, %d edges, batch of %d updates ===\n",
+			spec.Name, g.N(), g.M(), up.Size())
+		for _, prune := range []bool{false, true} {
+			c := cfg
+			c.PruneFrontier = prune
+			res, series := core.TraceDF(gOld, gNew, up.Del, up.Ins, prev, c)
+			label := "DF  "
+			if prune {
+				label = "DF-P"
+			}
+			fmt.Printf("\n%s converged=%v in %d iterations; frontier per iteration:\n", label, res.Converged, res.Iterations)
+			peak := 0
+			for _, s := range series {
+				if s.Affected > peak {
+					peak = s.Affected
+				}
+			}
+			for i, s := range series {
+				bar := 0
+				if peak > 0 {
+					bar = s.Affected * 50 / peak
+				}
+				fmt.Printf("  it %2d  %6d affected (%5.2f%% of graph) %s\n",
+					i, s.Affected, 100*float64(s.Affected)/float64(g.N()), strings.Repeat("#", bar))
+			}
+		}
+	}
+	fmt.Println("\nReading the curves: the affected share of the graph bounds the per-")
+	fmt.Println("iteration work DF saves over Naive-dynamic; pruning (DF-P) drains the")
+	fmt.Println("frontier as vertices converge instead of holding them to the end.")
+}

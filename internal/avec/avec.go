@@ -1,0 +1,350 @@
+// Package avec provides the atomic vector primitives the lock-free PageRank
+// algorithms are built on: a shared float64 rank vector with atomic
+// load/store semantics, and lock-free per-vertex flag vectors.
+//
+// The paper (Sahu, "Lock-Free Computation of PageRank in Dynamic Graphs")
+// relies on racy-but-word-atomic accesses to a shared C++ double vector and
+// on 8-bit flag vectors (VA, C, RC). Go's memory model requires explicit
+// atomics for that pattern, so ranks are stored as []uint64 and bit-cast via
+// math.Float64bits / math.Float64frombits on every access, and flags are
+// offered in two representations:
+//
+//   - Flags: a word-packed bitset using compare-and-swap on 64-bit words.
+//     All-zero detection scans n/64 words.
+//   - U8: a byte-per-entry flag vector backed by []uint32 (sync/atomic has
+//     no 8-bit operations), matching the paper's 8-bit vectors more
+//     literally. Kept for the flag-representation ablation.
+//
+// Both flag types share the FlagVec interface so the algorithms can be
+// parameterised over the representation.
+package avec
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// F64 is a fixed-length vector of float64 values supporting atomic,
+// race-free load and store of individual elements. It is the shared rank
+// vector used by the asynchronous (lock-free) PageRank variants: many
+// workers read and write elements concurrently; writes are last-write-wins
+// and reads never observe torn values.
+type F64 struct {
+	bits []uint64
+}
+
+// NewF64 returns a zeroed atomic float64 vector of length n.
+func NewF64(n int) *F64 {
+	return &F64{bits: make([]uint64, n)}
+}
+
+// Len returns the number of elements.
+func (v *F64) Len() int { return len(v.bits) }
+
+// Load atomically reads element i.
+func (v *F64) Load(i int) float64 {
+	return math.Float64frombits(atomic.LoadUint64(&v.bits[i]))
+}
+
+// Store atomically writes element i.
+func (v *F64) Store(i int, x float64) {
+	atomic.StoreUint64(&v.bits[i], math.Float64bits(x))
+}
+
+// Fill sets every element to x. Not atomic with respect to concurrent
+// accessors as a whole, but each element store is atomic.
+func (v *F64) Fill(x float64) {
+	b := math.Float64bits(x)
+	for i := range v.bits {
+		atomic.StoreUint64(&v.bits[i], b)
+	}
+}
+
+// CopyFrom stores src[i] into element i for all i. Lengths must match.
+func (v *F64) CopyFrom(src []float64) {
+	if len(src) != len(v.bits) {
+		panic("avec: CopyFrom length mismatch")
+	}
+	for i, x := range src {
+		atomic.StoreUint64(&v.bits[i], math.Float64bits(x))
+	}
+}
+
+// Snapshot copies the current contents into dst (allocating when dst is nil
+// or too short) and returns it. Element reads are individually atomic.
+func (v *F64) Snapshot(dst []float64) []float64 {
+	if cap(dst) < len(v.bits) {
+		dst = make([]float64, len(v.bits))
+	}
+	dst = dst[:len(v.bits)]
+	for i := range v.bits {
+		dst[i] = math.Float64frombits(atomic.LoadUint64(&v.bits[i]))
+	}
+	return dst
+}
+
+// Add atomically adds delta to element i using a CAS loop and returns the
+// new value. Used by accumulation-style kernels (e.g. contribution push).
+func (v *F64) Add(i int, delta float64) float64 {
+	for {
+		old := atomic.LoadUint64(&v.bits[i])
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if atomic.CompareAndSwapUint64(&v.bits[i], old, nw) {
+			return math.Float64frombits(nw)
+		}
+	}
+}
+
+// FlagVec is a vector of per-index boolean flags supporting concurrent,
+// lock-free set/clear/test plus whole-vector queries. It abstracts the
+// paper's 8-bit flag vectors VA (affected), C (checked) and RC
+// (not-yet-converged).
+type FlagVec interface {
+	// Len returns the number of flags.
+	Len() int
+	// Set sets flag i and reports whether it was previously clear.
+	Set(i int) bool
+	// Clear clears flag i and reports whether it was previously set.
+	Clear(i int) bool
+	// Get reports whether flag i is set.
+	Get(i int) bool
+	// AllClear reports whether every flag is currently clear. The answer is
+	// a snapshot: concurrent mutations may invalidate it immediately, which
+	// is the same semantics the paper's per-vertex convergence scan has.
+	AllClear() bool
+	// Count returns the number of set flags (snapshot semantics).
+	Count() int
+	// Reset clears all flags (element-wise atomic).
+	Reset()
+	// SetAll sets all flags (element-wise atomic).
+	SetAll()
+}
+
+// Flags is a word-packed atomic bitset. Set and Clear use CAS on the
+// containing 64-bit word; AllClear scans ⌈n/64⌉ words with atomic loads.
+// This is the default flag representation: it keeps the frequent
+// all-converged scan cheap on large graphs.
+type Flags struct {
+	n     int
+	words []uint64
+}
+
+// NewFlags returns an all-clear flag bitset of length n.
+func NewFlags(n int) *Flags {
+	return &Flags{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the number of flags.
+func (f *Flags) Len() int { return f.n }
+
+// Set sets flag i, returning true when the flag transitioned clear→set.
+func (f *Flags) Set(i int) bool {
+	w, b := i>>6, uint64(1)<<(uint(i)&63)
+	for {
+		old := atomic.LoadUint64(&f.words[w])
+		if old&b != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(&f.words[w], old, old|b) {
+			return true
+		}
+	}
+}
+
+// Clear clears flag i, returning true when the flag transitioned set→clear.
+func (f *Flags) Clear(i int) bool {
+	w, b := i>>6, uint64(1)<<(uint(i)&63)
+	for {
+		old := atomic.LoadUint64(&f.words[w])
+		if old&b == 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(&f.words[w], old, old&^b) {
+			return true
+		}
+	}
+}
+
+// Get reports whether flag i is set.
+func (f *Flags) Get(i int) bool {
+	w, b := i>>6, uint64(1)<<(uint(i)&63)
+	return atomic.LoadUint64(&f.words[w])&b != 0
+}
+
+// AllClear reports whether every flag is clear (snapshot).
+func (f *Flags) AllClear() bool {
+	for w := range f.words {
+		if atomic.LoadUint64(&f.words[w]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of set flags (snapshot).
+func (f *Flags) Count() int {
+	c := 0
+	for w := range f.words {
+		c += popcount(atomic.LoadUint64(&f.words[w]))
+	}
+	return c
+}
+
+// Reset clears every flag.
+func (f *Flags) Reset() {
+	for w := range f.words {
+		atomic.StoreUint64(&f.words[w], 0)
+	}
+}
+
+// SetAll sets every flag.
+func (f *Flags) SetAll() {
+	if len(f.words) == 0 {
+		return
+	}
+	for w := 0; w < len(f.words)-1; w++ {
+		atomic.StoreUint64(&f.words[w], ^uint64(0))
+	}
+	// Final word: only bits below n are valid; stray bits would break
+	// AllClear and Count.
+	rem := uint(f.n - (len(f.words)-1)*64)
+	var last uint64
+	if rem == 64 {
+		last = ^uint64(0)
+	} else {
+		last = (uint64(1) << rem) - 1
+	}
+	atomic.StoreUint64(&f.words[len(f.words)-1], last)
+}
+
+func popcount(x uint64) int {
+	// Kernighan would be O(bits set); use the SWAR popcount so Count stays
+	// flat under heavy flag load.
+	x -= (x >> 1) & 0x5555555555555555
+	x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
+	x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0f
+	return int((x * 0x0101010101010101) >> 56)
+}
+
+// U8 is a flag vector with one addressable cell per flag, mirroring the
+// paper's 8-bit integer vectors. sync/atomic offers no byte operations, so
+// each cell is a uint32; this spends 4× the memory of the paper's layout
+// (and 32× the bitset) in exchange for CAS-free stores and no false sharing
+// between neighbouring flags within a word. Used by the flag-representation
+// ablation.
+type U8 struct {
+	cells []uint32
+}
+
+// NewU8 returns an all-clear cell-per-flag vector of length n.
+func NewU8(n int) *U8 {
+	return &U8{cells: make([]uint32, n)}
+}
+
+// Len returns the number of flags.
+func (f *U8) Len() int { return len(f.cells) }
+
+// Set sets flag i, returning true when it transitioned clear→set.
+func (f *U8) Set(i int) bool {
+	return atomic.SwapUint32(&f.cells[i], 1) == 0
+}
+
+// Clear clears flag i, returning true when it transitioned set→clear.
+func (f *U8) Clear(i int) bool {
+	return atomic.SwapUint32(&f.cells[i], 0) == 1
+}
+
+// Get reports whether flag i is set.
+func (f *U8) Get(i int) bool {
+	return atomic.LoadUint32(&f.cells[i]) != 0
+}
+
+// AllClear reports whether every flag is clear (snapshot).
+func (f *U8) AllClear() bool {
+	for i := range f.cells {
+		if atomic.LoadUint32(&f.cells[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of set flags (snapshot).
+func (f *U8) Count() int {
+	c := 0
+	for i := range f.cells {
+		if atomic.LoadUint32(&f.cells[i]) != 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// Reset clears every flag.
+func (f *U8) Reset() {
+	for i := range f.cells {
+		atomic.StoreUint32(&f.cells[i], 0)
+	}
+}
+
+// SetAll sets every flag.
+func (f *U8) SetAll() {
+	for i := range f.cells {
+		atomic.StoreUint32(&f.cells[i], 1)
+	}
+}
+
+// Counter is a cache-line padded atomic counter used for work tickets and
+// convergence bookkeeping. Padding keeps independent counters from sharing
+// a line when several live in one struct.
+type Counter struct {
+	_ [7]uint64 // leading pad
+	v uint64
+	_ [7]uint64 // trailing pad
+}
+
+// Add atomically adds d and returns the new value.
+func (c *Counter) Add(d uint64) uint64 { return atomic.AddUint64(&c.v, d) }
+
+// Load atomically reads the value.
+func (c *Counter) Load() uint64 { return atomic.LoadUint64(&c.v) }
+
+// Store atomically writes the value.
+func (c *Counter) Store(x uint64) { atomic.StoreUint64(&c.v, x) }
+
+// CompareAndSwap atomically replaces old with new, reporting success.
+func (c *Counter) CompareAndSwap(old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&c.v, old, new)
+}
+
+// FlagKind selects a FlagVec representation.
+type FlagKind int
+
+const (
+	// FlagBitset selects the word-packed CAS bitset (default).
+	FlagBitset FlagKind = iota
+	// FlagBytes selects the cell-per-flag vector.
+	FlagBytes
+)
+
+// String returns the kind's name.
+func (k FlagKind) String() string {
+	switch k {
+	case FlagBitset:
+		return "bitset"
+	case FlagBytes:
+		return "bytes"
+	default:
+		return "unknown"
+	}
+}
+
+// NewFlagVec constructs a FlagVec of the given kind and length.
+func NewFlagVec(kind FlagKind, n int) FlagVec {
+	switch kind {
+	case FlagBytes:
+		return NewU8(n)
+	default:
+		return NewFlags(n)
+	}
+}

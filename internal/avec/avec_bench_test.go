@@ -1,0 +1,74 @@
+package avec
+
+import "testing"
+
+// Substrate micro-benchmarks: these primitives sit on the per-vertex hot
+// path of every lock-free kernel (one F64 load per in-edge, one flag test
+// per vertex, one AllClear scan per chunk), so their cost shapes every
+// figure in the evaluation.
+
+func BenchmarkF64Load(b *testing.B) {
+	v := NewF64(1024)
+	v.Fill(0.5)
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += v.Load(i & 1023)
+	}
+	_ = sink
+}
+
+func BenchmarkF64Store(b *testing.B) {
+	v := NewF64(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Store(i&1023, 0.25)
+	}
+}
+
+func benchFlagSet(b *testing.B, f FlagVec) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Set(i & 8191) // mostly already-set: the marking hot case
+	}
+}
+
+func BenchmarkFlagsSetBitset(b *testing.B) { benchFlagSet(b, NewFlags(8192)) }
+func BenchmarkFlagsSetBytes(b *testing.B)  { benchFlagSet(b, NewU8(8192)) }
+func BenchmarkFlagsSetCounted(b *testing.B) {
+	benchFlagSet(b, NewCounted(NewFlags(8192)))
+}
+
+func benchFlagGet(b *testing.B, f FlagVec) {
+	for i := 0; i < f.Len(); i += 3 {
+		f.Set(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = f.Get(i & 8191)
+	}
+	_ = sink
+}
+
+func BenchmarkFlagsGetBitset(b *testing.B) { benchFlagGet(b, NewFlags(8192)) }
+func BenchmarkFlagsGetBytes(b *testing.B)  { benchFlagGet(b, NewU8(8192)) }
+
+func benchAllClear(b *testing.B, f FlagVec) {
+	// Worst case for the scan: one straggler flag at the end.
+	f.Set(f.Len() - 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = f.AllClear()
+	}
+	_ = sink
+}
+
+func BenchmarkAllClearBitset64k(b *testing.B) { benchAllClear(b, NewFlags(1<<16)) }
+func BenchmarkAllClearBytes64k(b *testing.B)  { benchAllClear(b, NewU8(1<<16)) }
+func BenchmarkAllClearCounted64k(b *testing.B) {
+	benchAllClear(b, NewCounted(NewFlags(1<<16)))
+}

@@ -1,0 +1,288 @@
+package avec
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestF64LoadStoreRoundTrip(t *testing.T) {
+	v := NewF64(8)
+	values := []float64{0, 1, -1, math.Pi, math.Inf(1), math.Inf(-1), math.SmallestNonzeroFloat64, math.MaxFloat64}
+	for i, x := range values {
+		v.Store(i, x)
+	}
+	for i, want := range values {
+		if got := v.Load(i); got != want {
+			t.Errorf("Load(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestF64NaNRoundTrip(t *testing.T) {
+	v := NewF64(1)
+	v.Store(0, math.NaN())
+	if !math.IsNaN(v.Load(0)) {
+		t.Error("NaN did not survive the bit-cast round trip")
+	}
+}
+
+func TestF64RoundTripProperty(t *testing.T) {
+	v := NewF64(1)
+	f := func(x float64) bool {
+		v.Store(0, x)
+		return v.Load(0) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestF64FillAndSnapshot(t *testing.T) {
+	v := NewF64(100)
+	v.Fill(0.25)
+	snap := v.Snapshot(nil)
+	if len(snap) != 100 {
+		t.Fatalf("snapshot length %d", len(snap))
+	}
+	for i, x := range snap {
+		if x != 0.25 {
+			t.Fatalf("snap[%d] = %v", i, x)
+		}
+	}
+	// Snapshot into a reusable buffer must not allocate a new one.
+	buf := make([]float64, 100)
+	got := v.Snapshot(buf)
+	if &got[0] != &buf[0] {
+		t.Error("Snapshot ignored provided buffer")
+	}
+}
+
+func TestF64CopyFromMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	NewF64(3).CopyFrom([]float64{1, 2})
+}
+
+func TestF64ConcurrentAddIsExact(t *testing.T) {
+	v := NewF64(1)
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				v.Add(0, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.Load(0); got != workers*perWorker {
+		t.Errorf("CAS add lost updates: %v", got)
+	}
+}
+
+func flagKinds(n int) map[string]FlagVec {
+	return map[string]FlagVec{
+		"bitset":  NewFlags(n),
+		"bytes":   NewU8(n),
+		"counted": NewCounted(NewFlags(n)),
+	}
+}
+
+func TestFlagVecBasics(t *testing.T) {
+	for name, f := range flagKinds(130) {
+		t.Run(name, func(t *testing.T) {
+			if !f.AllClear() || f.Count() != 0 {
+				t.Fatal("fresh vector not clear")
+			}
+			if !f.Set(0) {
+				t.Error("first Set did not report transition")
+			}
+			if f.Set(0) {
+				t.Error("second Set reported transition")
+			}
+			f.Set(64)
+			f.Set(129)
+			if f.Count() != 3 {
+				t.Errorf("Count = %d, want 3", f.Count())
+			}
+			if f.AllClear() {
+				t.Error("AllClear with set flags")
+			}
+			if !f.Clear(64) {
+				t.Error("Clear did not report transition")
+			}
+			if f.Clear(64) {
+				t.Error("double Clear reported transition")
+			}
+			if !f.Get(0) || f.Get(64) || !f.Get(129) {
+				t.Error("Get disagrees with Set/Clear history")
+			}
+			f.Reset()
+			if !f.AllClear() || f.Count() != 0 {
+				t.Error("Reset did not clear")
+			}
+			f.SetAll()
+			if f.Count() != 130 || f.AllClear() {
+				t.Errorf("SetAll: count=%d", f.Count())
+			}
+		})
+	}
+}
+
+func TestFlagVecSetAllBoundary(t *testing.T) {
+	// Lengths around the 64-bit word boundary must not leave stray bits that
+	// break AllClear/Count.
+	for _, n := range []int{1, 63, 64, 65, 127, 128, 129} {
+		for name, f := range flagKinds(n) {
+			f.SetAll()
+			if f.Count() != n {
+				t.Errorf("%s n=%d: Count after SetAll = %d", name, n, f.Count())
+			}
+			for i := 0; i < n; i++ {
+				f.Clear(i)
+			}
+			if !f.AllClear() {
+				t.Errorf("%s n=%d: not clear after clearing all", name, n)
+			}
+		}
+	}
+}
+
+func TestFlagVecMatchesModelProperty(t *testing.T) {
+	// Random Set/Clear sequences must leave every representation agreeing
+	// with a plain map model.
+	f := func(ops []uint16, seed int64) bool {
+		const n = 97
+		model := make([]bool, n)
+		vecs := flagKinds(n)
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			i := int(op) % n
+			set := rng.Intn(2) == 0
+			for _, v := range vecs {
+				if set {
+					v.Set(i)
+				} else {
+					v.Clear(i)
+				}
+			}
+			model[i] = set
+		}
+		count := 0
+		for _, b := range model {
+			if b {
+				count++
+			}
+		}
+		for name, v := range vecs {
+			if v.Count() != count {
+				t.Logf("%s count mismatch", name)
+				return false
+			}
+			for i := 0; i < n; i++ {
+				if v.Get(i) != model[i] {
+					t.Logf("%s bit %d mismatch", name, i)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlagVecConcurrentTransitionsCountExactly(t *testing.T) {
+	// Under concurrent hammering on the same flag, exactly one Set per
+	// clear→set transition may report true — this is the property the
+	// Counted wrapper and the helping protocol rely on.
+	for name, f := range flagKinds(1) {
+		t.Run(name, func(t *testing.T) {
+			const workers = 8
+			const rounds = 500
+			var wg sync.WaitGroup
+			transitions := make([]int, workers)
+			wg.Add(workers)
+			for w := 0; w < workers; w++ {
+				go func(w int) {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						if f.Set(0) {
+							transitions[w]++
+						}
+						if f.Clear(0) {
+							transitions[w]--
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			total := 0
+			for _, n := range transitions {
+				total += n
+			}
+			want := 0
+			if f.Get(0) {
+				want = 1
+			}
+			if total != want {
+				t.Errorf("net transitions = %d, final state wants %d", total, want)
+			}
+			if name == "counted" {
+				if c := f.Count(); c != want {
+					t.Errorf("counter drifted: %d vs state %d", c, want)
+				}
+			}
+		})
+	}
+}
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatal("zero value not zero")
+	}
+	if c.Add(5) != 5 || c.Add(3) != 8 {
+		t.Error("Add arithmetic wrong")
+	}
+	c.Store(2)
+	if c.Load() != 2 {
+		t.Error("Store/Load mismatch")
+	}
+	if !c.CompareAndSwap(2, 7) || c.CompareAndSwap(2, 9) {
+		t.Error("CAS semantics wrong")
+	}
+	if c.Load() != 7 {
+		t.Error("CAS result wrong")
+	}
+}
+
+func TestNewFlagVecKinds(t *testing.T) {
+	if _, ok := NewFlagVec(FlagBitset, 10).(*Flags); !ok {
+		t.Error("FlagBitset did not produce *Flags")
+	}
+	if _, ok := NewFlagVec(FlagBytes, 10).(*U8); !ok {
+		t.Error("FlagBytes did not produce *U8")
+	}
+	if FlagBitset.String() != "bitset" || FlagBytes.String() != "bytes" {
+		t.Error("FlagKind names wrong")
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	cases := map[uint64]int{0: 0, 1: 1, 3: 2, 0xFF: 8, ^uint64(0): 64, 1 << 63: 1}
+	for x, want := range cases {
+		if got := popcount(x); got != want {
+			t.Errorf("popcount(%#x) = %d, want %d", x, got, want)
+		}
+	}
+}

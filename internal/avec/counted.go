@@ -1,0 +1,64 @@
+package avec
+
+import "sync/atomic"
+
+// Counted wraps a FlagVec with an atomic set-flag counter so that AllClear
+// and Count are O(1) instead of an O(n)-ish scan. Transitions are counted
+// exactly because the wrapped Set/Clear report them atomically (CAS-based).
+//
+// This is the "counted convergence detection" ablation: the paper's
+// algorithms scan the RC flag vector to decide termination; the counter
+// trades a fetch-add per convergence transition for a constant-time check.
+// AllClear keeps snapshot semantics either way — a concurrent transition may
+// invalidate the answer immediately, exactly as with the scan.
+type Counted struct {
+	inner FlagVec
+	set   int64
+}
+
+// NewCounted wraps f (which must be all-clear) with a transition counter.
+func NewCounted(f FlagVec) *Counted {
+	return &Counted{inner: f}
+}
+
+// Len returns the number of flags.
+func (c *Counted) Len() int { return c.inner.Len() }
+
+// Set sets flag i, maintaining the counter on a clear→set transition.
+func (c *Counted) Set(i int) bool {
+	if c.inner.Set(i) {
+		atomic.AddInt64(&c.set, 1)
+		return true
+	}
+	return false
+}
+
+// Clear clears flag i, maintaining the counter on a set→clear transition.
+func (c *Counted) Clear(i int) bool {
+	if c.inner.Clear(i) {
+		atomic.AddInt64(&c.set, -1)
+		return true
+	}
+	return false
+}
+
+// Get reports whether flag i is set.
+func (c *Counted) Get(i int) bool { return c.inner.Get(i) }
+
+// AllClear reports whether no flags are set, in O(1).
+func (c *Counted) AllClear() bool { return atomic.LoadInt64(&c.set) == 0 }
+
+// Count returns the number of set flags, in O(1).
+func (c *Counted) Count() int { return int(atomic.LoadInt64(&c.set)) }
+
+// Reset clears all flags and the counter.
+func (c *Counted) Reset() {
+	c.inner.Reset()
+	atomic.StoreInt64(&c.set, 0)
+}
+
+// SetAll sets all flags and the counter.
+func (c *Counted) SetAll() {
+	c.inner.SetAll()
+	atomic.StoreInt64(&c.set, int64(c.inner.Len()))
+}

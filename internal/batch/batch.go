@@ -1,0 +1,171 @@
+// Package batch implements the paper's batch-update generation (§5.1.4):
+//
+//   - For static graphs: random batches with an equal mix of edge deletions
+//     (existing edges picked uniformly) and insertions (non-connected vertex
+//     pairs picked uniformly), sized as a fraction of |E|, with no vertex
+//     additions or removals.
+//   - For temporal graphs: load the first 90% of the event stream as the
+//     initial graph, then replay the remaining events in fixed-size batches
+//     of 1e-4·|Eᵀ| or 1e-3·|Eᵀ| insertions.
+//   - For the stability experiment (§5.2.3): pure-deletion batches whose
+//     exact reversal is the matching insertion batch.
+//
+// Self-loops are structural (dead-end elimination) and are never selected
+// for deletion.
+package batch
+
+import (
+	"math/rand"
+
+	"dfpr/internal/gen"
+	"dfpr/internal/graph"
+)
+
+// Update is one batch update Δt: deletions applied before insertions.
+type Update struct {
+	Del, Ins []graph.Edge
+}
+
+// Size returns the total number of edge updates in the batch.
+func (u Update) Size() int { return len(u.Del) + len(u.Ins) }
+
+// Inverse returns the update that undoes u (insert what was deleted, delete
+// what was inserted). Applying u then u.Inverse() restores the edge set.
+func (u Update) Inverse() Update {
+	return Update{Del: u.Ins, Ins: u.Del}
+}
+
+// Random generates a mixed batch of the given total size on d: size/2
+// deletions of existing (non-self-loop) edges chosen uniformly, and
+// size - size/2 insertions of currently non-connected pairs chosen
+// uniformly. The graph is not modified.
+func Random(d *graph.Dynamic, size int, seed int64) Update {
+	rng := rand.New(rand.NewSource(seed))
+	nDel := size / 2
+	nIns := size - nDel
+	return Update{
+		Del: sampleDeletions(d, nDel, rng),
+		Ins: sampleInsertions(d, nIns, rng),
+	}
+}
+
+// Deletions generates a pure-deletion batch of the given size (§5.2.3
+// stability runs delete a batch and later re-insert exactly those edges).
+func Deletions(d *graph.Dynamic, size int, seed int64) Update {
+	rng := rand.New(rand.NewSource(seed))
+	return Update{Del: sampleDeletions(d, size, rng)}
+}
+
+func sampleDeletions(d *graph.Dynamic, k int, rng *rand.Rand) []graph.Edge {
+	n := d.N()
+	// Candidate pool: every non-self-loop edge. Sampling by index keeps the
+	// pick uniform over edges rather than over vertices.
+	pool := make([]graph.Edge, 0, d.M())
+	for u := uint32(0); int(u) < n; u++ {
+		for _, v := range d.Out(u) {
+			if v != u {
+				pool = append(pool, graph.Edge{U: u, V: v})
+			}
+		}
+	}
+	if k > len(pool) {
+		k = len(pool)
+	}
+	// Partial Fisher–Yates: the first k slots become a uniform sample
+	// without replacement.
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+	return append([]graph.Edge(nil), pool[:k]...)
+}
+
+func sampleInsertions(d *graph.Dynamic, k int, rng *rand.Rand) []graph.Edge {
+	n := d.N()
+	if n < 2 {
+		return nil
+	}
+	out := make([]graph.Edge, 0, k)
+	seen := make(map[graph.Edge]struct{}, k)
+	// Rejection sampling; on sparse graphs almost every pick is fresh. The
+	// attempt cap guards against pathological near-complete graphs.
+	for attempts := 0; len(out) < k && attempts < 20*k+100; attempts++ {
+		u := uint32(rng.Intn(n))
+		v := uint32(rng.Intn(n))
+		if u == v || d.HasEdge(u, v) {
+			continue
+		}
+		e := graph.Edge{U: u, V: v}
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		seen[e] = struct{}{}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Transition applies the update to d and returns the before/after CSR
+// snapshots — the (G^{t-1}, G^t) pair every dynamic algorithm takes. d is
+// left holding G^t. Self-loops are re-ensured after the update, matching
+// §5.1.4 ("along with each batch update, we add self-loops to all
+// vertices").
+func Transition(d *graph.Dynamic, up Update) (gOld, gNew *graph.CSR) {
+	gOld = d.Snapshot()
+	d.Apply(up.Del, up.Ins)
+	d.EnsureSelfLoops()
+	gNew = d.Snapshot()
+	return gOld, gNew
+}
+
+// Replay drives the temporal-graph experiment setup of §5.1.4: the first
+// preload fraction (paper: 0.9) of the event stream forms the initial
+// graph; the remaining events are handed out as fixed-size insertion
+// batches until the stream is exhausted.
+type Replay struct {
+	stream []gen.TemporalEdge
+	pos    int
+	d      *graph.Dynamic
+}
+
+// NewReplay builds the preloaded initial graph over n vertices and positions
+// the cursor at the first unloaded event.
+func NewReplay(stream []gen.TemporalEdge, n int, preload float64) *Replay {
+	if preload <= 0 || preload >= 1 {
+		preload = 0.9
+	}
+	cut := int(float64(len(stream)) * preload)
+	d := graph.NewDynamic(n)
+	for _, te := range stream[:cut] {
+		d.AddEdge(te.E.U, te.E.V)
+	}
+	d.EnsureSelfLoops()
+	return &Replay{stream: stream, pos: cut, d: d}
+}
+
+// Graph returns the replay's current dynamic graph (mutated by NextBatch).
+func (r *Replay) Graph() *graph.Dynamic { return r.d }
+
+// Remaining returns how many events have not been replayed yet.
+func (r *Replay) Remaining() int { return len(r.stream) - r.pos }
+
+// NextBatch consumes up to size events and returns them as an insertion
+// batch together with the before/after snapshots, advancing the underlying
+// graph. ok is false when the stream is exhausted.
+func (r *Replay) NextBatch(size int) (up Update, gOld, gNew *graph.CSR, ok bool) {
+	if r.pos >= len(r.stream) || size <= 0 {
+		return Update{}, nil, nil, false
+	}
+	end := r.pos + size
+	if end > len(r.stream) {
+		end = len(r.stream)
+	}
+	ins := make([]graph.Edge, 0, end-r.pos)
+	for _, te := range r.stream[r.pos:end] {
+		ins = append(ins, te.E)
+	}
+	r.pos = end
+	up = Update{Ins: ins}
+	gOld, gNew = Transition(r.d, up)
+	return up, gOld, gNew, true
+}

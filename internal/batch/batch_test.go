@@ -1,0 +1,205 @@
+package batch
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dfpr/internal/gen"
+	"dfpr/internal/graph"
+)
+
+func testGraph(seed int64) *graph.Dynamic {
+	d := gen.RMAT(8, 6, seed)
+	d.EnsureSelfLoops()
+	return d
+}
+
+func TestRandomBatchComposition(t *testing.T) {
+	d := testGraph(1)
+	up := Random(d, 40, 7)
+	if len(up.Del) != 20 || len(up.Ins) != 20 {
+		t.Fatalf("del=%d ins=%d, want 20/20", len(up.Del), len(up.Ins))
+	}
+	for _, e := range up.Del {
+		if !d.HasEdge(e.U, e.V) {
+			t.Errorf("deletion (%d,%d) not an existing edge", e.U, e.V)
+		}
+		if e.U == e.V {
+			t.Error("self-loop selected for deletion")
+		}
+	}
+	for _, e := range up.Ins {
+		if d.HasEdge(e.U, e.V) {
+			t.Errorf("insertion (%d,%d) already present", e.U, e.V)
+		}
+		if e.U == e.V {
+			t.Error("self-loop insertion")
+		}
+	}
+	if up.Size() != 40 {
+		t.Errorf("Size = %d", up.Size())
+	}
+}
+
+func TestRandomBatchDoesNotMutate(t *testing.T) {
+	d := testGraph(2)
+	before := d.Snapshot().Edges(nil)
+	Random(d, 30, 3)
+	after := d.Snapshot().Edges(nil)
+	if !reflect.DeepEqual(before, after) {
+		t.Error("Random mutated the graph")
+	}
+}
+
+func TestDeletionsAreDistinct(t *testing.T) {
+	d := testGraph(3)
+	up := Deletions(d, 50, 11)
+	seen := map[graph.Edge]struct{}{}
+	for _, e := range up.Del {
+		if _, dup := seen[e]; dup {
+			t.Fatalf("duplicate deletion %v", e)
+		}
+		seen[e] = struct{}{}
+	}
+	if len(up.Ins) != 0 {
+		t.Error("pure-deletion batch has insertions")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	up := Update{Del: []graph.Edge{{U: 1, V: 2}}, Ins: []graph.Edge{{U: 3, V: 4}}}
+	inv := up.Inverse()
+	if !reflect.DeepEqual(inv.Ins, up.Del) || !reflect.DeepEqual(inv.Del, up.Ins) {
+		t.Error("Inverse did not swap")
+	}
+}
+
+func TestTransitionSnapshotsAndSelfLoops(t *testing.T) {
+	d := testGraph(4)
+	mBefore := d.M()
+	up := Random(d, 20, 5)
+	gOld, gNew := Transition(d, up)
+	if gOld.M() != mBefore {
+		t.Errorf("gOld edges %d, want %d", gOld.M(), mBefore)
+	}
+	if gNew.DeadEnds() != 0 {
+		t.Error("self-loops not re-ensured after transition")
+	}
+	for _, e := range up.Del {
+		if gNew.HasEdge(e.U, e.V) {
+			t.Errorf("deleted edge (%d,%d) still in gNew", e.U, e.V)
+		}
+		if !gOld.HasEdge(e.U, e.V) {
+			t.Errorf("deleted edge (%d,%d) missing from gOld", e.U, e.V)
+		}
+	}
+	for _, e := range up.Ins {
+		if !gNew.HasEdge(e.U, e.V) {
+			t.Errorf("inserted edge (%d,%d) missing from gNew", e.U, e.V)
+		}
+	}
+}
+
+func TestTransitionInverseRestoresProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		d := testGraph(seed)
+		orig := d.Snapshot().Edges(nil)
+		up := Random(d, 24, seed+1)
+		Transition(d, up)
+		Transition(d, up.Inverse())
+		return reflect.DeepEqual(orig, d.Snapshot().Edges(nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatchDeterministicUnderSeed(t *testing.T) {
+	d := testGraph(6)
+	a := Random(d, 30, 9)
+	b := Random(d, 30, 9)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different batches")
+	}
+	c := Random(d, 30, 10)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical batches")
+	}
+}
+
+func TestOversizedDeletionRequestClips(t *testing.T) {
+	d := graph.NewDynamic(4)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	d.EnsureSelfLoops()
+	up := Deletions(d, 100, 1)
+	if len(up.Del) != 2 {
+		t.Errorf("deletions = %d, want all 2 non-self-loop edges", len(up.Del))
+	}
+}
+
+func TestReplayPreloadAndBatches(t *testing.T) {
+	const n, events = 200, 2000
+	stream := gen.TemporalStream(n, events, 5)
+	rep := NewReplay(stream, n, 0.9)
+	if rep.Remaining() != events/10 {
+		t.Fatalf("remaining = %d, want %d", rep.Remaining(), events/10)
+	}
+	if rep.Graph().N() != n {
+		t.Fatalf("graph n = %d", rep.Graph().N())
+	}
+	// Consume in batches of 30 and verify edge-count bookkeeping.
+	seen := 0
+	for {
+		up, gOld, gNew, ok := rep.NextBatch(30)
+		if !ok {
+			break
+		}
+		if len(up.Del) != 0 {
+			t.Fatal("temporal replay emitted deletions")
+		}
+		if gOld == nil || gNew == nil {
+			t.Fatal("missing snapshots")
+		}
+		seen += len(up.Ins)
+		for _, e := range up.Ins {
+			if !gNew.HasEdge(e.U, e.V) {
+				t.Fatalf("batch edge (%d,%d) not applied", e.U, e.V)
+			}
+		}
+	}
+	if seen != events/10 {
+		t.Errorf("replayed %d events, want %d", seen, events/10)
+	}
+	if _, _, _, ok := rep.NextBatch(30); ok {
+		t.Error("exhausted replay still produced a batch")
+	}
+}
+
+func TestReplayDefaultPreload(t *testing.T) {
+	stream := gen.TemporalStream(100, 1000, 2)
+	rep := NewReplay(stream, 100, 0) // invalid → default 0.9
+	if rep.Remaining() != 100 {
+		t.Errorf("remaining = %d", rep.Remaining())
+	}
+}
+
+func TestInsertionsOnNearlyCompleteGraph(t *testing.T) {
+	// All but a handful of pairs connected: rejection sampling must not spin
+	// forever and returns what it can.
+	n := 8
+	d := graph.NewDynamic(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				d.AddEdge(uint32(u), uint32(v))
+			}
+		}
+	}
+	d.DelEdge(0, 1)
+	up := Random(d, 10, 3)
+	if len(up.Ins) > 1 {
+		t.Errorf("invented %d insertions on a near-complete graph", len(up.Ins))
+	}
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"dfpr/internal/avec"
+	"dfpr/internal/fault"
+	"dfpr/internal/graph"
+	"dfpr/internal/sched"
+)
+
+// variant identifies which dynamic-update strategy an engine run uses.
+type variant int
+
+const (
+	vStatic variant = iota // full recomputation from uniform ranks
+	vND                    // Naive-dynamic: warm-start from previous ranks
+	vDT                    // Dynamic Traversal: affected = reachable set
+	vDF                    // Dynamic Frontier: affected = incremental frontier
+)
+
+// StaticBB is the standard barrier-based parallel PageRank (Algorithm 3):
+// synchronous Jacobi iterations over all vertices with an iteration barrier.
+func StaticBB(g *graph.CSR, cfg Config) Result {
+	return runBB(vStatic, Input{GNew: g}, cfg)
+}
+
+// NDBB is barrier-based Naive-dynamic PageRank (Algorithm 5): StaticBB
+// warm-started from the previous snapshot's ranks.
+func NDBB(g *graph.CSR, prev []float64, cfg Config) Result {
+	return runBB(vND, Input{GNew: g, Prev: prev}, cfg)
+}
+
+// DTBB is barrier-based Dynamic Traversal PageRank (Algorithm 7): vertices
+// reachable from batch-edge endpoints are marked affected by parallel DFS,
+// then only affected vertices are iterated.
+func DTBB(gOld, gNew *graph.CSR, del, ins []graph.Edge, prev []float64, cfg Config) Result {
+	return runBB(vDT, Input{GOld: gOld, GNew: gNew, Del: del, Ins: ins, Prev: prev}, cfg)
+}
+
+// DFBB is the paper's barrier-based Dynamic Frontier PageRank (Algorithm 1):
+// out-neighbours of batch-edge sources are marked affected, and the frontier
+// grows incrementally through vertices whose rank moves by more than the
+// frontier tolerance.
+func DFBB(gOld, gNew *graph.CSR, del, ins []graph.Edge, prev []float64, cfg Config) Result {
+	return runBB(vDF, Input{GOld: gOld, GNew: gNew, Del: del, Ins: ins, Prev: prev}, cfg)
+}
+
+// bbShared is the cross-worker state of a barrier-based run. Fields are
+// written by worker 0 between the two iteration barriers and read by every
+// worker after the second barrier; the barrier's internal mutex provides the
+// happens-before edges.
+type bbShared struct {
+	r, rNew   []float64
+	iter      int
+	stop      bool
+	converged bool
+}
+
+// pad64 is a cache-line padded float64 slot for per-worker reductions.
+type pad64 struct {
+	v float64
+	_ [7]uint64
+}
+
+func runBB(vr variant, in Input, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	g := in.GNew
+	n := g.N()
+	if n == 0 {
+		return Result{Converged: true}
+	}
+	base := (1 - cfg.Alpha) / float64(n)
+	inv := invOutDeg(g)
+	gOld := in.GOld
+	if gOld == nil {
+		gOld = g
+	}
+
+	var init []float64
+	if vr != vStatic && len(in.Prev) == n {
+		init = in.Prev
+	} else {
+		init = uniformRanks(n)
+	}
+	sh := &bbShared{
+		r:    append([]float64(nil), init...),
+		rNew: append([]float64(nil), init...),
+	}
+
+	var va avec.FlagVec
+	var edges []graph.Edge
+	if vr == vDT || vr == vDF {
+		va = newFlags(cfg, n)
+		edges = append(append(make([]graph.Edge, 0, len(in.Del)+len(in.Ins)), in.Del...), in.Ins...)
+	}
+
+	inj := fault.NewInjector(cfg.Threads, cfg.Fault)
+	bar := sched.NewBarrier(cfg.Threads)
+	pool := sched.NewPool(n, cfg.Chunk)
+	edgePool := sched.NewPool(len(edges), cfg.Chunk)
+	localMax := make([]pad64, cfg.Threads)
+
+	worker := func(w int) {
+		var mk marker
+		switch vr {
+		case vDF:
+			mk = &dfMarker{gOld: gOld, gNew: g, va: va}
+		case vDT:
+			mk = &dtMarker{gOld: gOld, gNew: g, va: va}
+		}
+		// Initial affected marking (lines 4-7 of Algorithms 1 and 7): batch
+		// edges are distributed dynamically, then an implicit barrier.
+		if mk != nil {
+			for {
+				lo, hi, ok := edgePool.Next()
+				if !ok {
+					break
+				}
+				for i := lo; i < hi; i++ {
+					mk.markFrom(edges[i].U)
+				}
+			}
+			if bar.Await(w) != nil {
+				return
+			}
+		}
+		for {
+			// Crash point at the iteration boundary: a worker whose crash
+			// moment has arrived may find the chunk pool already drained by
+			// faster workers, so the per-chunk check alone could let it
+			// survive the whole run.
+			if inj != nil && inj.AtChunk(w) {
+				bar.Crash()
+				return
+			}
+			r, rNew := sh.r, sh.rNew
+			var lmax float64
+			for {
+				lo, hi, ok := pool.Next()
+				if !ok {
+					break
+				}
+				if inj != nil && inj.AtChunk(w) {
+					bar.Crash()
+					return
+				}
+				for v := lo; v < hi; v++ {
+					if va != nil && !va.Get(v) {
+						continue
+					}
+					vv := uint32(v)
+					nr := rankOf(g, inv, r, cfg.Alpha, base, vv)
+					dr := math.Abs(nr - r[v])
+					rNew[v] = nr
+					if dr > lmax {
+						lmax = dr
+					}
+					if vr == vDF && dr > cfg.FrontierTol {
+						for _, v2 := range g.Out(vv) {
+							va.Set(int(v2))
+						}
+					}
+					if inj != nil && inj.AfterVertex(w) {
+						bar.Crash()
+						return
+					}
+				}
+			}
+			localMax[w].v = lmax
+			// Barrier 1: all ranks for this iteration are computed.
+			if bar.Await(w) != nil {
+				return
+			}
+			if w == 0 {
+				// L∞ reduction, swap, convergence decision (lines 19-22 of
+				// Algorithm 1). Worker 0 is always alive here: had it
+				// crashed, the barrier above would have broken.
+				dR := 0.0
+				for i := range localMax {
+					if localMax[i].v > dR {
+						dR = localMax[i].v
+					}
+				}
+				sh.r, sh.rNew = sh.rNew, sh.r
+				sh.iter++
+				sh.converged = dR <= cfg.Tol
+				sh.stop = sh.converged || sh.iter >= cfg.MaxIter
+				pool.Reset()
+			}
+			// Barrier 2: reduction visible to everyone before the next pass.
+			if bar.Await(w) != nil {
+				return
+			}
+			if sh.stop {
+				return
+			}
+		}
+	}
+
+	start := time.Now()
+	sched.Run(cfg.Threads, worker)
+	elapsed := time.Since(start)
+
+	res := Result{
+		Ranks:       sh.r,
+		Iterations:  sh.iter,
+		Converged:   sh.converged && !bar.Broken(),
+		Elapsed:     elapsed,
+		BarrierWait: bar.TotalWait(),
+	}
+	if inj != nil {
+		res.CrashedWorkers = inj.CrashedCount()
+	}
+	if bar.Broken() {
+		res.Err = sched.ErrBroken
+		res.Converged = false
+	}
+	return res
+}

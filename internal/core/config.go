@@ -1,0 +1,263 @@
+// Package core implements the paper's PageRank algorithms for dynamic
+// graphs: the Dynamic Frontier (DF) approach and every baseline it is
+// evaluated against, each in a barrier-based (BB) and a lock-free (LF)
+// variant:
+//
+//	StaticBB (Alg. 3)  StaticLF (Alg. 4)
+//	NDBB     (Alg. 5)  NDLF     (Alg. 6)   — Naive-dynamic
+//	DTBB     (Alg. 7)  DTLF     (Alg. 8)   — Dynamic Traversal
+//	DFBB     (Alg. 1)  DFLF     (Alg. 2)   — Dynamic Frontier (the contribution)
+//
+// Barrier-based variants are synchronous (Jacobi): two rank vectors, an
+// iteration barrier, an L∞ reduction and a swap per iteration. Lock-free
+// variants are asynchronous (Gauss–Seidel): a single shared rank vector with
+// atomic element access, per-vertex convergence flags, and no barrier
+// anywhere — workers flow from one pass to the next via a continuous ticket
+// scheduler and help each other through shared flag vectors, which is what
+// makes them tolerate random thread delays and crash-stop failures (§4.4).
+package core
+
+import (
+	"errors"
+	"runtime"
+	"time"
+
+	"dfpr/internal/avec"
+	"dfpr/internal/fault"
+	"dfpr/internal/graph"
+)
+
+// Default parameter values from §5.1.2 of the paper.
+const (
+	DefaultAlpha   = 0.85
+	DefaultTol     = 1e-10
+	DefaultMaxIter = 500
+)
+
+// Config carries the tunable parameters shared by all algorithm variants.
+// The zero value selects the paper's defaults.
+type Config struct {
+	// Alpha is the damping factor (default 0.85).
+	Alpha float64
+	// Tol is the iteration tolerance τ on the L∞ rank change (default 1e-10).
+	Tol float64
+	// FrontierTol is the frontier tolerance τ_f used by the DF variants to
+	// decide when a rank change is large enough to mark out-neighbours as
+	// affected. Default τ/1000 (§4.5).
+	FrontierTol float64
+	// MaxIter bounds the number of iterations (default 500).
+	MaxIter int
+	// Threads is the number of worker goroutines (default runtime.NumCPU()).
+	Threads int
+	// Chunk is the dynamic-scheduling chunk size (default 2048).
+	Chunk int
+	// Flags selects the flag-vector representation (default word-packed
+	// bitset; avec.FlagBytes selects the byte-per-flag ablation variant).
+	Flags avec.FlagKind
+	// CountedConvergence switches the lock-free convergence check from the
+	// paper's flag-vector scan to an O(1) atomic not-converged counter
+	// (ablation; see DESIGN.md).
+	CountedConvergence bool
+	// PruneFrontier removes a vertex from the DF affected set once its rank
+	// change falls within the iteration tolerance (the "DF with pruning"
+	// refinement from the paper's companion work). A pruned vertex is
+	// re-marked if a neighbour's rank later moves beyond the frontier
+	// tolerance, so convergence is unaffected; what changes is that
+	// long-converged frontier vertices stop being recomputed every pass.
+	// Honoured by the lock-free variants (whose per-vertex convergence
+	// flags close the prune/re-mark race; see lf.go) and by TraceDF;
+	// barrier-based variants ignore it. Default off — the paper's DF keeps
+	// vertices affected once marked.
+	PruneFrontier bool
+	// Fault describes delays/crashes to inject (§5.1.6). The zero Plan
+	// injects nothing.
+	Fault fault.Plan
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		c.Alpha = DefaultAlpha
+	}
+	if c.Tol <= 0 {
+		c.Tol = DefaultTol
+	}
+	if c.FrontierTol <= 0 {
+		c.FrontierTol = c.Tol / 1000
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = DefaultMaxIter
+	}
+	if c.Threads <= 0 {
+		c.Threads = runtime.NumCPU()
+	}
+	if c.Chunk <= 0 {
+		c.Chunk = 2048
+	}
+	return c
+}
+
+// Result reports the outcome of one algorithm run.
+type Result struct {
+	// Ranks is the final PageRank vector.
+	Ranks []float64
+	// Iterations is the number of iterations executed (for lock-free
+	// variants: the highest pass index any worker completed, plus one).
+	Iterations int
+	// Converged reports whether the tolerance was met before MaxIter.
+	Converged bool
+	// CrashedWorkers is the number of workers that crash-stopped.
+	CrashedWorkers int
+	// Elapsed is the wall-clock time of the run, excluding input
+	// construction (the paper excludes allocation; we start the clock after
+	// vector allocation and initialisation, §5.1.5).
+	Elapsed time.Duration
+	// BarrierWait is the cumulative time workers spent blocked at iteration
+	// barriers (zero for lock-free variants). Regenerates Figure 1.
+	BarrierWait time.Duration
+	// Err is non-nil when the run could not complete — notably
+	// sched.ErrBroken when a barrier-based variant deadlocks because a
+	// worker crashed, or ErrAllCrashed when every lock-free worker died.
+	Err error
+}
+
+// ErrAllCrashed is returned when every worker crash-stopped before
+// convergence; with no survivor there is no thread left to guarantee
+// progress (lock-freedom assumes at least one live thread).
+var ErrAllCrashed = errors.New("core: all workers crashed before convergence")
+
+// Algo identifies one of the eight algorithm variants.
+type Algo int
+
+// The eight algorithm variants, in the paper's naming.
+const (
+	AlgoStaticBB Algo = iota
+	AlgoStaticLF
+	AlgoNDBB
+	AlgoNDLF
+	AlgoDTBB
+	AlgoDTLF
+	AlgoDFBB
+	AlgoDFLF
+)
+
+// Algos lists all variants in presentation order (matches Figure 5/7 legends).
+var Algos = []Algo{AlgoStaticBB, AlgoNDBB, AlgoDFBB, AlgoStaticLF, AlgoNDLF, AlgoDFLF, AlgoDTBB, AlgoDTLF}
+
+// String returns the paper's name for the variant.
+func (a Algo) String() string {
+	switch a {
+	case AlgoStaticBB:
+		return "StaticBB"
+	case AlgoStaticLF:
+		return "StaticLF"
+	case AlgoNDBB:
+		return "NDBB"
+	case AlgoNDLF:
+		return "NDLF"
+	case AlgoDTBB:
+		return "DTBB"
+	case AlgoDTLF:
+		return "DTLF"
+	case AlgoDFBB:
+		return "DFBB"
+	case AlgoDFLF:
+		return "DFLF"
+	default:
+		return "unknown"
+	}
+}
+
+// LockFree reports whether the variant is barrier-free.
+func (a Algo) LockFree() bool {
+	switch a {
+	case AlgoStaticLF, AlgoNDLF, AlgoDTLF, AlgoDFLF:
+		return true
+	}
+	return false
+}
+
+// Dynamic reports whether the variant consumes a previous rank vector.
+func (a Algo) Dynamic() bool { return a != AlgoStaticBB && a != AlgoStaticLF }
+
+// ParseAlgo resolves a variant by its paper name (case-sensitive).
+func ParseAlgo(s string) (Algo, bool) {
+	for _, a := range Algos {
+		if a.String() == s {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+// Input bundles the arguments of a dynamic-PageRank invocation. Static
+// variants use only GNew; ND additionally uses Prev; DT and DF use
+// everything.
+type Input struct {
+	// GOld is the previous snapshot G^{t-1} (may be nil for static/ND runs).
+	GOld *graph.CSR
+	// GNew is the current snapshot G^t.
+	GNew *graph.CSR
+	// Del and Ins are the batch update Δt⁻ and Δt⁺.
+	Del, Ins []graph.Edge
+	// Prev is the previous rank vector R^{t-1} (ignored by static variants).
+	Prev []float64
+}
+
+// Run dispatches to the requested algorithm variant.
+func Run(a Algo, in Input, cfg Config) Result {
+	switch a {
+	case AlgoStaticBB:
+		return StaticBB(in.GNew, cfg)
+	case AlgoStaticLF:
+		return StaticLF(in.GNew, cfg)
+	case AlgoNDBB:
+		return NDBB(in.GNew, in.Prev, cfg)
+	case AlgoNDLF:
+		return NDLF(in.GNew, in.Prev, cfg)
+	case AlgoDTBB:
+		return DTBB(in.GOld, in.GNew, in.Del, in.Ins, in.Prev, cfg)
+	case AlgoDTLF:
+		return DTLF(in.GOld, in.GNew, in.Del, in.Ins, in.Prev, cfg)
+	case AlgoDFBB:
+		return DFBB(in.GOld, in.GNew, in.Del, in.Ins, in.Prev, cfg)
+	case AlgoDFLF:
+		return DFLF(in.GOld, in.GNew, in.Del, in.Ins, in.Prev, cfg)
+	default:
+		return Result{Err: errors.New("core: unknown algorithm")}
+	}
+}
+
+// uniformRanks returns the static initial vector {1/n, …}.
+func uniformRanks(n int) []float64 {
+	r := make([]float64, n)
+	if n == 0 {
+		return r
+	}
+	x := 1 / float64(n)
+	for i := range r {
+		r[i] = x
+	}
+	return r
+}
+
+// invOutDeg precomputes 1/outdeg(v) for every vertex (0 for dead ends,
+// which cannot occur after self-loop augmentation).
+func invOutDeg(g *graph.CSR) []float64 {
+	inv := make([]float64, g.N())
+	for v := uint32(0); int(v) < g.N(); v++ {
+		if d := g.OutDeg(v); d > 0 {
+			inv[v] = 1 / float64(d)
+		}
+	}
+	return inv
+}
+
+// newFlags builds a flag vector per the configured representation, wrapping
+// it in a transition counter when counted convergence is selected.
+func newFlags(cfg Config, n int) avec.FlagVec {
+	f := avec.NewFlagVec(cfg.Flags, n)
+	if cfg.CountedConvergence {
+		return avec.NewCounted(f)
+	}
+	return f
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"dfpr/internal/batch"
+	"dfpr/internal/fault"
+	"dfpr/internal/metrics"
+)
+
+func TestStaticLFNSMatchesReference(t *testing.T) {
+	g := randomGraph(9, 71).Snapshot()
+	ref := Reference(g, Config{})
+	res := StaticLFNS(g, testCfg())
+	if !res.Converged || res.Err != nil {
+		t.Fatalf("converged=%v err=%v", res.Converged, res.Err)
+	}
+	if e := metrics.LInf(res.Ranks, ref); e > 1e-8 {
+		t.Errorf("error %g", e)
+	}
+}
+
+func TestStaticLFNSEmptyAndSingleThread(t *testing.T) {
+	empty := randomGraph(0, 1)
+	_ = empty
+	cfg := testCfg()
+	cfg.Threads = 1
+	g := randomGraph(7, 72).Snapshot()
+	res := StaticLFNS(g, cfg)
+	if !res.Converged {
+		t.Error("single-threaded run did not converge")
+	}
+}
+
+func TestStaticLFNSStarvesOnCrash(t *testing.T) {
+	// The defining weakness of static scheduling: crash a worker and its
+	// range is never adopted, so the run must NOT converge.
+	g := randomGraph(9, 73).Snapshot()
+	cfg := testCfg()
+	cfg.MaxIter = 30 // keep the spin bounded
+	cfg.Fault = fault.Plan{CrashWorkers: fault.CrashSet(1, cfg.Threads), Seed: 2}
+	res := StaticLFNS(g, cfg)
+	if res.Converged {
+		t.Fatal("StaticLFNS converged despite a starved range")
+	}
+	if !errors.Is(res.Err, ErrStarvedRange) {
+		t.Errorf("err = %v, want ErrStarvedRange", res.Err)
+	}
+	// And the dynamic-scheduled StaticLF on the same plan must converge —
+	// the exact contrast the paper draws. (Full iteration budget: the 30
+	// above only bounds the starved spin.)
+	lfCfg := testCfg()
+	lfCfg.Fault = cfg.Fault
+	lf := StaticLF(g, lfCfg)
+	if !lf.Converged || lf.Err != nil {
+		t.Errorf("StaticLF under the same crash: converged=%v err=%v", lf.Converged, lf.Err)
+	}
+}
+
+func TestPruneFrontierMatchesReference(t *testing.T) {
+	d := randomGraph(9, 74)
+	gOld := d.Snapshot()
+	prev := StaticBB(gOld, testCfg()).Ranks
+	up := batch.Random(d, 48, 21)
+	_, gNew := batch.Transition(d, up)
+	ref := Reference(gNew, Config{})
+	cfg := testCfg()
+	cfg.PruneFrontier = true
+	res := DFLF(gOld, gNew, up.Del, up.Ins, prev, cfg)
+	if !res.Converged || res.Err != nil {
+		t.Fatalf("pruned DFLF: converged=%v err=%v", res.Converged, res.Err)
+	}
+	if e := metrics.LInf(res.Ranks, ref); e > 1e-8 {
+		t.Errorf("pruned DFLF: error %g", e)
+	}
+	// Pruning is LF-only; a barrier-based run with the flag set must behave
+	// exactly like plain DFBB.
+	bb := DFBB(gOld, gNew, up.Del, up.Ins, prev, cfg)
+	if !bb.Converged || bb.Err != nil {
+		t.Fatalf("DFBB with prune flag: converged=%v err=%v", bb.Converged, bb.Err)
+	}
+	if e := metrics.LInf(bb.Ranks, ref); e > 1e-8 {
+		t.Errorf("DFBB with prune flag: error %g", e)
+	}
+}
+
+func TestPruneFrontierSurvivesFaults(t *testing.T) {
+	d := randomGraph(9, 75)
+	gOld := d.Snapshot()
+	prev := StaticBB(gOld, testCfg()).Ranks
+	up := batch.Random(d, 48, 22)
+	_, gNew := batch.Transition(d, up)
+	ref := Reference(gNew, Config{})
+	cfg := testCfg()
+	cfg.PruneFrontier = true
+	cfg.Fault = fault.Plan{CrashWorkers: fault.CrashSet(2, cfg.Threads), Seed: 8}
+	res := DFLF(gOld, gNew, up.Del, up.Ins, prev, cfg)
+	if !res.Converged || res.Err != nil {
+		t.Fatalf("pruned DFLF with crashes: converged=%v err=%v", res.Converged, res.Err)
+	}
+	if e := metrics.LInf(res.Ranks, ref); e > 1e-8 {
+		t.Errorf("error %g", e)
+	}
+}

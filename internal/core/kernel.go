@@ -1,0 +1,93 @@
+package core
+
+import (
+	"dfpr/internal/avec"
+	"dfpr/internal/graph"
+	"dfpr/internal/traverse"
+)
+
+// rankOf computes the PageRank update for vertex v (Eq. 1) reading from a
+// plain rank slice — the synchronous (Jacobi) kernel used by the
+// barrier-based variants, where the read vector is immutable during an
+// iteration.
+func rankOf(g *graph.CSR, inv, ranks []float64, alpha, base float64, v uint32) float64 {
+	r := base
+	for _, u := range g.In(v) {
+		r += alpha * ranks[u] * inv[u]
+	}
+	return r
+}
+
+// rankOfAtomic computes the PageRank update for vertex v reading the shared
+// rank vector with atomic element loads — the asynchronous (Gauss–Seidel)
+// kernel used by the lock-free variants, where neighbours' ranks may be
+// updated concurrently by other workers.
+func rankOfAtomic(g *graph.CSR, inv []float64, ranks *avec.F64, alpha, base float64, v uint32) float64 {
+	r := base
+	for _, u := range g.In(v) {
+		r += alpha * ranks.Load(int(u)) * inv[u]
+	}
+	return r
+}
+
+// marker abstracts the initial-marking step of the dynamic variants: given a
+// batch-edge source vertex u, mark whatever the variant considers initially
+// affected. The DF marker touches out-neighbours of u in G^{t-1} ∪ G^t; the
+// DT marker additionally walks everything reachable from them in G^t.
+type marker interface {
+	markFrom(u uint32)
+}
+
+// dfMarker implements Dynamic Frontier initial marking (Algorithms 1–2,
+// "mark initial affected"): out(u) in both snapshots becomes affected; in
+// lock-free runs the same vertices are flagged not-converged.
+type dfMarker struct {
+	gOld, gNew *graph.CSR
+	va         avec.FlagVec
+	rc         avec.FlagVec // nil in barrier-based runs
+}
+
+func (m *dfMarker) markFrom(u uint32) {
+	graph.UnionOut(m.gOld, m.gNew, u, func(v uint32) {
+		m.va.Set(int(v))
+		if m.rc != nil {
+			m.rc.Set(int(v))
+		}
+	})
+}
+
+// dtMarker implements Dynamic Traversal initial marking (Algorithms 7–8):
+// everything reachable in G^t from out(u) of either snapshot is affected.
+// Each worker owns one dtMarker so the DFS scratch stack is unshared.
+type dtMarker struct {
+	gOld, gNew *graph.CSR
+	va         avec.FlagVec
+	rc         avec.FlagVec // nil in barrier-based runs
+	stack      []uint32
+}
+
+func (m *dtMarker) markFrom(u uint32) {
+	visit := func(v uint32) bool {
+		newly := m.va.Set(int(v))
+		if newly && m.rc != nil {
+			m.rc.Set(int(v))
+		}
+		return newly
+	}
+	graph.UnionOut(m.gOld, m.gNew, u, func(v uint32) {
+		m.stack = traverse.MarkReachable(m.gNew, v, visit, m.stack)
+	})
+}
+
+// atomicMaxU64 raises *p to at least x.
+func atomicMaxU64(c *avec.Counter, x uint64) {
+	for {
+		old := c.Load()
+		if old >= x {
+			return
+		}
+		if c.CompareAndSwap(old, x) {
+			return
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"dfpr/internal/avec"
+	"dfpr/internal/fault"
+	"dfpr/internal/graph"
+	"dfpr/internal/sched"
+)
+
+// StaticLF is the lock-free static PageRank (Algorithm 4): asynchronous
+// Gauss–Seidel updates on a single shared rank vector, dynamic chunk
+// scheduling with no iteration barrier, and per-vertex convergence flags.
+func StaticLF(g *graph.CSR, cfg Config) Result {
+	return runLF(vStatic, Input{GNew: g}, cfg)
+}
+
+// NDLF is the lock-free Naive-dynamic PageRank (Algorithm 6): StaticLF
+// warm-started from the previous snapshot's ranks.
+func NDLF(g *graph.CSR, prev []float64, cfg Config) Result {
+	return runLF(vND, Input{GNew: g, Prev: prev}, cfg)
+}
+
+// DTLF is the lock-free Dynamic Traversal PageRank (Algorithm 8). The
+// reachability marking phase and the rank-computation phase are composed
+// without a barrier through the per-source checked-flag vector C.
+func DTLF(gOld, gNew *graph.CSR, del, ins []graph.Edge, prev []float64, cfg Config) Result {
+	return runLF(vDT, Input{GOld: gOld, GNew: gNew, Del: del, Ins: ins, Prev: prev}, cfg)
+}
+
+// DFLF is the paper's lock-free Dynamic Frontier PageRank (Algorithm 2), the
+// main contribution: initial marking with a helping protocol over the
+// checked-flag vector C, then barrier-free incremental frontier expansion and
+// asynchronous rank computation, tolerating random thread delays and
+// crash-stop failures.
+func DFLF(gOld, gNew *graph.CSR, del, ins []graph.Edge, prev []float64, cfg Config) Result {
+	return runLF(vDF, Input{GOld: gOld, GNew: gNew, Del: del, Ins: ins, Prev: prev}, cfg)
+}
+
+func runLF(vr variant, in Input, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	g := in.GNew
+	n := g.N()
+	if n == 0 {
+		return Result{Converged: true}
+	}
+	base := (1 - cfg.Alpha) / float64(n)
+	inv := invOutDeg(g)
+	gOld := in.GOld
+	if gOld == nil {
+		gOld = g
+	}
+
+	ranks := avec.NewF64(n)
+	if vr != vStatic && len(in.Prev) == n {
+		ranks.CopyFrom(in.Prev)
+	} else {
+		ranks.Fill(1 / float64(n))
+	}
+
+	// RC[v]=1 ⇔ the rank of v has not converged yet. Static and ND variants
+	// process every vertex, so everything starts not-converged. (The paper's
+	// Algorithm 4 pseudocode initialises RC to zero, which would terminate
+	// after one pass; following the published implementation we initialise
+	// to one and also re-set the flag whenever Δr exceeds τ, so a vertex
+	// disturbed after converging is never lost.)
+	rc := newFlags(cfg, n)
+	var va, checked avec.FlagVec
+	var edges []graph.Edge
+	if vr == vDT || vr == vDF {
+		va = newFlags(cfg, n)
+		checked = newFlags(cfg, n)
+		edges = append(append(make([]graph.Edge, 0, len(in.Del)+len(in.Ins)), in.Del...), in.Ins...)
+	} else {
+		rc.SetAll()
+	}
+
+	inj := fault.NewInjector(cfg.Threads, cfg.Fault)
+	rounds := sched.NewRounds(n, cfg.Chunk)
+	edgePool := sched.NewPool(len(edges), cfg.Chunk)
+	var maxRound avec.Counter
+
+	worker := func(w int) {
+		var mk marker
+		switch vr {
+		case vDF:
+			mk = &dfMarker{gOld: gOld, gNew: g, va: va, rc: rc}
+		case vDT:
+			mk = &dtMarker{gOld: gOld, gNew: g, va: va, rc: rc}
+		}
+		// Phase 1 — initial marking with helping (lines 5-16 of Algorithm
+		// 2). A first pass distributes batch edges dynamically; then each
+		// worker re-scans the batch and processes any source a stalled peer
+		// left unchecked. Marking is idempotent, so racing helpers are
+		// harmless, and no worker enters phase 2 before every batch edge has
+		// been checked by someone.
+		if mk != nil {
+			for {
+				lo, hi, ok := edgePool.Next()
+				if !ok {
+					break
+				}
+				for i := lo; i < hi; i++ {
+					u := edges[i].U
+					if !checked.Get(int(u)) {
+						mk.markFrom(u)
+						checked.Set(int(u))
+					}
+				}
+			}
+			for {
+				clean := true
+				for _, e := range edges {
+					if !checked.Get(int(e.U)) {
+						clean = false
+						mk.markFrom(e.U)
+						checked.Set(int(e.U))
+					}
+				}
+				if clean {
+					break
+				}
+			}
+		}
+		// Phase 2 — asynchronous rank computation (lines 17-31). Tickets
+		// from the continuous round scheduler stand in for the `nowait`
+		// dynamic loops: a worker finishing pass r flows straight into pass
+		// r+1 while slower workers are still inside pass r.
+		completed := uint64(0)
+		for {
+			lo, hi, round := rounds.Next()
+			if round >= uint64(cfg.MaxIter) {
+				break
+			}
+			if inj != nil && inj.AtChunk(w) {
+				atomicMaxU64(&maxRound, completed)
+				return
+			}
+			completed = round
+			for v := lo; v < hi; v++ {
+				// A vertex is processed when it is affected OR still flagged
+				// not-converged. The RC check matters only with frontier
+				// pruning on: a concurrent neighbour may re-mark v (VA then
+				// RC) while this pass prunes it (VA clear after the Set, RC
+				// clear before the Set), leaving VA=0 ∧ RC=1 — without this
+				// guard such a vertex would be unreachable yet unconverged
+				// and the run could never terminate.
+				if va != nil && !va.Get(v) && !rc.Get(v) {
+					continue
+				}
+				vv := uint32(v)
+				nr := rankOfAtomic(g, inv, ranks, cfg.Alpha, base, vv)
+				old := ranks.Load(v)
+				dr := math.Abs(nr - old)
+				ranks.Store(v, nr)
+				if vr == vDF && dr > cfg.FrontierTol {
+					for _, v2 := range g.Out(vv) {
+						va.Set(int(v2))
+						rc.Set(int(v2))
+					}
+				}
+				if dr <= cfg.Tol {
+					rc.Clear(v)
+					if cfg.PruneFrontier && vr == vDF {
+						va.Clear(v)
+					}
+				} else {
+					rc.Set(v)
+				}
+				if inj != nil && inj.AfterVertex(w) {
+					// Crash-stop: this worker simply stops. Its chunk's
+					// vertices keep RC set, so survivors re-process them in
+					// later rounds (§4.4).
+					atomicMaxU64(&maxRound, completed)
+					return
+				}
+			}
+			if rc.AllClear() {
+				break
+			}
+		}
+		atomicMaxU64(&maxRound, completed)
+	}
+
+	start := time.Now()
+	sched.Run(cfg.Threads, worker)
+	elapsed := time.Since(start)
+
+	converged := rc.AllClear()
+	res := Result{
+		Ranks:      ranks.Snapshot(nil),
+		Iterations: int(maxRound.Load()) + 1,
+		Converged:  converged,
+		Elapsed:    elapsed,
+	}
+	if inj != nil {
+		res.CrashedWorkers = inj.CrashedCount()
+		if !converged && res.CrashedWorkers >= cfg.Threads {
+			res.Err = ErrAllCrashed
+		}
+	}
+	return res
+}

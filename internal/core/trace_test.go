@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dfpr/internal/batch"
+	"dfpr/internal/gen"
+	"dfpr/internal/metrics"
+)
+
+func TestTraceDFMatchesReference(t *testing.T) {
+	d := randomGraph(9, 81)
+	gOld := d.Snapshot()
+	prev := Reference(gOld, Config{})
+	up := batch.Random(d, 32, 4)
+	_, gNew := batch.Transition(d, up)
+	ref := Reference(gNew, Config{})
+	res, series := TraceDF(gOld, gNew, up.Del, up.Ins, prev, testCfg())
+	if !res.Converged {
+		t.Fatal("trace run did not converge")
+	}
+	if e := metrics.LInf(res.Ranks, ref); e > 1e-8 {
+		t.Errorf("error %g", e)
+	}
+	if len(series) != res.Iterations+1 {
+		t.Errorf("series length %d, iterations %d (want iters+1)", len(series), res.Iterations)
+	}
+	if series[0].Affected == 0 {
+		t.Error("initial marking produced an empty frontier for a non-empty batch")
+	}
+	// Without pruning the frontier is monotone non-decreasing.
+	for i := 1; i < len(series); i++ {
+		if series[i].Affected < series[i-1].Affected {
+			t.Errorf("frontier shrank at %d without pruning: %d -> %d", i, series[i-1].Affected, series[i].Affected)
+		}
+	}
+	// At convergence nothing is left unconverged.
+	if last := series[len(series)-1]; last.NotConverged != 0 {
+		t.Errorf("converged run reports %d unconverged vertices", last.NotConverged)
+	}
+}
+
+func TestTraceDFPruningDrainsFrontier(t *testing.T) {
+	d := randomGraph(9, 82)
+	gOld := d.Snapshot()
+	prev := Reference(gOld, Config{})
+	up := batch.Random(d, 16, 6)
+	_, gNew := batch.Transition(d, up)
+	cfg := testCfg()
+	cfg.PruneFrontier = true
+	res, series := TraceDF(gOld, gNew, up.Del, up.Ins, prev, cfg)
+	if !res.Converged {
+		t.Fatal("pruned trace did not converge")
+	}
+	if last := series[len(series)-1]; last.Affected != 0 {
+		t.Errorf("pruned frontier not drained: %d left", last.Affected)
+	}
+}
+
+func TestTraceDFEmptyInputs(t *testing.T) {
+	g := smallGraph()
+	prev := Reference(g, Config{})
+	res, series := TraceDF(g, g, nil, nil, prev, testCfg())
+	if !res.Converged {
+		t.Fatal("empty batch did not converge")
+	}
+	if series[0].Affected != 0 {
+		t.Errorf("empty batch marked %d vertices", series[0].Affected)
+	}
+}
+
+// TestRankMassInvariantProperty: on any dead-end-free graph, every variant's
+// converged ranks sum to ≈ 1 — the PageRank probability-mass invariant.
+func TestRankMassInvariantProperty(t *testing.T) {
+	f := func(seed int64, scaleRaw uint8) bool {
+		scale := int(scaleRaw)%3 + 6 // 64..256 vertices
+		d := gen.RMAT(scale, 6, seed)
+		d.EnsureSelfLoops()
+		g := d.Snapshot()
+		for _, a := range []Algo{AlgoStaticBB, AlgoStaticLF} {
+			res := Run(a, Input{GNew: g}, testCfg())
+			if !res.Converged {
+				return false
+			}
+			if math.Abs(metrics.Sum(res.Ranks)-1) > 1e-6 {
+				t.Logf("%v: sum %v", a, metrics.Sum(res.Ranks))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDFAgreesWithStaticProperty: for random graphs and random batches, the
+// incremental DFLF result agrees with a full static recomputation — the
+// correctness contract of the DF approach.
+func TestDFAgreesWithStaticProperty(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8) bool {
+		d := gen.RMAT(8, 6, seed)
+		d.EnsureSelfLoops()
+		gOld := d.Snapshot()
+		prev := StaticBB(gOld, testCfg()).Ranks
+		up := batch.Random(d, int(sizeRaw)%60+1, seed+1)
+		_, gNew := batch.Transition(d, up)
+		res := DFLF(gOld, gNew, up.Del, up.Ins, prev, testCfg())
+		if !res.Converged || res.Err != nil {
+			return false
+		}
+		full := StaticBB(gNew, testCfg())
+		if e := metrics.LInf(res.Ranks, full.Ranks); e > 1e-7 {
+			t.Logf("seed %d size %d: disagreement %g", seed, sizeRaw, e)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}

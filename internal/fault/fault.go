@@ -1,0 +1,168 @@
+// Package fault implements the paper's fault-simulation substrate (§5.1.6):
+// random thread delays injected with a per-vertex probability, and
+// crash-stop failures where a designated worker permanently stops executing
+// at a pseudo-random point during rank computation.
+//
+// The injector is cooperative: algorithm kernels call AfterVertex once per
+// vertex rank computation, which is exactly the paper's injection point ("a
+// random thread delay ... can occur after computing the rank of any vertex
+// in an iteration with a certain probability"). Crash-stop means the worker
+// goroutine returns and never re-enters the work pool; memory it already
+// wrote stays visible (no byzantine behaviour), matching the crash-stop
+// model.
+//
+// Everything is deterministic under a fixed seed so fault experiments are
+// reproducible.
+package fault
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// Plan describes the faults to inject into one algorithm run.
+type Plan struct {
+	// DelayProb is the probability that a worker sleeps after computing one
+	// vertex rank. The paper sweeps 1e-9 … 1e-6 (expected |V|·p sleeps per
+	// iteration).
+	DelayProb float64
+	// DelayDur is the sleep duration for one injected delay. The paper uses
+	// 50/100/200 ms on billion-edge graphs; scale it to your graph size so
+	// it stays "sizeable relative to the iteration time".
+	DelayDur time.Duration
+	// CrashWorkers lists worker ids that crash-stop during the run.
+	CrashWorkers []int
+	// CrashHorizon bounds the pseudo-random crash point: each crashing
+	// worker stops after processing k vertices, k drawn uniformly from
+	// [0, CrashHorizon). Zero means crash immediately on first check.
+	CrashHorizon int
+	// Seed makes the injection reproducible.
+	Seed int64
+}
+
+// None reports whether the plan injects no faults at all.
+func (p Plan) None() bool {
+	return p.DelayProb <= 0 && len(p.CrashWorkers) == 0
+}
+
+// Injector is the runtime form of a Plan for a fixed worker count. Methods
+// with a worker argument are safe for concurrent use by distinct workers;
+// per-worker state is unshared.
+type Injector struct {
+	workers  int
+	delayDur time.Duration
+
+	// Per-worker state, cache-line padded to avoid false sharing on the
+	// processed counters.
+	state []workerState
+
+	crashedCount int64
+}
+
+type workerState struct {
+	rng       *rand.Rand
+	delayProb float64
+	crashAt   int64 // processed-vertex count at which this worker crashes; -1 = never
+	processed int64
+	crashed   uint32
+	_         [4]uint64 // pad
+}
+
+// NewInjector materialises a plan for the given worker count. A nil return
+// means the plan injects nothing; kernels treat a nil *Injector as "no
+// faults" with zero per-vertex overhead.
+func NewInjector(workers int, p Plan) *Injector {
+	if p.None() {
+		return nil
+	}
+	in := &Injector{
+		workers:  workers,
+		delayDur: p.DelayDur,
+		state:    make([]workerState, workers),
+	}
+	seeder := rand.New(rand.NewSource(p.Seed))
+	for w := 0; w < workers; w++ {
+		in.state[w].rng = rand.New(rand.NewSource(seeder.Int63()))
+		in.state[w].delayProb = p.DelayProb
+		in.state[w].crashAt = -1
+	}
+	for _, w := range p.CrashWorkers {
+		if w < 0 || w >= workers {
+			continue
+		}
+		if p.CrashHorizon > 0 {
+			in.state[w].crashAt = int64(seeder.Intn(p.CrashHorizon))
+		} else {
+			in.state[w].crashAt = 0
+		}
+	}
+	return in
+}
+
+// AfterVertex is called by a kernel after computing one vertex rank. It may
+// sleep (random delay) and reports whether the worker has now crash-stopped;
+// a true return obliges the caller to stop the worker immediately.
+func (in *Injector) AfterVertex(worker int) (crashed bool) {
+	st := &in.state[worker]
+	if atomic.LoadUint32(&st.crashed) == 1 {
+		return true
+	}
+	n := atomic.AddInt64(&st.processed, 1)
+	if st.crashAt >= 0 && n > st.crashAt {
+		atomic.StoreUint32(&st.crashed, 1)
+		atomic.AddInt64(&in.crashedCount, 1)
+		return true
+	}
+	if st.delayProb > 0 && st.rng.Float64() < st.delayProb {
+		time.Sleep(in.delayDur)
+	}
+	return false
+}
+
+// AtChunk is called by a kernel when the worker acquires a new work chunk.
+// It reports whether the worker's crash point has been reached (also
+// marking the worker crashed), without counting work. With CrashHorizon 0
+// the designated workers crash deterministically at their first chunk,
+// which keeps crash experiments reproducible even when the Go scheduler
+// serialises workers (e.g. on a single-core host).
+func (in *Injector) AtChunk(worker int) (crashed bool) {
+	st := &in.state[worker]
+	if atomic.LoadUint32(&st.crashed) == 1 {
+		return true
+	}
+	if st.crashAt >= 0 && atomic.LoadInt64(&st.processed) >= st.crashAt {
+		atomic.StoreUint32(&st.crashed, 1)
+		atomic.AddInt64(&in.crashedCount, 1)
+		return true
+	}
+	return false
+}
+
+// Crashed reports whether the worker has crash-stopped.
+func (in *Injector) Crashed(worker int) bool {
+	return atomic.LoadUint32(&in.state[worker].crashed) == 1
+}
+
+// CrashedCount returns how many workers have crash-stopped so far.
+func (in *Injector) CrashedCount() int {
+	return int(atomic.LoadInt64(&in.crashedCount))
+}
+
+// Processed returns how many vertices the worker has processed (diagnostic).
+func (in *Injector) Processed(worker int) int64 {
+	return atomic.LoadInt64(&in.state[worker].processed)
+}
+
+// CrashSet returns the first k worker ids {0..k-1} clipped to the worker
+// count, the subset convention used by the Figure 9 experiment.
+func CrashSet(k, workers int) []int {
+	if k > workers {
+		k = workers
+	}
+	out := make([]int, 0, k)
+	for w := 0; w < k; w++ {
+		out = append(out, w)
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNonePlanYieldsNilInjector(t *testing.T) {
+	if in := NewInjector(4, Plan{}); in != nil {
+		t.Error("empty plan should produce nil injector")
+	}
+	if !(Plan{}).None() {
+		t.Error("zero plan not None")
+	}
+	if (Plan{DelayProb: 0.5}).None() || (Plan{CrashWorkers: []int{0}}).None() {
+		t.Error("non-empty plans reported None")
+	}
+}
+
+func TestCrashAtThreshold(t *testing.T) {
+	in := NewInjector(2, Plan{CrashWorkers: []int{1}, CrashHorizon: 10, Seed: 3})
+	if in.Crashed(0) || in.Crashed(1) {
+		t.Fatal("fresh injector reports crashes")
+	}
+	// Worker 0 never crashes no matter how much it processes.
+	for i := 0; i < 1000; i++ {
+		if in.AfterVertex(0) {
+			t.Fatal("undesignated worker crashed")
+		}
+	}
+	// Worker 1 crashes within its horizon.
+	crashed := false
+	for i := 0; i < 20; i++ {
+		if in.AfterVertex(1) {
+			crashed = true
+			break
+		}
+	}
+	if !crashed {
+		t.Fatal("designated worker did not crash within 2× horizon")
+	}
+	if !in.Crashed(1) || in.CrashedCount() != 1 {
+		t.Error("crash state inconsistent")
+	}
+	// Crashed workers keep reporting crashed.
+	if !in.AfterVertex(1) || !in.AtChunk(1) {
+		t.Error("crashed worker resumed")
+	}
+	if in.CrashedCount() != 1 {
+		t.Error("crash double-counted")
+	}
+}
+
+func TestAtChunkZeroHorizonIsImmediate(t *testing.T) {
+	in := NewInjector(3, Plan{CrashWorkers: []int{0, 2}, Seed: 1})
+	if !in.AtChunk(0) || in.AtChunk(1) || !in.AtChunk(2) {
+		t.Error("zero-horizon AtChunk behaviour wrong")
+	}
+	if in.CrashedCount() != 2 {
+		t.Errorf("count = %d", in.CrashedCount())
+	}
+}
+
+func TestDelayActuallySleeps(t *testing.T) {
+	in := NewInjector(1, Plan{DelayProb: 1, DelayDur: 5 * time.Millisecond, Seed: 1})
+	start := time.Now()
+	in.AfterVertex(0)
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Errorf("certain delay slept only %v", elapsed)
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	mk := func() []int64 {
+		in := NewInjector(4, Plan{CrashWorkers: []int{0, 1, 2, 3}, CrashHorizon: 100, Seed: 42})
+		var points []int64
+		for w := 0; w < 4; w++ {
+			n := int64(0)
+			for !in.AfterVertex(w) {
+				n++
+			}
+			points = append(points, n)
+		}
+		return points
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("crash points differ across identical seeds: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestProcessedCounts(t *testing.T) {
+	in := NewInjector(2, Plan{DelayProb: 1e-12, DelayDur: time.Nanosecond, Seed: 9})
+	for i := 0; i < 7; i++ {
+		in.AfterVertex(0)
+	}
+	in.AfterVertex(1)
+	if in.Processed(0) != 7 || in.Processed(1) != 1 {
+		t.Errorf("processed = %d,%d", in.Processed(0), in.Processed(1))
+	}
+}
+
+func TestCrashSetClipping(t *testing.T) {
+	if got := CrashSet(3, 8); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("CrashSet(3,8) = %v", got)
+	}
+	if got := CrashSet(10, 4); len(got) != 4 {
+		t.Errorf("CrashSet(10,4) = %v", got)
+	}
+	if got := CrashSet(0, 4); len(got) != 0 {
+		t.Errorf("CrashSet(0,4) = %v", got)
+	}
+}
+
+func TestOutOfRangeCrashWorkerIgnored(t *testing.T) {
+	in := NewInjector(2, Plan{CrashWorkers: []int{-1, 5, 1}, Seed: 1})
+	if in.AtChunk(0) {
+		t.Error("worker 0 crashed but was not designated")
+	}
+	if !in.AtChunk(1) {
+		t.Error("designated worker 1 did not crash")
+	}
+}

@@ -1,0 +1,172 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"dfpr/internal/graph"
+)
+
+func TestRMATDeterministicAndInRange(t *testing.T) {
+	a := RMAT(8, 4, 7)
+	b := RMAT(8, 4, 7)
+	if a.N() != 256 || a.M() == 0 {
+		t.Fatalf("n=%d m=%d", a.N(), a.M())
+	}
+	if !reflect.DeepEqual(a.Snapshot().Edges(nil), b.Snapshot().Edges(nil)) {
+		t.Error("same seed produced different graphs")
+	}
+	c := RMAT(8, 4, 8)
+	if reflect.DeepEqual(a.Snapshot().Edges(nil), c.Snapshot().Edges(nil)) {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestRMATIsSkewed(t *testing.T) {
+	d := RMAT(10, 8, 1)
+	g := d.Snapshot()
+	max := 0
+	for v := uint32(0); int(v) < g.N(); v++ {
+		if deg := g.OutDeg(v); deg > max {
+			max = deg
+		}
+	}
+	if float64(max) < 4*g.AvgOutDeg() {
+		t.Errorf("max degree %d not heavy-tailed vs avg %.1f", max, g.AvgOutDeg())
+	}
+}
+
+func TestPreferentialAttachmentIsSymmetric(t *testing.T) {
+	g := PreferentialAttachment(300, 4, 5).Snapshot()
+	for _, e := range g.Edges(nil) {
+		if !g.HasEdge(e.V, e.U) {
+			t.Fatalf("edge (%d,%d) has no reverse", e.U, e.V)
+		}
+	}
+	if g.M() < 300*4 {
+		t.Errorf("too few edges: %d", g.M())
+	}
+}
+
+func TestRoadGridStructure(t *testing.T) {
+	d := RoadGrid(20, 20, 0, 1) // no shortcuts: pure lattice
+	g := d.Snapshot()
+	if g.N() != 400 {
+		t.Fatalf("n = %d", g.N())
+	}
+	// Pure lattice: 2*(rows*(cols-1) + cols*(rows-1)) directed edges.
+	want := 2 * (20*19 + 20*19)
+	if g.M() != want {
+		t.Errorf("m = %d, want %d", g.M(), want)
+	}
+	// Symmetric.
+	for _, e := range g.Edges(nil) {
+		if !g.HasEdge(e.V, e.U) {
+			t.Fatal("lattice not symmetric")
+		}
+	}
+	// Interior vertex has degree 4.
+	if g.OutDeg(21) != 4 {
+		t.Errorf("interior degree = %d", g.OutDeg(21))
+	}
+	// Corner vertex has degree 2.
+	if g.OutDeg(0) != 2 {
+		t.Errorf("corner degree = %d", g.OutDeg(0))
+	}
+}
+
+func TestKMerChainLowDegree(t *testing.T) {
+	g := KMerChain(1000, 16, 3).Snapshot()
+	if avg := g.AvgOutDeg(); avg < 1.5 || avg > 4 {
+		t.Errorf("k-mer average degree %.2f outside [1.5,4]", avg)
+	}
+	// Connected along the spine: every vertex v<n-1 links to v+1.
+	for v := uint32(0); v < 999; v++ {
+		if !g.HasEdge(v, v+1) {
+			t.Fatalf("spine broken at %d", v)
+		}
+	}
+}
+
+func TestTemporalStreamProperties(t *testing.T) {
+	stream := TemporalStream(500, 5000, 9)
+	if len(stream) != 5000 {
+		t.Fatalf("len = %d", len(stream))
+	}
+	dedup := map[graph.Edge]struct{}{}
+	for i, te := range stream {
+		if te.At != int64(i) {
+			t.Fatal("timestamps not monotone")
+		}
+		if te.E.U == te.E.V {
+			t.Fatal("self-loop in stream")
+		}
+		if int(te.E.U) >= 500 || int(te.E.V) >= 500 {
+			t.Fatal("vertex out of range")
+		}
+		dedup[te.E] = struct{}{}
+	}
+	// Duplicate-heavy: |E| must be clearly below |E_T| (Table 1 shape).
+	if len(dedup) >= len(stream) {
+		t.Errorf("no duplicate edges: %d unique of %d", len(dedup), len(stream))
+	}
+}
+
+func TestSpecBuildAllClasses(t *testing.T) {
+	for _, spec := range SuiteSparse12(0.05) {
+		d := spec.Build()
+		g := d.Snapshot()
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+		if g.DeadEnds() != 0 {
+			t.Errorf("%s: %d dead ends after Build", spec.Name, g.DeadEnds())
+		}
+		if g.N() < 64 {
+			t.Errorf("%s: too small (%d)", spec.Name, g.N())
+		}
+	}
+}
+
+func TestSuiteSparse12Metadata(t *testing.T) {
+	specs := SuiteSparse12(1)
+	if len(specs) != 12 {
+		t.Fatalf("want 12 specs, got %d", len(specs))
+	}
+	classes := map[Class]int{}
+	for _, s := range specs {
+		classes[s.Class]++
+	}
+	if classes[Web] != 6 || classes[Social] != 2 || classes[Road] != 2 || classes[KMer] != 2 {
+		t.Errorf("class mix wrong: %v", classes)
+	}
+}
+
+func TestTemporal2(t *testing.T) {
+	specs := Temporal2(0.02)
+	if len(specs) != 2 {
+		t.Fatalf("want 2 temporal specs")
+	}
+	for _, s := range specs {
+		stream := s.Build()
+		if len(stream) == 0 {
+			t.Errorf("%s: empty stream", s.Name)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{Web: "web", Social: "social", Road: "road", KMer: "kmer", Temporal: "temporal"} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q", c, c.String())
+		}
+	}
+}
+
+func TestScaleChangesSize(t *testing.T) {
+	small := SuiteSparse12(0.05)[0].Build()
+	big := SuiteSparse12(0.2)[0].Build()
+	if big.N() <= small.N() {
+		t.Errorf("scale had no effect: %d vs %d", small.N(), big.N())
+	}
+}

@@ -1,0 +1,156 @@
+package gio
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dfpr/internal/gen"
+	"dfpr/internal/graph"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	d := gen.RMAT(6, 4, 1)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d.Snapshot().Edges(nil), back.Snapshot().Edges(nil)) {
+		t.Error("MatrixMarket round trip changed the edge set")
+	}
+}
+
+func TestMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern symmetric
+% a comment
+3 3 2
+2 1
+3 2
+`
+	d, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 0}, {U: 1, V: 2}, {U: 2, V: 1}}
+	if got := d.Snapshot().Edges(nil); !reflect.DeepEqual(got, want) {
+		t.Errorf("edges = %v, want %v", got, want)
+	}
+}
+
+func TestMatrixMarketWithValues(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+2 2 2
+1 2 3.5
+2 1 -1.0
+`
+	d, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.M() != 2 || !d.HasEdge(0, 1) || !d.HasEdge(1, 0) {
+		t.Errorf("numeric mtx parsed wrong: m=%d", d.M())
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"not mm":      "hello world\n1 1 1\n",
+		"array fmt":   "%%MatrixMarket matrix array real general\n2 2\n1.0\n",
+		"bad size":    "%%MatrixMarket matrix coordinate pattern general\nfoo bar baz\n",
+		"short":       "%%MatrixMarket matrix coordinate pattern general\n2 2 3\n1 2\n",
+		"zero index":  "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n",
+		"over index":  "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n",
+		"junk entry":  "%%MatrixMarket matrix coordinate pattern general\n2 2 1\nx y\n",
+		"bare header": "%%MatrixMarket matrix\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	d := gen.RMAT(6, 4, 2)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertex counts may differ (trailing isolated vertices are not
+	// representable in an edge list) but the edge sets must match.
+	if !reflect.DeepEqual(d.Snapshot().Edges(nil), back.Snapshot().Edges(nil)) {
+		t.Error("edge list round trip changed the edge set")
+	}
+}
+
+func TestEdgeListCommentsAndErrors(t *testing.T) {
+	d, err := ReadEdgeList(strings.NewReader("# comment\n% also comment\n0 1\n\n2 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.M() != 2 || d.N() != 3 {
+		t.Errorf("n=%d m=%d", d.N(), d.M())
+	}
+	for _, bad := range []string{"0\n", "a b\n", "-1 2\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestTemporalRoundTrip(t *testing.T) {
+	stream := gen.TemporalStream(50, 200, 3)
+	var buf bytes.Buffer
+	if err := WriteTemporal(&buf, stream); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTemporal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stream, back) {
+		t.Error("temporal round trip changed the stream")
+	}
+}
+
+func TestTemporalErrors(t *testing.T) {
+	for _, bad := range []string{"1 2\n", "a b c\n", "1 2 x\n"} {
+		if _, err := ReadTemporal(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	del := []graph.Edge{{U: 1, V: 2}, {U: 3, V: 4}}
+	ins := []graph.Edge{{U: 5, V: 6}}
+	var buf bytes.Buffer
+	if err := WriteBatch(&buf, del, ins); err != nil {
+		t.Fatal(err)
+	}
+	d2, i2, err := ReadBatch(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(del, d2) || !reflect.DeepEqual(ins, i2) {
+		t.Errorf("batch round trip: del=%v ins=%v", d2, i2)
+	}
+}
+
+func TestBatchErrors(t *testing.T) {
+	for _, bad := range []string{"* 1 2\n", "+ 1\n", "+ a b\n"} {
+		if _, _, err := ReadBatch(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

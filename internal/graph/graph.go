@@ -1,0 +1,370 @@
+// Package graph provides the dynamic-graph substrate the PageRank algorithms
+// run on: immutable CSR snapshots with both out- and in-adjacency, a mutable
+// Dynamic edge store that produces those snapshots, and batch-update
+// application following the paper's model (§3.4): a dynamic graph is a
+// sequence of snapshots G^{t-1}, G^t separated by a batch Δt = Δt⁻ ∪ Δt⁺ of
+// edge deletions and insertions, with no vertex additions or removals.
+//
+// Dead-end elimination: the paper removes dead ends (vertices with no
+// out-links) by adding a self-loop to every vertex (§5.1.3). EnsureSelfLoops
+// applies that transform; the PageRank kernels assume it has been applied and
+// therefore never need a global teleport-correction pass.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is a directed edge from U to V. Vertex ids are 32-bit, matching the
+// paper's configuration (§5.1.2).
+type Edge struct {
+	U, V uint32
+}
+
+// CSR is an immutable directed graph snapshot in Compressed Sparse Row form,
+// carrying both the out-adjacency (for frontier expansion) and the
+// in-adjacency (for pull-style rank computation).
+//
+// Adjacency lists are sorted by neighbour id and deduplicated.
+type CSR struct {
+	n      int
+	outPtr []uint64
+	outAdj []uint32
+	inPtr  []uint64
+	inAdj  []uint32
+}
+
+// N returns the number of vertices.
+func (g *CSR) N() int { return g.n }
+
+// M returns the number of directed edges (self-loops included).
+func (g *CSR) M() int { return len(g.outAdj) }
+
+// OutDeg returns the out-degree of v.
+func (g *CSR) OutDeg(v uint32) int {
+	return int(g.outPtr[v+1] - g.outPtr[v])
+}
+
+// InDeg returns the in-degree of v.
+func (g *CSR) InDeg(v uint32) int {
+	return int(g.inPtr[v+1] - g.inPtr[v])
+}
+
+// Out returns the sorted out-neighbours of v. The returned slice aliases the
+// snapshot's storage and must not be modified.
+func (g *CSR) Out(v uint32) []uint32 {
+	return g.outAdj[g.outPtr[v]:g.outPtr[v+1]]
+}
+
+// In returns the sorted in-neighbours of v. The returned slice aliases the
+// snapshot's storage and must not be modified.
+func (g *CSR) In(v uint32) []uint32 {
+	return g.inAdj[g.inPtr[v]:g.inPtr[v+1]]
+}
+
+// HasEdge reports whether the directed edge (u,v) exists.
+func (g *CSR) HasEdge(u, v uint32) bool {
+	adj := g.Out(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	return i < len(adj) && adj[i] == v
+}
+
+// Edges appends every directed edge to dst and returns it, in (U,V) sorted
+// order.
+func (g *CSR) Edges(dst []Edge) []Edge {
+	if cap(dst) < g.M() {
+		dst = make([]Edge, 0, g.M())
+	}
+	dst = dst[:0]
+	for u := uint32(0); int(u) < g.n; u++ {
+		for _, v := range g.Out(u) {
+			dst = append(dst, Edge{u, v})
+		}
+	}
+	return dst
+}
+
+// AvgOutDeg returns the average out-degree.
+func (g *CSR) AvgOutDeg() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return float64(g.M()) / float64(g.n)
+}
+
+// DeadEnds returns the number of vertices with out-degree zero. After
+// EnsureSelfLoops this is always zero.
+func (g *CSR) DeadEnds() int {
+	c := 0
+	for v := uint32(0); int(v) < g.n; v++ {
+		if g.OutDeg(v) == 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// Validate checks structural invariants (monotone offsets, sorted unique
+// adjacency, ids in range, in/out edge-count agreement). It is used by tests
+// and returns a descriptive error on the first violation.
+func (g *CSR) Validate() error {
+	if len(g.outPtr) != g.n+1 || len(g.inPtr) != g.n+1 {
+		return fmt.Errorf("graph: offset array length mismatch (n=%d out=%d in=%d)", g.n, len(g.outPtr), len(g.inPtr))
+	}
+	if len(g.outAdj) != len(g.inAdj) {
+		return fmt.Errorf("graph: out edges (%d) != in edges (%d)", len(g.outAdj), len(g.inAdj))
+	}
+	check := func(name string, ptr []uint64, adj []uint32) error {
+		if ptr[0] != 0 || ptr[g.n] != uint64(len(adj)) {
+			return fmt.Errorf("graph: %s offsets do not span adjacency", name)
+		}
+		for v := 0; v < g.n; v++ {
+			if ptr[v] > ptr[v+1] {
+				return fmt.Errorf("graph: %s offsets not monotone at %d", name, v)
+			}
+			row := adj[ptr[v]:ptr[v+1]]
+			for i, w := range row {
+				if int(w) >= g.n {
+					return fmt.Errorf("graph: %s neighbour %d of %d out of range", name, w, v)
+				}
+				if i > 0 && row[i-1] >= w {
+					return fmt.Errorf("graph: %s adjacency of %d not sorted/unique", name, v)
+				}
+			}
+		}
+		return nil
+	}
+	if err := check("out", g.outPtr, g.outAdj); err != nil {
+		return err
+	}
+	return check("in", g.inPtr, g.inAdj)
+}
+
+// FromEdges builds a CSR snapshot with n vertices from the given edge list.
+// Duplicate edges are collapsed; edges with endpoints ≥ n cause a panic, as
+// that is always a programming error in this codebase.
+func FromEdges(n int, edges []Edge) *CSR {
+	adj := make([][]uint32, n)
+	for _, e := range edges {
+		if int(e.U) >= n || int(e.V) >= n {
+			panic(fmt.Sprintf("graph: edge (%d,%d) out of range n=%d", e.U, e.V, n))
+		}
+		adj[e.U] = append(adj[e.U], e.V)
+	}
+	for u := range adj {
+		adj[u] = sortUnique(adj[u])
+	}
+	return fromAdj(adj)
+}
+
+func sortUnique(a []uint32) []uint32 {
+	if len(a) < 2 {
+		return a
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	out := a[:1]
+	for _, x := range a[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func fromAdj(adj [][]uint32) *CSR {
+	n := len(adj)
+	g := &CSR{n: n}
+	g.outPtr = make([]uint64, n+1)
+	m := 0
+	for u, row := range adj {
+		m += len(row)
+		g.outPtr[u+1] = uint64(m)
+	}
+	g.outAdj = make([]uint32, 0, m)
+	inDeg := make([]uint64, n+1)
+	for _, row := range adj {
+		g.outAdj = append(g.outAdj, row...)
+		for _, v := range row {
+			inDeg[v+1]++
+		}
+	}
+	g.inPtr = make([]uint64, n+1)
+	for v := 0; v < n; v++ {
+		g.inPtr[v+1] = g.inPtr[v] + inDeg[v+1]
+	}
+	g.inAdj = make([]uint32, m)
+	cursor := make([]uint64, n)
+	copy(cursor, g.inPtr[:n])
+	for u := uint32(0); int(u) < n; u++ {
+		for _, v := range adj[u] {
+			g.inAdj[cursor[v]] = u
+			cursor[v]++
+		}
+	}
+	// In-adjacency is filled in increasing source order, so each row is
+	// already sorted and unique.
+	return g
+}
+
+// Dynamic is a mutable directed graph used to generate snapshot sequences.
+// It keeps one sorted adjacency slice per vertex; mutation is not safe for
+// concurrent use (the paper interleaves updates and computation via
+// read-only snapshots, §3.4 — Snapshot provides exactly that).
+type Dynamic struct {
+	n   int
+	adj [][]uint32
+	m   int
+}
+
+// NewDynamic returns an empty dynamic graph with n vertices.
+func NewDynamic(n int) *Dynamic {
+	return &Dynamic{n: n, adj: make([][]uint32, n)}
+}
+
+// DynamicFromCSR returns a dynamic graph holding the same edges as g.
+func DynamicFromCSR(g *CSR) *Dynamic {
+	d := NewDynamic(g.N())
+	for u := uint32(0); int(u) < g.N(); u++ {
+		row := g.Out(u)
+		d.adj[u] = append([]uint32(nil), row...)
+	}
+	d.m = g.M()
+	return d
+}
+
+// N returns the number of vertices.
+func (d *Dynamic) N() int { return d.n }
+
+// M returns the number of directed edges.
+func (d *Dynamic) M() int { return d.m }
+
+// HasEdge reports whether edge (u,v) exists.
+func (d *Dynamic) HasEdge(u, v uint32) bool {
+	row := d.adj[u]
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= v })
+	return i < len(row) && row[i] == v
+}
+
+// OutDeg returns the out-degree of u.
+func (d *Dynamic) OutDeg(u uint32) int { return len(d.adj[u]) }
+
+// Out returns the sorted out-neighbours of u. The slice aliases internal
+// storage; callers must not retain it across mutations.
+func (d *Dynamic) Out(u uint32) []uint32 { return d.adj[u] }
+
+// AddEdge inserts edge (u,v), reporting whether it was absent.
+func (d *Dynamic) AddEdge(u, v uint32) bool {
+	row := d.adj[u]
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= v })
+	if i < len(row) && row[i] == v {
+		return false
+	}
+	row = append(row, 0)
+	copy(row[i+1:], row[i:])
+	row[i] = v
+	d.adj[u] = row
+	d.m++
+	return true
+}
+
+// DelEdge removes edge (u,v), reporting whether it was present.
+func (d *Dynamic) DelEdge(u, v uint32) bool {
+	row := d.adj[u]
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= v })
+	if i >= len(row) || row[i] != v {
+		return false
+	}
+	d.adj[u] = append(row[:i], row[i+1:]...)
+	d.m--
+	return true
+}
+
+// Apply removes every edge in del and inserts every edge in ins, in that
+// order (matching Δt⁻ then Δt⁺). Edges already absent/present are ignored,
+// mirroring set semantics.
+func (d *Dynamic) Apply(del, ins []Edge) {
+	for _, e := range del {
+		d.DelEdge(e.U, e.V)
+	}
+	for _, e := range ins {
+		d.AddEdge(e.U, e.V)
+	}
+}
+
+// EnsureSelfLoops adds a self-loop to every vertex (idempotent). This is the
+// paper's dead-end elimination (§5.1.3): every vertex gains out-degree ≥ 1 so
+// the global teleport contribution of dangling vertices never needs
+// recomputation.
+func (d *Dynamic) EnsureSelfLoops() {
+	for v := uint32(0); int(v) < d.n; v++ {
+		d.AddEdge(v, v)
+	}
+}
+
+// Snapshot builds an immutable CSR copy of the current graph.
+func (d *Dynamic) Snapshot() *CSR {
+	adj := make([][]uint32, d.n)
+	for u := range d.adj {
+		adj[u] = append([]uint32(nil), d.adj[u]...)
+	}
+	return fromAdj(adj)
+}
+
+// Clone returns an independent deep copy.
+func (d *Dynamic) Clone() *Dynamic {
+	c := NewDynamic(d.n)
+	for u := range d.adj {
+		c.adj[u] = append([]uint32(nil), d.adj[u]...)
+	}
+	c.m = d.m
+	return c
+}
+
+// WithN returns a view of g extended (or identical) to n vertices; the
+// added vertices are isolated. Used when comparing snapshots across vertex
+// additions: the old snapshot is padded so both sides index the same vertex
+// space. Adjacency storage is shared with g; offset arrays are copied.
+func (g *CSR) WithN(n int) *CSR {
+	if n <= g.n {
+		return g
+	}
+	out := &CSR{n: n, outAdj: g.outAdj, inAdj: g.inAdj}
+	out.outPtr = make([]uint64, n+1)
+	out.inPtr = make([]uint64, n+1)
+	copy(out.outPtr, g.outPtr)
+	copy(out.inPtr, g.inPtr)
+	for v := g.n + 1; v <= n; v++ {
+		out.outPtr[v] = g.outPtr[g.n]
+		out.inPtr[v] = g.inPtr[g.n]
+	}
+	return out
+}
+
+// UnionOut calls fn for every vertex in out_{g1}(u) ∪ out_{g2}(u), visiting
+// each neighbour exactly once. It is the (G^{t-1} ∪ G^t).out(u) iteration in
+// the DF initial-marking phase (Algorithms 1 and 2).
+func UnionOut(g1, g2 *CSR, u uint32, fn func(v uint32)) {
+	a, b := g1.Out(u), g2.Out(u)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			fn(a[i])
+			i++
+		case a[i] > b[j]:
+			fn(b[j])
+			j++
+		default:
+			fn(a[i])
+			i++
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		fn(a[i])
+	}
+	for ; j < len(b); j++ {
+		fn(b[j])
+	}
+}

@@ -1,0 +1,258 @@
+// Package harness contains one driver per table and figure of the paper's
+// evaluation (§5), plus the ablation studies called out in DESIGN.md. Each
+// experiment returns printable sections; cmd/prbench renders them and the
+// root-level benchmarks run trimmed (Quick) versions.
+//
+// Scale note: the paper's datasets have 10⁶–10⁸ vertices and its fault
+// parameters (delay probability per vertex, 50–200 ms delays) are calibrated
+// to those sizes. The drivers preserve the *intensive* quantities instead —
+// expected delays per iteration, batch size as a fraction of |E|, crashed
+// workers as a fraction of the pool — so the reproduced curves keep the
+// paper's shape at laptop scale. Every such translation is noted on the
+// experiment's section.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"dfpr/internal/batch"
+	"dfpr/internal/core"
+	"dfpr/internal/gen"
+	"dfpr/internal/graph"
+	"dfpr/internal/metrics"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale multiplies dataset sizes (1 ≈ 16k–56k vertices per graph).
+	Scale float64
+	// Threads is the worker count per algorithm run (0 = NumCPU).
+	Threads int
+	// Quick trims sweeps (fewer graphs, fractions, repetitions) so the
+	// experiment finishes in seconds; used by tests and benchmarks.
+	Quick bool
+	// Seed makes dataset and batch generation reproducible.
+	Seed int64
+	// Reps is the number of timing repetitions per measurement; the minimum
+	// is reported (default 1).
+	Reps int
+}
+
+func (o Options) norm() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Threads <= 0 {
+		o.Threads = runtime.NumCPU()
+	}
+	if o.Reps <= 0 {
+		o.Reps = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// config returns the paper-default algorithm configuration for this run.
+func (o Options) config() core.Config {
+	return core.Config{Threads: o.Threads}
+}
+
+// tolFor returns the iteration tolerance used for a graph of n vertices.
+//
+// The paper's τ = 1e-10 is an *absolute* L∞ threshold calibrated to graphs
+// of 10⁶–10⁸ vertices, where individual ranks are ~1e-7…1e-8, i.e. τ·|V| ≈
+// 1e-3. At laptop scale ranks are orders of magnitude larger, so a naive
+// 1e-10 makes every variant grind for ~100 extra iterations and — worse —
+// makes the frontier tolerance τ_f = τ/1000 indistinguishable from floating
+// point jitter, ballooning the DF frontier to the whole graph. Preserving
+// the intensive quantity τ·|V| ≈ 1e-3 keeps every algorithm in the same
+// operating regime as the paper; graphs at paper scale get the paper's
+// 1e-10 back exactly.
+func tolFor(n int) float64 {
+	if n <= 0 {
+		return core.DefaultTol
+	}
+	t := 1e-3 / float64(n)
+	if t < core.DefaultTol {
+		t = core.DefaultTol
+	}
+	return t
+}
+
+// cfgFor returns the run configuration for an n-vertex graph.
+//
+// FrontierTol is pinned to τ rather than the paper's τ/1000. The τ/1000
+// margin assumes the warm-start ranks carry per-vertex residual noise far
+// below τ_f, which holds at 10⁷-vertex scale (rank magnitudes span many
+// decades, so the L∞ stopping criterion leaves the median vertex converged
+// orders below τ). At laptop scale the residual floor sits at ≈ α·τ on
+// *every* vertex, so any τ_f < τ lets stale residuals — not the update —
+// re-mark neighbours and the frontier floods the graph. τ_f = τ restores
+// the paper's regime: the frontier tracks genuine rank movement, DF wins on
+// high-diameter graphs, and the error stays in the paper's relative band
+// (≈ 3–10 × τ). The tauf experiment sweeps the divisor to show exactly
+// this trade-off.
+func (o Options) cfgFor(n int) core.Config {
+	cfg := o.config()
+	cfg.Tol = tolFor(n)
+	cfg.FrontierTol = cfg.Tol
+	return cfg
+}
+
+// Section is one renderable unit of experiment output.
+type Section struct {
+	Title string
+	Note  string
+	Table *metrics.Table
+}
+
+// Experiment is a registered table/figure driver.
+type Experiment struct {
+	ID   string
+	Desc string
+	Run  func(Options) []Section
+}
+
+// Registry lists every experiment in paper order.
+var Registry = []Experiment{
+	{ID: "fig1", Desc: "Figure 1: computation vs barrier wait time of StaticBB over chunk sizes", Run: Fig1},
+	{ID: "table1", Desc: "Table 1: temporal dataset statistics (|V|, |E_T|, |E|)", Run: Table1},
+	{ID: "table2", Desc: "Table 2: static dataset statistics (|V|, |E|, D_avg)", Run: Table2},
+	{ID: "fig5", Desc: "Figure 5: runtime of 6 approaches on temporal graphs", Run: Fig5},
+	{ID: "fig6", Desc: "Figure 6: strong scaling of DFBB and DFLF", Run: Fig6},
+	{ID: "fig7", Desc: "Figure 7: runtime and error over batch fractions 1e-8..0.1", Run: Fig7},
+	{ID: "stability", Desc: "§5.2.3: stability under delete-then-reinsert batches", Run: Stability},
+	{ID: "fig8", Desc: "Figure 8: DFBB vs DFLF under random thread delays", Run: Fig8},
+	{ID: "fig9", Desc: "Figure 9: DFLF under crash-stop thread failures", Run: Fig9},
+	{ID: "dt", Desc: "§3.5.2: Dynamic Traversal vs Naive-dynamic comparison", Run: DTvsND},
+	{ID: "tauf", Desc: "§4.5: frontier tolerance sweep", Run: TauF},
+	{ID: "ablate", Desc: "Ablations: flag representation, convergence detection, chunk size, frontier pruning", Run: Ablate},
+	{ID: "eedi", Desc: "§3.3.2: StaticLF vs Eedi et al. No-Sync baseline (fault-free + crash)", Run: Eedi},
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// timeRun executes the algorithm reps times and returns the minimum elapsed
+// time together with the last result. Minimum-of-reps is the usual
+// noise-rejection estimator for wall-clock micro-measurements.
+func timeRun(a core.Algo, in core.Input, cfg core.Config, reps int) (time.Duration, core.Result) {
+	var best time.Duration
+	var last core.Result
+	for i := 0; i < reps; i++ {
+		last = core.Run(a, in, cfg)
+		if i == 0 || last.Elapsed < best {
+			best = last.Elapsed
+		}
+	}
+	return best, last
+}
+
+// prepared is a dataset with its converged baseline ranks and the
+// (scale-aware) configuration its experiments should run with.
+type prepared struct {
+	name  string
+	d     *graph.Dynamic
+	g     *graph.CSR
+	ranks []float64
+	cfg   core.Config
+}
+
+// prepare builds the spec and converges PageRank on it once.
+func prepare(spec gen.Spec, o Options) prepared {
+	d := spec.Build()
+	g := d.Snapshot()
+	cfg := o.cfgFor(g.N())
+	res := core.StaticBB(g, cfg)
+	return prepared{name: spec.Name, d: d, g: g, ranks: res.Ranks, cfg: cfg}
+}
+
+// specsFor returns the Table 2 stand-ins, trimmed in quick mode to one graph
+// per class (web, social, road, k-mer).
+func specsFor(o Options) []gen.Spec {
+	specs := gen.SuiteSparse12(o.Scale)
+	if o.Quick {
+		return []gen.Spec{specs[0], specs[7], specs[8], specs[10]}
+	}
+	return specs
+}
+
+// batchSizeFor converts a batch fraction into an edge count (≥ 1).
+func batchSizeFor(frac float64, m int) int {
+	size := int(frac * float64(m))
+	if size < 1 {
+		size = 1
+	}
+	return size
+}
+
+// makeBatch draws a mixed batch and applies it, returning the transition
+// and the reference ranks of the updated graph when wantRef is set.
+func makeBatch(p prepared, frac float64, seed int64, wantRef bool) (up batch.Update, in core.Input, ref []float64) {
+	dd := p.d.Clone()
+	up = batch.Random(dd, batchSizeFor(frac, p.g.M()), seed)
+	gOld, gNew := batch.Transition(dd, up)
+	in = core.Input{GOld: gOld, GNew: gNew, Del: up.Del, Ins: up.Ins, Prev: p.ranks}
+	if wantRef {
+		ref = core.Reference(gNew, core.Config{})
+	}
+	return up, in, ref
+}
+
+// fractionsFor returns the batch-fraction sweep of Figure 7 (full: 1e-8 …
+// 1e-1 in decades; quick: four points spanning the crossover).
+func fractionsFor(o Options) []float64 {
+	if o.Quick {
+		return []float64{1e-6, 1e-4, 1e-3, 1e-2}
+	}
+	return []float64{1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1}
+}
+
+// sixAlgos is the Figure 5/7 legend set, in presentation order.
+var sixAlgos = []core.Algo{
+	core.AlgoStaticBB, core.AlgoNDBB, core.AlgoDFBB,
+	core.AlgoStaticLF, core.AlgoNDLF, core.AlgoDFLF,
+}
+
+// fmtFrac renders a batch fraction the way the paper labels its axes.
+func fmtFrac(f float64) string { return fmt.Sprintf("%.0e", f) }
+
+// geoSpeedupNote builds the "DFLF is k× faster than X" annotations that
+// label the paper's bar charts, from per-algo geomean runtimes.
+func geoSpeedupNote(times map[core.Algo][]float64) string {
+	df := metrics.GeoMean(times[core.AlgoDFLF])
+	if df <= 0 {
+		return ""
+	}
+	type kv struct {
+		a core.Algo
+		s float64
+	}
+	var parts []kv
+	for _, a := range sixAlgos {
+		if a == core.AlgoDFLF {
+			continue
+		}
+		if g := metrics.GeoMean(times[a]); g > 0 {
+			parts = append(parts, kv{a, g / df})
+		}
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].a < parts[j].a })
+	out := "DFLF speedup:"
+	for _, p := range parts {
+		out += fmt.Sprintf(" %.2f× vs %s;", p.s, p.a)
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"dfpr/internal/core"
+)
+
+// quickOpts returns tiny-but-real options so every experiment completes in
+// well under a second each.
+func quickOpts() Options {
+	return Options{Scale: 0.08, Threads: 4, Quick: true, Seed: 7}
+}
+
+func TestEveryExperimentProducesOutput(t *testing.T) {
+	for _, exp := range Registry {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			secs := exp.Run(quickOpts())
+			if len(secs) == 0 {
+				t.Fatalf("%s returned no sections", exp.ID)
+			}
+			for _, s := range secs {
+				if s.Title == "" {
+					t.Errorf("%s: section with empty title", exp.ID)
+				}
+				out := s.Table.String()
+				if strings.Count(out, "\n") < 3 {
+					t.Errorf("%s: table %q looks empty:\n%s", exp.ID, s.Title, out)
+				}
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, exp := range Registry {
+		if got, ok := Lookup(exp.ID); !ok || got.ID != exp.ID {
+			t.Errorf("Lookup(%q) failed", exp.ID)
+		}
+	}
+	if _, ok := Lookup("nonsense"); ok {
+		t.Error("Lookup accepted unknown id")
+	}
+}
+
+func TestStabilityIsTight(t *testing.T) {
+	secs := Stability(quickOpts())
+	out := secs[0].Table.String()
+	// The table prints one row per algorithm with the max L∞ drift; parse
+	// nothing — just re-run the underlying check directly for one algo.
+	_ = out
+	o := quickOpts().norm()
+	spec := specsFor(o)[0]
+	p := prepare(spec, o)
+	_, in, _ := makeBatch(p, 1e-4, 3, false)
+	res := core.Run(core.AlgoDFLF, in, p.cfg)
+	if !res.Converged {
+		t.Fatal("DFLF did not converge in stability setup")
+	}
+}
+
+func TestOptionsNormalisation(t *testing.T) {
+	o := Options{}.norm()
+	if o.Scale != 1 || o.Threads < 1 || o.Reps != 1 || o.Seed == 0 {
+		t.Errorf("bad defaults: %+v", o)
+	}
+}

@@ -1,0 +1,217 @@
+// Package metrics provides the measurement substrate of §5.1.5: the L∞
+// error norm against reference PageRanks, geometric-mean aggregation across
+// graphs (the paper's "average time taken ... geometric mean"), speedup
+// ratios, and small ASCII/CSV table formatting shared by the experiment
+// drivers.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// LInf returns the L∞ norm (maximum absolute difference) between two
+// equal-length vectors. It panics on length mismatch, which is always a
+// harness bug.
+func LInf(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("metrics: LInf length mismatch %d vs %d", len(a), len(b)))
+	}
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// L1 returns the L1 norm (sum of absolute differences).
+func L1(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("metrics: L1 length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// Sum returns the element sum (the rank-mass invariant: ≈ 1 on dead-end-free
+// graphs).
+func Sum(a []float64) float64 {
+	var s float64
+	for _, x := range a {
+		s += x
+	}
+	return s
+}
+
+// GeoMean returns the geometric mean of positive values; zero/negative
+// entries are skipped (they would otherwise poison the log sum). An empty
+// input yields 0.
+func GeoMean(xs []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			logSum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// GeoMeanDur is GeoMean over durations, returned as a duration.
+func GeoMeanDur(ds []time.Duration) time.Duration {
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = float64(d)
+	}
+	return time.Duration(GeoMean(xs))
+}
+
+// Speedup returns base/x (how many times faster x is than base). Zero when
+// x is zero.
+func Speedup(base, x time.Duration) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return float64(base) / float64(x)
+}
+
+// TopK returns the indices of the k largest values, descending. Used by the
+// examples to surface the highest-ranked vertices.
+func TopK(vals []float64, k int) []int {
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// Table accumulates rows and renders them with aligned columns; the
+// experiment drivers use it to print the paper's tables and figure series.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; each cell is formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		case time.Duration:
+			row[i] = FormatDur(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with space-aligned columns.
+func (t *Table) String() string {
+	all := make([][]string, 0, len(t.rows)+1)
+	if len(t.header) > 0 {
+		all = append(all, t.header)
+	}
+	all = append(all, t.rows...)
+	width := map[int]int{}
+	for _, row := range all {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, row := range all {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+		if ri == 0 && len(t.header) > 0 {
+			for i := range row {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", width[i]))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	write := func(row []string) {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.header) > 0 {
+		write(t.header)
+	}
+	for _, r := range t.rows {
+		write(r)
+	}
+	return b.String()
+}
+
+// FormatFloat renders a float compactly: scientific for very small/large
+// magnitudes, fixed otherwise.
+func FormatFloat(x float64) string {
+	ax := math.Abs(x)
+	switch {
+	case x == 0:
+		return "0"
+	case ax < 1e-3 || ax >= 1e6:
+		return fmt.Sprintf("%.3g", x)
+	default:
+		return fmt.Sprintf("%.3f", x)
+	}
+}
+
+// FormatDur renders a duration with millisecond-ish precision.
+func FormatDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	}
+}

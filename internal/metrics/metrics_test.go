@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLInf(t *testing.T) {
+	if got := LInf([]float64{1, 2, 3}, []float64{1, 2.5, 2}); got != 1 {
+		t.Errorf("LInf = %v", got)
+	}
+	if got := LInf(nil, nil); got != 0 {
+		t.Errorf("LInf(empty) = %v", got)
+	}
+}
+
+func TestLInfMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	LInf([]float64{1}, []float64{1, 2})
+}
+
+func TestL1AndSum(t *testing.T) {
+	a := []float64{1, -2, 3}
+	b := []float64{0, 0, 0}
+	if got := L1(a, b); got != 6 {
+		t.Errorf("L1 = %v", got)
+	}
+	if got := Sum(a); got != 2 {
+		t.Errorf("Sum = %v", got)
+	}
+}
+
+func TestLInfPropertyIsMetric(t *testing.T) {
+	f := func(a, b []float64) bool {
+		if len(a) != len(b) {
+			n := len(a)
+			if len(b) < n {
+				n = len(b)
+			}
+			a, b = a[:n], b[:n]
+		}
+		for _, x := range append(append([]float64{}, a...), b...) {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true // skip non-finite inputs
+			}
+		}
+		d1, d2 := LInf(a, b), LInf(b, a)
+		if d1 != d2 {
+			return false // symmetry
+		}
+		if LInf(a, a) != 0 {
+			return false // identity
+		}
+		return d1 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeoMean(1,100) = %v", got)
+	}
+	if got := GeoMean([]float64{5}); math.Abs(got-5) > 1e-9 {
+		t.Errorf("GeoMean(5) = %v", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+	// Zero/negative entries skipped, not poisoning.
+	if got := GeoMean([]float64{0, -3, 4}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean with junk = %v", got)
+	}
+}
+
+func TestGeoMeanDur(t *testing.T) {
+	got := GeoMeanDur([]time.Duration{time.Millisecond, 100 * time.Millisecond})
+	if got < 9*time.Millisecond || got > 11*time.Millisecond {
+		t.Errorf("GeoMeanDur = %v", got)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(10*time.Second, 2*time.Second) != 5 {
+		t.Error("Speedup arithmetic wrong")
+	}
+	if Speedup(time.Second, 0) != 0 {
+		t.Error("Speedup by zero not guarded")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	vals := []float64{0.1, 0.9, 0.5, 0.7}
+	top := TopK(vals, 2)
+	if len(top) != 2 || top[0] != 1 || top[1] != 3 {
+		t.Errorf("TopK = %v", top)
+	}
+	if got := TopK(vals, 10); len(got) != 4 {
+		t.Errorf("TopK overflow = %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("A", "B")
+	tab.AddRow("x", 1)
+	tab.AddRow("yyyy", 2.5)
+	tab.AddRow("z", 1500*time.Millisecond)
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + rule + 3 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "A") || !strings.Contains(lines[1], "-") {
+		t.Error("header/rule malformed")
+	}
+	if !strings.Contains(out, "2.500") || !strings.Contains(out, "1.500s") {
+		t.Errorf("cell formatting wrong:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("A", "B")
+	tab.AddRow("has,comma", `has"quote`)
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"has,comma"`) || !strings.Contains(csv, `"has""quote"`) {
+		t.Errorf("CSV quoting wrong: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "A,B\n") {
+		t.Errorf("CSV header wrong: %q", csv)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1.5:     "1.500",
+		1e-9:    "1e-09",
+		2.5e+07: "2.5e+07",
+	}
+	for x, want := range cases {
+		if got := FormatFloat(x); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", x, got, want)
+		}
+	}
+}
+
+func TestFormatDur(t *testing.T) {
+	cases := map[time.Duration]string{
+		2 * time.Second:         "2.000s",
+		1500 * time.Microsecond: "1.50ms",
+		800 * time.Nanosecond:   "0.8µs",
+	}
+	for d, want := range cases {
+		if got := FormatDur(d); got != want {
+			t.Errorf("FormatDur(%v) = %q, want %q", d, got, want)
+		}
+	}
+}

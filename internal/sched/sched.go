@@ -1,0 +1,285 @@
+// Package sched provides the work-scheduling substrate that stands in for
+// OpenMP in this reproduction: dynamic chunk scheduling over a shared atomic
+// work pool (the paper's `schedule(dynamic, 2048)`), static and
+// edge-balanced partitioning (§1's alternative strategies), a continuous
+// round scheduler for barrier-free iteration (the `nowait` loops of the
+// lock-free variants), and an instrumented barrier that measures per-worker
+// wait time (used to regenerate Figure 1) and deterministically detects the
+// deadlock a crashed participant causes in barrier-based algorithms.
+package sched
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"dfpr/internal/avec"
+)
+
+// DefaultChunk is the vertex chunk size used throughout the paper (§5.1.2).
+const DefaultChunk = 2048
+
+// Pool is a dynamic scheduler over the index range [0, n): workers call Next
+// until it reports done, each receiving the next chunk of at most chunk
+// indices. It is the Go equivalent of an OpenMP `for schedule(dynamic,
+// chunk)` work-sharing construct: any idle worker takes the next chunk, so
+// load imbalance is bounded by one chunk per worker.
+type Pool struct {
+	next  avec.Counter
+	n     int
+	chunk int
+}
+
+// NewPool returns a dynamic chunk pool over [0, n). A non-positive chunk
+// selects DefaultChunk.
+func NewPool(n, chunk int) *Pool {
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	return &Pool{n: n, chunk: chunk}
+}
+
+// Next returns the next chunk [lo, hi) and ok=true, or ok=false when the
+// range is exhausted.
+func (p *Pool) Next() (lo, hi int, ok bool) {
+	t := int(p.next.Add(1)) - 1
+	lo = t * p.chunk
+	if lo >= p.n {
+		return 0, 0, false
+	}
+	hi = lo + p.chunk
+	if hi > p.n {
+		hi = p.n
+	}
+	return lo, hi, true
+}
+
+// Reset rewinds the pool for another pass. It must not race with Next; in
+// the barrier-based algorithms one worker resets between barrier phases.
+func (p *Pool) Reset() { p.next.Store(0) }
+
+// Chunk returns the configured chunk size.
+func (p *Pool) Chunk() int { return p.chunk }
+
+// NumChunks returns the number of chunks a full pass dispenses.
+func (p *Pool) NumChunks() int { return (p.n + p.chunk - 1) / p.chunk }
+
+// Rounds is a continuous ticket scheduler for barrier-free iteration.
+// Tickets are dispensed from a single global counter; ticket t maps to chunk
+// t mod chunksPerRound of round t / chunksPerRound. Workers therefore flow
+// from one pass ("iteration") into the next without ever waiting: a fast
+// worker starts round r+1 while a slow or stalled worker is still inside
+// round r, which is exactly the behaviour of the paper's top-level parallel
+// block with `nowait` dynamic loops (Algorithm 2).
+type Rounds struct {
+	next           avec.Counter
+	n              int
+	chunk          int
+	chunksPerRound uint64
+}
+
+// NewRounds returns a continuous round scheduler over [0, n). A
+// non-positive chunk selects DefaultChunk.
+func NewRounds(n, chunk int) *Rounds {
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	cpr := uint64((n + chunk - 1) / chunk)
+	if cpr == 0 {
+		cpr = 1
+	}
+	return &Rounds{n: n, chunk: chunk, chunksPerRound: cpr}
+}
+
+// Next returns the next chunk [lo, hi) and the round it belongs to. Rounds
+// increase without bound; callers bound iteration count themselves.
+func (r *Rounds) Next() (lo, hi int, round uint64) {
+	t := r.next.Add(1) - 1
+	round = t / r.chunksPerRound
+	c := int(t % r.chunksPerRound)
+	lo = c * r.chunk
+	hi = lo + r.chunk
+	if hi > r.n {
+		hi = r.n
+	}
+	return lo, hi, round
+}
+
+// ChunksPerRound returns the number of chunks in one full pass.
+func (r *Rounds) ChunksPerRound() uint64 { return r.chunksPerRound }
+
+// Range is a half-open index interval [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// StaticRanges splits [0, n) into parties contiguous ranges of nearly equal
+// vertex count (vertex-balanced static scheduling).
+func StaticRanges(n, parties int) []Range {
+	if parties < 1 {
+		parties = 1
+	}
+	out := make([]Range, parties)
+	for w := 0; w < parties; w++ {
+		out[w] = Range{Lo: w * n / parties, Hi: (w + 1) * n / parties}
+	}
+	return out
+}
+
+// EdgeBalancedRanges splits [0, n) into parties contiguous ranges such that
+// each range holds roughly the same total weight, where weight[v] is
+// typically vertex v's degree. This is the paper's "edge-balanced" load
+// balancing strategy (§1); it needs a pre-processing pass, which is why the
+// paper favours vertex chunking.
+func EdgeBalancedRanges(weight []int, parties int) []Range {
+	n := len(weight)
+	if parties < 1 {
+		parties = 1
+	}
+	total := 0
+	for _, w := range weight {
+		total += w
+	}
+	out := make([]Range, 0, parties)
+	target := float64(total) / float64(parties)
+	lo, acc := 0, 0
+	for v := 0; v < n; v++ {
+		acc += weight[v]
+		if float64(acc) >= target*float64(len(out)+1) && len(out) < parties-1 {
+			out = append(out, Range{Lo: lo, Hi: v + 1})
+			lo = v + 1
+		}
+	}
+	out = append(out, Range{Lo: lo, Hi: n})
+	for len(out) < parties {
+		out = append(out, Range{Lo: n, Hi: n})
+	}
+	return out
+}
+
+// ErrBroken is returned by Barrier.Await when the barrier can never open
+// because one or more participants crashed. It models the deadlock a
+// barrier-based algorithm enters when a thread crash-stops (§3.2, Figure 3a)
+// — detected deterministically rather than by hanging forever.
+var ErrBroken = errors.New("sched: barrier broken: participant crashed, remaining workers would wait forever")
+
+// Barrier is a reusable synchronization barrier for a fixed set of worker
+// goroutines, instrumented to record how long each worker spends waiting for
+// stragglers. Wait-time accounting regenerates Figure 1.
+//
+// Crash semantics: a crashed worker calls Crash instead of Await and never
+// returns to the barrier. As soon as every surviving worker is blocked in
+// Await, no arrival can ever complete the barrier, so Await returns
+// ErrBroken to all of them — the deterministic equivalent of the infinite
+// wait the paper describes.
+type Barrier struct {
+	parties int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	lost    int
+	gen     uint64
+	broken  bool
+
+	waitNS []int64 // per-worker cumulative wait, guarded by mu
+}
+
+// NewBarrier returns a barrier for the given number of participants.
+func NewBarrier(parties int) *Barrier {
+	b := &Barrier{parties: parties, waitNS: make([]int64, parties)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Await blocks worker until all parties have arrived (or crashed, in which
+// case it returns ErrBroken). The worker index is used only for wait-time
+// attribution.
+func (b *Barrier) Await(worker int) error {
+	start := time.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.broken {
+		return ErrBroken
+	}
+	b.arrived++
+	if b.lost > 0 && b.arrived+b.lost >= b.parties {
+		// Every survivor is here; the lost parties will never arrive.
+		b.broken = true
+		b.cond.Broadcast()
+		return ErrBroken
+	}
+	if b.arrived == b.parties {
+		// Last arrival opens the barrier; it waited for nobody.
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		return nil
+	}
+	gen := b.gen
+	for gen == b.gen && !b.broken {
+		b.cond.Wait()
+	}
+	if worker >= 0 && worker < len(b.waitNS) {
+		b.waitNS[worker] += time.Since(start).Nanoseconds()
+	}
+	if b.broken {
+		return ErrBroken
+	}
+	return nil
+}
+
+// Crash marks one participant as permanently gone. If every surviving
+// participant is already waiting, the barrier breaks immediately.
+func (b *Barrier) Crash() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lost++
+	if b.arrived+b.lost >= b.parties {
+		b.broken = true
+		b.cond.Broadcast()
+	}
+}
+
+// Broken reports whether the barrier has been broken by a crash.
+func (b *Barrier) Broken() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.broken
+}
+
+// WaitTime returns the cumulative time worker spent blocked in Await.
+func (b *Barrier) WaitTime(worker int) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return time.Duration(b.waitNS[worker])
+}
+
+// TotalWait returns the cumulative wait time across all workers.
+func (b *Barrier) TotalWait() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var t int64
+	for _, ns := range b.waitNS {
+		t += ns
+	}
+	return time.Duration(t)
+}
+
+// Run starts `workers` goroutines executing fn(workerID) and blocks until
+// all return. It is the moral equivalent of one top-level OpenMP parallel
+// region.
+func Run(workers int, fn func(worker int)) {
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,227 @@
+// Package snapshot provides the dynamic-graph snapshot store the paper's
+// execution model assumes (§3.4): graph updates arrive in batches and are
+// interleaved with algorithm executions, which therefore need *read-only
+// snapshots* of the graph. A Store serialises writers and publishes
+// immutable versions lock-free to readers; a Ranker subscribes to a store
+// and keeps a PageRank vector current by replaying the update history with
+// the Dynamic Frontier algorithm, falling back to a static recomputation
+// when it has fallen too far behind.
+//
+// This is the composition layer a downstream user actually deploys: the
+// core package answers "how do I update ranks for one batch", this package
+// answers "how do I keep ranks fresh while the graph keeps changing".
+package snapshot
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dfpr/internal/batch"
+	"dfpr/internal/core"
+	"dfpr/internal/graph"
+)
+
+// Version is one immutable published state of the graph. Seq increases by
+// one per applied batch; Update is the batch that produced this version
+// (empty for the initial version).
+type Version struct {
+	G      *graph.CSR
+	Seq    uint64
+	Update batch.Update
+}
+
+// Store is a single-writer multi-reader dynamic-graph store. Writers call
+// Apply (serialised internally); readers call Current, which never blocks —
+// it is one atomic pointer load, so rank computations always see a
+// consistent frozen graph no matter how many updates land meanwhile.
+type Store struct {
+	mu      sync.Mutex
+	d       *graph.Dynamic
+	cur     atomic.Value // *Version
+	history []*Version   // ring of recent versions, oldest first
+	keep    int
+}
+
+// DefaultHistory is how many past versions a store retains for Ranker
+// catch-up before old updates are forgotten.
+const DefaultHistory = 64
+
+// NewStore seals the dynamic graph (self-loops ensured) as version 0. The
+// store takes ownership of d; callers must not mutate it afterwards.
+func NewStore(d *graph.Dynamic, keepHistory int) *Store {
+	if keepHistory <= 0 {
+		keepHistory = DefaultHistory
+	}
+	d.EnsureSelfLoops()
+	s := &Store{d: d, keep: keepHistory}
+	v := &Version{G: d.Snapshot(), Seq: 0}
+	s.cur.Store(v)
+	s.history = append(s.history, v)
+	return s
+}
+
+// Current returns the latest published version without blocking.
+func (s *Store) Current() *Version {
+	return s.cur.Load().(*Version)
+}
+
+// Apply applies a batch update and publishes the resulting version,
+// returning the (previous, new) pair. Self-loops are re-ensured, matching
+// the experiment protocol (§5.1.4). Concurrent writers are serialised.
+func (s *Store) Apply(up batch.Update) (prev, next *Version) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev = s.Current()
+	s.d.Apply(up.Del, up.Ins)
+	s.d.EnsureSelfLoops()
+	next = &Version{G: s.d.Snapshot(), Seq: prev.Seq + 1, Update: up}
+	s.history = append(s.history, next)
+	if len(s.history) > s.keep {
+		s.history = s.history[len(s.history)-s.keep:]
+	}
+	s.cur.Store(next)
+	return prev, next
+}
+
+// ApplyEdges is Apply for callers holding raw edge slices.
+func (s *Store) ApplyEdges(del, ins []graph.Edge) (prev, next *Version) {
+	return s.Apply(batch.Update{Del: del, Ins: ins})
+}
+
+// Since returns the contiguous chain of versions with Seq in (afterSeq,
+// latest], oldest first, and ok=false when the requested range has been
+// evicted from history (the caller must then recompute statically).
+func (s *Store) Since(afterSeq uint64) (chain []*Version, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.history) == 0 {
+		return nil, false
+	}
+	latest := s.history[len(s.history)-1].Seq
+	if afterSeq >= latest {
+		return nil, true // already current
+	}
+	oldest := s.history[0].Seq
+	if afterSeq+1 < oldest {
+		return nil, false // evicted
+	}
+	for _, v := range s.history {
+		if v.Seq > afterSeq {
+			chain = append(chain, v)
+		}
+	}
+	return chain, true
+}
+
+// Get returns the version with the given sequence number if it is still in
+// history.
+func (s *Store) Get(seq uint64) (*Version, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, v := range s.history {
+		if v.Seq == seq {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Ranker keeps a PageRank vector synchronised with a Store. It is safe for
+// use by one goroutine at a time (clone one Ranker per consumer; ranks are
+// value-copied out).
+type Ranker struct {
+	store *Store
+	cfg   core.Config
+	algo  core.Algo
+	ranks []float64
+	seq   uint64
+
+	// Refreshes counts incremental refreshes; Rebuilds counts static
+	// fallbacks (history evicted or incremental failure).
+	Refreshes, Rebuilds int
+}
+
+// NewRanker converges ranks on the store's current version using a static
+// run and returns a ranker positioned at that version. The algo must be a
+// dynamic variant (DF/ND/DT); DFLF is the recommended default.
+func NewRanker(s *Store, algo core.Algo, cfg core.Config) (*Ranker, error) {
+	if !algo.Dynamic() {
+		return nil, fmt.Errorf("snapshot: %v is not a dynamic algorithm", algo)
+	}
+	v := s.Current()
+	res := core.StaticBB(v.G, cfg)
+	if res.Err != nil {
+		return nil, fmt.Errorf("snapshot: initial ranking failed: %w", res.Err)
+	}
+	return &Ranker{store: s, cfg: cfg, algo: algo, ranks: res.Ranks, seq: v.Seq}, nil
+}
+
+// Ranks returns a copy of the current rank vector.
+func (r *Ranker) Ranks() []float64 {
+	return append([]float64(nil), r.ranks...)
+}
+
+// Seq returns the store version the ranks correspond to.
+func (r *Ranker) Seq() uint64 { return r.seq }
+
+// Behind reports how many versions the ranker lags the store.
+func (r *Ranker) Behind() uint64 {
+	return r.store.Current().Seq - r.seq
+}
+
+// Refresh brings the ranks up to the store's latest version, replaying each
+// pending batch with the configured dynamic algorithm. When the pending
+// history has been evicted (the ranker lagged more than the store's
+// retention) it falls back to one static recomputation. It returns the last
+// result and the number of versions advanced.
+func (r *Ranker) Refresh() (core.Result, int, error) {
+	chain, ok := r.store.Since(r.seq)
+	if !ok {
+		return r.rebuild()
+	}
+	if len(chain) == 0 {
+		return core.Result{Ranks: r.ranks, Converged: true}, 0, nil
+	}
+	var last core.Result
+	// The first pending update applies on top of the ranker's own version;
+	// its graph is needed as G^{t-1} so that marking sees deleted edges'
+	// targets. If that parent version has just been evicted, replaying would
+	// silently miss deletion targets — rebuild instead.
+	parent, ok := r.store.Get(r.seq)
+	if !ok {
+		return r.rebuild()
+	}
+	prevG := parent.G
+	for _, v := range chain {
+		in := core.Input{
+			GOld: prevG, GNew: v.G,
+			Del: v.Update.Del, Ins: v.Update.Ins,
+			Prev: r.ranks,
+		}
+		last = core.Run(r.algo, in, r.cfg)
+		if last.Err != nil {
+			// A crashed/failed incremental step must not poison the vector:
+			// rebuild from scratch on the newest snapshot.
+			return r.rebuild()
+		}
+		r.ranks = last.Ranks
+		r.seq = v.Seq
+		prevG = v.G
+		r.Refreshes++
+	}
+	return last, len(chain), nil
+}
+
+func (r *Ranker) rebuild() (core.Result, int, error) {
+	v := r.store.Current()
+	res := core.StaticBB(v.G, r.cfg)
+	if res.Err != nil {
+		return res, 0, fmt.Errorf("snapshot: static rebuild failed: %w", res.Err)
+	}
+	advanced := int(v.Seq - r.seq)
+	r.ranks = res.Ranks
+	r.seq = v.Seq
+	r.Rebuilds++
+	return res, advanced, nil
+}

@@ -1,0 +1,227 @@
+package snapshot
+
+import (
+	"sync"
+	"testing"
+
+	"dfpr/internal/batch"
+	"dfpr/internal/core"
+	"dfpr/internal/gen"
+	"dfpr/internal/graph"
+	"dfpr/internal/metrics"
+)
+
+func testStore(t *testing.T, keep int) *Store {
+	t.Helper()
+	d := gen.RMAT(9, 6, 3)
+	return NewStore(d, keep)
+}
+
+func testCfg(n int) core.Config {
+	tol := 1e-3 / float64(n)
+	return core.Config{Threads: 4, Tol: tol, FrontierTol: tol}
+}
+
+func TestStoreVersioning(t *testing.T) {
+	s := testStore(t, 0)
+	v0 := s.Current()
+	if v0.Seq != 0 {
+		t.Fatalf("initial seq = %d", v0.Seq)
+	}
+	if v0.G.DeadEnds() != 0 {
+		t.Fatal("initial version has dead ends")
+	}
+	up := batch.Random(graph.DynamicFromCSR(v0.G), 10, 1)
+	prev, next := s.Apply(up)
+	if prev.Seq != 0 || next.Seq != 1 {
+		t.Fatalf("seq: prev=%d next=%d", prev.Seq, next.Seq)
+	}
+	if s.Current() != next {
+		t.Error("Current not updated")
+	}
+	// Old version stays intact.
+	for _, e := range up.Del {
+		if !v0.G.HasEdge(e.U, e.V) {
+			t.Error("published snapshot mutated by later update")
+		}
+	}
+}
+
+func TestSinceChains(t *testing.T) {
+	s := testStore(t, 8)
+	for i := 0; i < 5; i++ {
+		up := batch.Random(graph.DynamicFromCSR(s.Current().G), 4, int64(i))
+		s.Apply(up)
+	}
+	chain, ok := s.Since(2)
+	if !ok || len(chain) != 3 {
+		t.Fatalf("Since(2): ok=%v len=%d", ok, len(chain))
+	}
+	for i, v := range chain {
+		if v.Seq != uint64(3+i) {
+			t.Errorf("chain[%d].Seq = %d", i, v.Seq)
+		}
+	}
+	if chain, ok := s.Since(5); !ok || chain != nil {
+		t.Error("Since(latest) should be empty and ok")
+	}
+}
+
+func TestSinceEvicted(t *testing.T) {
+	s := testStore(t, 3)
+	for i := 0; i < 10; i++ {
+		up := batch.Random(graph.DynamicFromCSR(s.Current().G), 2, int64(i))
+		s.Apply(up)
+	}
+	if _, ok := s.Since(0); ok {
+		t.Error("evicted history reported available")
+	}
+	if _, ok := s.Since(9); !ok {
+		t.Error("recent history reported evicted")
+	}
+}
+
+func TestRankerTracksReference(t *testing.T) {
+	s := testStore(t, 0)
+	n := s.Current().G.N()
+	r, err := NewRanker(s, core.AlgoDFLF, testCfg(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		up := batch.Random(graph.DynamicFromCSR(s.Current().G), 12, int64(i))
+		s.Apply(up)
+		res, advanced, err := r.Refresh()
+		if err != nil || advanced != 1 {
+			t.Fatalf("step %d: advanced=%d err=%v", i, advanced, err)
+		}
+		if !res.Converged {
+			t.Fatalf("step %d did not converge", i)
+		}
+		ref := core.Reference(s.Current().G, core.Config{})
+		if e := metrics.LInf(r.Ranks(), ref); e > 20*testCfg(n).Tol {
+			t.Errorf("step %d: error %g beyond 20τ", i, e)
+		}
+	}
+	if r.Refreshes != 4 || r.Rebuilds != 0 {
+		t.Errorf("refreshes=%d rebuilds=%d", r.Refreshes, r.Rebuilds)
+	}
+}
+
+func TestRankerCatchesUpMultipleVersions(t *testing.T) {
+	s := testStore(t, 0)
+	n := s.Current().G.N()
+	r, err := NewRanker(s, core.AlgoDFLF, testCfg(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		up := batch.Random(graph.DynamicFromCSR(s.Current().G), 6, int64(100+i))
+		s.Apply(up)
+	}
+	if r.Behind() != 5 {
+		t.Fatalf("Behind = %d", r.Behind())
+	}
+	_, advanced, err := r.Refresh()
+	if err != nil || advanced != 5 {
+		t.Fatalf("advanced=%d err=%v", advanced, err)
+	}
+	if r.Behind() != 0 || r.Seq() != 5 {
+		t.Errorf("behind=%d seq=%d", r.Behind(), r.Seq())
+	}
+	ref := core.Reference(s.Current().G, core.Config{})
+	if e := metrics.LInf(r.Ranks(), ref); e > 20*testCfg(n).Tol {
+		t.Errorf("error after catch-up: %g", e)
+	}
+}
+
+func TestRankerRebuildsWhenEvicted(t *testing.T) {
+	s := testStore(t, 2)
+	n := s.Current().G.N()
+	r, err := NewRanker(s, core.AlgoDFLF, testCfg(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		up := batch.Random(graph.DynamicFromCSR(s.Current().G), 4, int64(i))
+		s.Apply(up)
+	}
+	_, advanced, err := r.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advanced != 6 || r.Rebuilds != 1 {
+		t.Errorf("advanced=%d rebuilds=%d (want static fallback)", advanced, r.Rebuilds)
+	}
+	ref := core.Reference(s.Current().G, core.Config{})
+	if e := metrics.LInf(r.Ranks(), ref); e > 20*testCfg(n).Tol {
+		t.Errorf("error after rebuild: %g", e)
+	}
+}
+
+func TestRankerRejectsStaticAlgo(t *testing.T) {
+	s := testStore(t, 0)
+	if _, err := NewRanker(s, core.AlgoStaticLF, core.Config{}); err == nil {
+		t.Error("static algorithm accepted")
+	}
+}
+
+func TestRefreshWithNoPendingWork(t *testing.T) {
+	s := testStore(t, 0)
+	n := s.Current().G.N()
+	r, err := NewRanker(s, core.AlgoDFLF, testCfg(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, advanced, err := r.Refresh()
+	if err != nil || advanced != 0 || !res.Converged {
+		t.Errorf("idle refresh: advanced=%d err=%v", advanced, err)
+	}
+}
+
+func TestConcurrentReadersDuringWrites(t *testing.T) {
+	s := testStore(t, 0)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers continuously validate whatever version is current.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := s.Current()
+				if v.G.DeadEnds() != 0 {
+					t.Error("reader observed snapshot with dead ends")
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		up := batch.Random(graph.DynamicFromCSR(s.Current().G), 3, int64(i))
+		s.Apply(up)
+	}
+	close(stop)
+	wg.Wait()
+	if s.Current().Seq != 20 {
+		t.Errorf("final seq = %d", s.Current().Seq)
+	}
+}
+
+func TestRanksAreCopies(t *testing.T) {
+	s := testStore(t, 0)
+	r, err := NewRanker(s, core.AlgoDFLF, testCfg(s.Current().G.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := r.Ranks()
+	a[0] = 42
+	if r.Ranks()[0] == 42 {
+		t.Error("Ranks returned internal storage")
+	}
+}
