@@ -14,6 +14,7 @@ import (
 	"dfpr/internal/core"
 	"dfpr/internal/fault"
 	"dfpr/internal/gen"
+	"dfpr/internal/graph"
 	"dfpr/internal/harness"
 )
 
@@ -151,3 +152,95 @@ func BenchmarkAlgoDFLFUnderDelays(b *testing.B) {
 	f.cfg.Fault = fault.Plan{DelayProb: 1e-4, DelayDur: 100 * time.Microsecond, Seed: 9}
 	benchAlgo(b, core.AlgoDFLF, f)
 }
+
+// ---------------------------------------------------------------------------
+// PR 1 benchmarks: the incremental snapshot pipeline and the
+// contribution-cached kernel, measured in isolation. cmd/prbench -benchjson
+// records the same quantities machine-readably in BENCH_PR1.json.
+
+// largestSpec returns the largest Table 2 stand-in (the sk-2005 class: most
+// edges of the generator suite) from the suite itself, so the Go benchmarks
+// and cmd/prbench -benchjson measure the same graph by construction.
+func largestSpec(b *testing.B) gen.Spec {
+	b.Helper()
+	for _, s := range gen.SuiteSparse12(1) {
+		if s.Name == "sk-2005" {
+			return s
+		}
+	}
+	b.Fatal("sk-2005 missing from gen.SuiteSparse12")
+	return gen.Spec{}
+}
+
+// snapshotFixture returns the largest stand-in with a mixed batch at the
+// given fraction of |E|.
+func snapshotFixture(b *testing.B, fraction float64) (*graph.Dynamic, batch.Update) {
+	b.Helper()
+	d := largestSpec(b).Build()
+	d.Snapshot() // establish the delta base
+	size := int(fraction * float64(d.M()))
+	if size < 2 {
+		size = 2
+	}
+	return d, batch.Random(d, size, 23)
+}
+
+func benchSnapshot(b *testing.B, fraction float64, full bool) {
+	d, up := snapshotFixture(b, fraction)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if i%2 == 0 {
+			d.Apply(up.Del, up.Ins)
+		} else {
+			d.Apply(up.Ins, up.Del) // undo, so graph state stays bounded
+		}
+		b.StartTimer()
+		if full {
+			d.SnapshotFull()
+		} else {
+			d.Snapshot()
+		}
+	}
+}
+
+// BenchmarkSnapshotDelta1e4 measures the delta-merge snapshot at batch
+// fraction 1e-4 — the acceptance target is ≥2× over the full rebuild below.
+func BenchmarkSnapshotDelta1e4(b *testing.B) { benchSnapshot(b, 1e-4, false) }
+
+// BenchmarkSnapshotFull1e4 measures the cold full rebuild on the identical
+// mutation sequence.
+func BenchmarkSnapshotFull1e4(b *testing.B) { benchSnapshot(b, 1e-4, true) }
+
+// BenchmarkSnapshotDelta1e3 / Full1e3: the largest batch fraction the paper
+// sweeps.
+func BenchmarkSnapshotDelta1e3(b *testing.B) { benchSnapshot(b, 1e-3, false) }
+func BenchmarkSnapshotFull1e3(b *testing.B)  { benchSnapshot(b, 1e-3, true) }
+
+func kernelSweepBench(b *testing.B, cached bool) {
+	d := largestSpec(b).Build()
+	k := core.NewKernelBench(d.Snapshot(), core.DefaultAlpha)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cached {
+			k.CachedSweep()
+		} else {
+			k.SeedSweep()
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(k.Edges()), "ns/edge")
+	if s := k.Checksum(); s < 0.5 || s > 1.5 {
+		b.Fatalf("checksum %v, sweep is broken", s)
+	}
+}
+
+// BenchmarkKernelSweepSeed measures the uncached seed kernel: two loads and
+// two multiplies per edge.
+func BenchmarkKernelSweepSeed(b *testing.B) { kernelSweepBench(b, false) }
+
+// BenchmarkKernelSweepCached measures the contribution-cached kernel: one
+// load and one add per edge.
+func BenchmarkKernelSweepCached(b *testing.B) { kernelSweepBench(b, true) }

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dfpr/internal/batch"
+	"dfpr/internal/core"
+	"dfpr/internal/gen"
+	"dfpr/internal/graph"
+)
+
+// The -benchjson mode measures the two PR 1 hot paths — kernel ns/edge and
+// snapshot-apply time versus batch fraction — and writes them as JSON so
+// future PRs have a machine-readable perf trajectory to diff against.
+
+// BenchReport is the top-level BENCH_PR1.json document.
+type BenchReport struct {
+	// Generated is the RFC3339 timestamp of the run.
+	Generated string `json:"generated"`
+	// GoVersion and CPUs describe the machine the numbers come from.
+	GoVersion string `json:"go_version"`
+	CPUs      int    `json:"cpus"`
+	// Kernels holds per-graph seed-vs-cached kernel sweeps.
+	Kernels []KernelResult `json:"kernels"`
+	// Snapshots holds delta-merge vs full-rebuild times per batch fraction.
+	Snapshots []SnapshotResult `json:"snapshots"`
+}
+
+// KernelResult reports one graph's kernel sweep comparison.
+type KernelResult struct {
+	Graph        string  `json:"graph"`
+	Vertices     int     `json:"vertices"`
+	Edges        int     `json:"edges"`
+	SeedNsEdge   float64 `json:"seed_ns_per_edge"`
+	CachedNsEdge float64 `json:"cached_ns_per_edge"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// SnapshotResult reports one batch fraction's snapshot comparison on the
+// generator's largest graph.
+type SnapshotResult struct {
+	Graph         string  `json:"graph"`
+	Vertices      int     `json:"vertices"`
+	Edges         int     `json:"edges"`
+	BatchFraction float64 `json:"batch_fraction"`
+	BatchSize     int     `json:"batch_size"`
+	DeltaNs       int64   `json:"delta_merge_ns"`
+	FullNs        int64   `json:"full_rebuild_ns"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// benchSpecs are the graphs the kernel comparison runs on: the largest of
+// each structural family, headed by the largest overall (the sk-2005
+// stand-in, most edges of the suite), which the snapshot comparison also
+// uses.
+func benchSpecs(scale float64) []gen.Spec {
+	all := gen.SuiteSparse12(scale)
+	pick := map[string]bool{"sk-2005": true, "com-Orkut": true, "europe_osm": true}
+	var out []gen.Spec
+	for _, s := range all {
+		if s.Name == "sk-2005" {
+			out = append([]gen.Spec{s}, out...)
+		} else if pick[s.Name] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func runBenchJSON(path string, scale float64, reps int) error {
+	if reps < 3 {
+		reps = 3
+	}
+	rep := BenchReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+	}
+
+	specs := benchSpecs(scale)
+	for _, s := range specs {
+		d := s.Build()
+		g := d.Snapshot()
+		k := core.NewKernelBench(g, core.DefaultAlpha)
+		k.SeedSweep() // warm the caches before either timing
+		seed := minDuration(reps, func() { k.SeedSweep() })
+		k.CachedSweep()
+		cached := minDuration(reps, func() { k.CachedSweep() })
+		m := float64(k.Edges())
+		rep.Kernels = append(rep.Kernels, KernelResult{
+			Graph:        s.Name,
+			Vertices:     g.N(),
+			Edges:        g.M(),
+			SeedNsEdge:   float64(seed.Nanoseconds()) / m,
+			CachedNsEdge: float64(cached.Nanoseconds()) / m,
+			Speedup:      float64(seed) / float64(cached),
+		})
+		fmt.Fprintf(os.Stderr, "benchjson: kernel %-14s %.3f → %.3f ns/edge (%.2fx)\n",
+			s.Name, float64(seed.Nanoseconds())/m, float64(cached.Nanoseconds())/m, float64(seed)/float64(cached))
+	}
+
+	big := specs[0]
+	for _, fraction := range []float64{1e-5, 1e-4, 1e-3} {
+		d := big.Build()
+		d.Snapshot()
+		size := int(fraction * float64(d.M()))
+		if size < 2 {
+			size = 2
+		}
+		up := batch.Random(d, size, 31)
+		delta := minSnapshotTime(d, up, reps, (*graph.Dynamic).Snapshot)
+		full := minSnapshotTime(d, up, reps, (*graph.Dynamic).SnapshotFull)
+		rep.Snapshots = append(rep.Snapshots, SnapshotResult{
+			Graph:         big.Name,
+			Vertices:      d.N(),
+			Edges:         d.M(),
+			BatchFraction: fraction,
+			BatchSize:     up.Size(),
+			DeltaNs:       delta.Nanoseconds(),
+			FullNs:        full.Nanoseconds(),
+			Speedup:       float64(full) / float64(delta),
+		})
+		fmt.Fprintf(os.Stderr, "benchjson: snapshot frac=%.0e delta=%v full=%v (%.2fx)\n",
+			fraction, delta, full, float64(full)/float64(delta))
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// minDuration returns the minimum wall time of reps runs of fn (minimum, as
+// everywhere in the harness: least-disturbed run).
+func minDuration(reps int, fn func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		fn()
+		if dt := time.Since(t0); dt < best {
+			best = dt
+		}
+	}
+	return best
+}
+
+// minSnapshotTime times snap after applying up, over reps apply/undo cycles.
+// Only the snapshot construction is timed; the graph ends where it started.
+func minSnapshotTime(d *graph.Dynamic, up batch.Update, reps int, snap func(*graph.Dynamic) *graph.CSR) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		d.Apply(up.Del, up.Ins)
+		t0 := time.Now()
+		snap(d)
+		if dt := time.Since(t0); dt < best {
+			best = dt
+		}
+		d.Apply(up.Ins, up.Del)
+		d.Snapshot() // untimed resync so every timed run sees the same base
+	}
+	return best
+}

@@ -31,8 +31,17 @@ func main() {
 		seed    = flag.Int64("seed", 42, "base random seed")
 		reps    = flag.Int("reps", 1, "timing repetitions per measurement (min reported)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		bjson   = flag.String("benchjson", "", "write kernel + snapshot micro-benchmarks as JSON to this path and exit")
 	)
 	flag.Parse()
+
+	if *bjson != "" {
+		if err := runBenchJSON(*bjson, *scale, *reps); err != nil {
+			fmt.Fprintf(os.Stderr, "prbench: benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *expFlag == "" {
 		fmt.Println("Available experiments:")

@@ -9,22 +9,37 @@
 // PageRank, each barrier-based and lock-free). Supporting substrates:
 //
 //	internal/avec      atomic float64 and flag vectors
-//	internal/graph     CSR snapshots, dynamic edge store, batch application
+//	internal/graph     CSR snapshots (incremental delta-merge + parallel
+//	                   cold build), dynamic edge store, batch application
 //	internal/gen       synthetic stand-ins for the paper's datasets
 //	internal/batch     batch-update generation and temporal replay
-//	internal/sched     dynamic chunk scheduling, instrumented barriers
+//	internal/sched     dynamic chunk scheduling (uniform and edge-balanced),
+//	                   instrumented barriers
 //	internal/fault     thread delay and crash-stop injection
 //	internal/traverse  reachability marking for the DT baseline
 //	internal/metrics   norms, geometric means, table formatting
 //	internal/harness   one driver per table/figure of the evaluation
+//	internal/snapshot  versioned store + Ranker composition layer
 //
-// Binaries: cmd/prbench regenerates every table and figure, cmd/prgen emits
-// datasets as edge lists, cmd/prrank ranks an edge list with any variant.
-// Runnable examples live under examples/. The benchmarks in this root
-// package (bench_test.go) run trimmed versions of every experiment under
-// `go test -bench`.
+// Performance architecture (see README.md for the full story): graph
+// snapshots are built incrementally — Dynamic tracks the rows a batch
+// dirtied and Snapshot delta-merges them into the previous CSR instead of
+// rebuilding, falling back to a parallel counting-sort cold build; the rank
+// kernels gather a contribution cache contrib[u] = α·rank[u]/outdeg(u)
+// maintained at every rank store, one memory read per edge instead of two;
+// and the chunk schedulers place chunk boundaries by prefix in-degree so
+// power-law hub rows do not serialise a pass behind one worker.
 //
-// See README.md for a guided tour, DESIGN.md for the system inventory and
-// the paper→reproduction substitution map, and EXPERIMENTS.md for measured
-// results against the paper's claims.
+// Binaries: cmd/prbench regenerates every table and figure (and, with
+// -benchjson, records kernel and snapshot micro-benchmarks machine-readably,
+// e.g. BENCH_PR1.json), cmd/prgen emits datasets as edge lists, cmd/prrank
+// ranks an edge list with any variant. Runnable examples live under
+// examples/. The benchmarks in this root package (bench_test.go) run trimmed
+// versions of every experiment under `go test -bench`.
+//
+// See README.md for a guided tour. (DESIGN.md — the system inventory and
+// paper→reproduction substitution map — and EXPERIMENTS.md — measured
+// results against the paper's claims — are referenced by earlier notes but
+// do not exist yet; until they land, README.md is the authoritative
+// overview.)
 package dfpr

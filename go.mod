@@ -1,0 +1,3 @@
+module dfpr
+
+go 1.24

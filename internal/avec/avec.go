@@ -244,13 +244,22 @@ func NewU8(n int) *U8 {
 // Len returns the number of flags.
 func (f *U8) Len() int { return len(f.cells) }
 
-// Set sets flag i, returning true when it transitioned clear→set.
+// Set sets flag i, returning true when it transitioned clear→set. An
+// already-set flag is detected with a plain load so the hot marking paths
+// (frontier expansion re-marks the same neighbours every pass) do not issue
+// store traffic for no transition.
 func (f *U8) Set(i int) bool {
+	if atomic.LoadUint32(&f.cells[i]) != 0 {
+		return false
+	}
 	return atomic.SwapUint32(&f.cells[i], 1) == 0
 }
 
 // Clear clears flag i, returning true when it transitioned set→clear.
 func (f *U8) Clear(i int) bool {
+	if atomic.LoadUint32(&f.cells[i]) == 0 {
+		return false
+	}
 	return atomic.SwapUint32(&f.cells[i], 0) == 1
 }
 

@@ -50,12 +50,15 @@ func DFBB(gOld, gNew *graph.CSR, del, ins []graph.Edge, prev []float64, cfg Conf
 // bbShared is the cross-worker state of a barrier-based run. Fields are
 // written by worker 0 between the two iteration barriers and read by every
 // worker after the second barrier; the barrier's internal mutex provides the
-// happens-before edges.
+// happens-before edges. contrib/contribNew mirror r/rNew under the cache
+// invariant contrib[v] = α·r[v]/outdeg(v) (see kernel.go) and are swapped
+// together with them.
 type bbShared struct {
-	r, rNew   []float64
-	iter      int
-	stop      bool
-	converged bool
+	r, rNew             []float64
+	contrib, contribNew []float64
+	iter                int
+	stop                bool
+	converged           bool
 }
 
 // pad64 is a cache-line padded float64 slot for per-worker reductions.
@@ -78,15 +81,26 @@ func runBB(vr variant, in Input, cfg Config) Result {
 		gOld = g
 	}
 
+	ainv := alphaInv(inv, cfg.Alpha)
+
 	var init []float64
 	if vr != vStatic && len(in.Prev) == n {
 		init = in.Prev
 	} else {
 		init = uniformRanks(n)
 	}
+	// Both contribution vectors start consistent with init: frontier variants
+	// skip unaffected vertices, whose slots must stay valid across swaps —
+	// exactly as the rank vectors themselves are both initialised from init.
+	cb := make([]float64, n)
+	for v := range cb {
+		cb[v] = init[v] * ainv[v]
+	}
 	sh := &bbShared{
-		r:    append([]float64(nil), init...),
-		rNew: append([]float64(nil), init...),
+		r:          append([]float64(nil), init...),
+		rNew:       append([]float64(nil), init...),
+		contrib:    cb,
+		contribNew: append([]float64(nil), cb...),
 	}
 
 	var va avec.FlagVec
@@ -98,7 +112,12 @@ func runBB(vr variant, in Input, cfg Config) Result {
 
 	inj := fault.NewInjector(cfg.Threads, cfg.Fault)
 	bar := sched.NewBarrier(cfg.Threads)
-	pool := sched.NewPool(n, cfg.Chunk)
+	var pool *sched.Pool
+	if cfg.UniformChunks {
+		pool = sched.NewPool(n, cfg.Chunk)
+	} else {
+		pool = sched.NewPoolBounds(vertexBounds(g, cfg.Chunk))
+	}
 	edgePool := sched.NewPool(len(edges), cfg.Chunk)
 	localMax := make([]pad64, cfg.Threads)
 
@@ -136,6 +155,7 @@ func runBB(vr variant, in Input, cfg Config) Result {
 				return
 			}
 			r, rNew := sh.r, sh.rNew
+			cb, cbNew := sh.contrib, sh.contribNew
 			var lmax float64
 			for {
 				lo, hi, ok := pool.Next()
@@ -151,9 +171,15 @@ func runBB(vr variant, in Input, cfg Config) Result {
 						continue
 					}
 					vv := uint32(v)
-					nr := rankOf(g, inv, r, cfg.Alpha, base, vv)
+					var nr float64
+					if cfg.seedKernel {
+						nr = rankOfSeed(g, inv, r, cfg.Alpha, base, vv)
+					} else {
+						nr = rankOfCached(g, cb, base, vv)
+					}
 					dr := math.Abs(nr - r[v])
 					rNew[v] = nr
+					cbNew[v] = nr * ainv[v]
 					if dr > lmax {
 						lmax = dr
 					}
@@ -184,6 +210,7 @@ func runBB(vr variant, in Input, cfg Config) Result {
 					}
 				}
 				sh.r, sh.rNew = sh.rNew, sh.r
+				sh.contrib, sh.contribNew = sh.contribNew, sh.contrib
 				sh.iter++
 				sh.converged = dR <= cfg.Tol
 				sh.stop = sh.converged || sh.iter >= cfg.MaxIter

@@ -25,6 +25,7 @@ import (
 	"dfpr/internal/avec"
 	"dfpr/internal/fault"
 	"dfpr/internal/graph"
+	"dfpr/internal/sched"
 )
 
 // Default parameter values from §5.1.2 of the paper.
@@ -58,6 +59,14 @@ type Config struct {
 	// paper's flag-vector scan to an O(1) atomic not-converged counter
 	// (ablation; see DESIGN.md).
 	CountedConvergence bool
+	// UniformChunks restores the paper's fixed vertex-count chunks
+	// (`schedule(dynamic, 2048)`). The default (false) uses edge-balanced
+	// chunk boundaries instead: chunk cuts are placed by prefix in-degree so
+	// every chunk carries roughly Chunk×avg-degree edges, which stops a
+	// power-law hub row from serialising a whole pass behind one worker.
+	// Either way Chunk scales the per-chunk work, so the chunk-size ablation
+	// stays meaningful.
+	UniformChunks bool
 	// PruneFrontier removes a vertex from the DF affected set once its rank
 	// change falls within the iteration tolerance (the "DF with pruning"
 	// refinement from the paper's companion work). A pruned vertex is
@@ -72,6 +81,11 @@ type Config struct {
 	// Fault describes delays/crashes to inject (§5.1.6). The zero Plan
 	// injects nothing.
 	Fault fault.Plan
+
+	// seedKernel switches the engines to the uncached seed kernels. It is
+	// package-private: only the equivalence tests set it, to pin the
+	// contribution-cached kernels against the original arithmetic.
+	seedKernel bool
 }
 
 func (c Config) withDefaults() Config {
@@ -250,6 +264,43 @@ func invOutDeg(g *graph.CSR) []float64 {
 		}
 	}
 	return inv
+}
+
+// alphaInv precomputes ainv[v] = alpha·inv[v], the factor that turns a rank
+// store into a contribution-cache store (contrib[v] = rank[v]·ainv[v]).
+func alphaInv(inv []float64, alpha float64) []float64 {
+	ainv := make([]float64, len(inv))
+	for v, x := range inv {
+		ainv[v] = alpha * x
+	}
+	return ainv
+}
+
+// balancedTarget is the per-chunk weight for edge-balanced chunking: Chunk
+// vertices' worth of average in-weight, so a pass dispenses about the same
+// number of chunks as uniform Chunk-sized chunks would.
+func balancedTarget(g *graph.CSR, chunk int) int {
+	n := g.N()
+	if n == 0 {
+		return 1
+	}
+	t := chunk * (g.M() + n) / n
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// vertexBounds computes the edge-balanced chunk boundaries for the rank
+// loop: weight[v] = indeg(v)+1 matches the pull kernel's per-vertex cost
+// (one gather per in-edge plus constant overhead).
+func vertexBounds(g *graph.CSR, chunk int) []int {
+	n := g.N()
+	w := make([]int, n)
+	for v := uint32(0); int(v) < n; v++ {
+		w[v] = g.InDeg(v) + 1
+	}
+	return sched.BalancedBounds(w, balancedTarget(g, chunk))
 }
 
 // newFlags builds a flag vector per the configured representation, wrapping

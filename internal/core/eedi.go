@@ -39,8 +39,13 @@ func StaticLFNS(g *graph.CSR, cfg Config) Result {
 	}
 	base := (1 - cfg.Alpha) / float64(n)
 	inv := invOutDeg(g)
+	ainv := alphaInv(inv, cfg.Alpha)
 	ranks := avec.NewF64(n)
 	ranks.Fill(1 / float64(n))
+	contribs := avec.NewF64(n)
+	for v := 0; v < n; v++ {
+		contribs.Store(v, ranks.Load(v)*ainv[v])
+	}
 	rc := newFlags(cfg, n)
 	rc.SetAll()
 	ranges := sched.StaticRanges(n, cfg.Threads)
@@ -90,7 +95,12 @@ func StaticLFNS(g *graph.CSR, cfg Config) Result {
 			useful := false
 			for v := r.Lo; v < r.Hi; v++ {
 				vv := uint32(v)
-				nr := rankOfAtomic(g, inv, ranks, cfg.Alpha, base, vv)
+				var nr float64
+				if cfg.seedKernel {
+					nr = rankOfAtomicSeed(g, inv, ranks, cfg.Alpha, base, vv)
+				} else {
+					nr = rankOfCachedAtomic(g, contribs, base, vv)
+				}
 				old := ranks.Load(v)
 				dr := math.Abs(nr - old)
 				if dr > cfg.Tol {
@@ -98,8 +108,10 @@ func StaticLFNS(g *graph.CSR, cfg Config) Result {
 					// all-clear state while this change is in flight.
 					rc.Set(v)
 					useful = true
+					contribs.Store(v, nr*ainv[v])
 					ranks.Store(v, nr)
 				} else {
+					contribs.Store(v, nr*ainv[v])
 					ranks.Store(v, nr)
 					rc.Clear(v)
 				}

@@ -53,11 +53,20 @@ func runLF(vr variant, in Input, cfg Config) Result {
 		gOld = g
 	}
 
+	ainv := alphaInv(inv, cfg.Alpha)
+
 	ranks := avec.NewF64(n)
 	if vr != vStatic && len(in.Prev) == n {
 		ranks.CopyFrom(in.Prev)
 	} else {
 		ranks.Fill(1 / float64(n))
+	}
+	// Shared contribution cache: contribs[v] = α·rank[v]/outdeg(v), updated
+	// immediately before every rank store (so a reader never sees a
+	// contribution staler than the rank it would have read instead).
+	contribs := avec.NewF64(n)
+	for v := 0; v < n; v++ {
+		contribs.Store(v, ranks.Load(v)*ainv[v])
 	}
 
 	// RC[v]=1 ⇔ the rank of v has not converged yet. Static and ND variants
@@ -78,7 +87,12 @@ func runLF(vr variant, in Input, cfg Config) Result {
 	}
 
 	inj := fault.NewInjector(cfg.Threads, cfg.Fault)
-	rounds := sched.NewRounds(n, cfg.Chunk)
+	var rounds *sched.Rounds
+	if cfg.UniformChunks {
+		rounds = sched.NewRounds(n, cfg.Chunk)
+	} else {
+		rounds = sched.NewRoundsBounds(vertexBounds(g, cfg.Chunk))
+	}
 	edgePool := sched.NewPool(len(edges), cfg.Chunk)
 	var maxRound avec.Counter
 
@@ -151,14 +165,36 @@ func runLF(vr variant, in Input, cfg Config) Result {
 					continue
 				}
 				vv := uint32(v)
-				nr := rankOfAtomic(g, inv, ranks, cfg.Alpha, base, vv)
+				var nr float64
+				if cfg.seedKernel {
+					nr = rankOfAtomicSeed(g, inv, ranks, cfg.Alpha, base, vv)
+				} else {
+					nr = rankOfCachedAtomic(g, contribs, base, vv)
+				}
 				old := ranks.Load(v)
 				dr := math.Abs(nr - old)
+				// The pair of stores is not atomic as a unit: two workers in
+				// overlapping rounds can interleave on the same vertex and
+				// leave rank from one and contrib from the other. Both values
+				// are then within ~2τ of each other (each worker observed
+				// dr ≤ τ before the flags could settle), so the mismatch is
+				// the same tolerance-scale slop the paper's racy
+				// single-vector reads already admit — bounded, not corrupt.
+				contribs.Store(v, nr*ainv[v])
 				ranks.Store(v, nr)
 				if vr == vDF && dr > cfg.FrontierTol {
+					// Probe before Set: already-marked neighbours are the
+					// common case once a frontier is hot, and the probe keeps
+					// the expansion read-only for every FlagVec flavour —
+					// including the Counted wrapper, whose Set would otherwise
+					// be an interface call per neighbour per pass.
 					for _, v2 := range g.Out(vv) {
-						va.Set(int(v2))
-						rc.Set(int(v2))
+						if !va.Get(int(v2)) {
+							va.Set(int(v2))
+						}
+						if !rc.Get(int(v2)) {
+							rc.Set(int(v2))
+						}
 					}
 				}
 				if dr <= cfg.Tol {

@@ -35,7 +35,7 @@ func Reference(g *graph.CSR, cfg Config) []float64 {
 	for it := 0; it < cfg.MaxIter; it++ {
 		var dR float64
 		for v := 0; v < n; v++ {
-			nr := rankOf(g, inv, r, cfg.Alpha, base, uint32(v))
+			nr := rankOfSeed(g, inv, r, cfg.Alpha, base, uint32(v))
 			if d := math.Abs(nr - r[v]); d > dR {
 				dR = d
 			}

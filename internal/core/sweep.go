@@ -1,0 +1,81 @@
+package core
+
+import "dfpr/internal/graph"
+
+// KernelBench is instrumentation for measuring the raw per-edge cost of the
+// pull kernels outside any engine: one synchronous sweep over every vertex,
+// seed arithmetic versus the contribution-cached gather, on identical state.
+// cmd/prbench uses it to record ns/edge in BENCH_PR1.json; the root
+// bench_test.go wraps it in Go benchmarks.
+type KernelBench struct {
+	g           *graph.CSR
+	inv, ainv   []float64
+	r, rNew     []float64
+	cb, cbNew   []float64
+	alpha, base float64
+}
+
+// NewKernelBench prepares sweep state over g with uniform initial ranks.
+func NewKernelBench(g *graph.CSR, alpha float64) *KernelBench {
+	if alpha <= 0 || alpha >= 1 {
+		alpha = DefaultAlpha
+	}
+	n := g.N()
+	k := &KernelBench{
+		g:     g,
+		inv:   invOutDeg(g),
+		alpha: alpha,
+		base:  (1 - alpha) / float64(n),
+		r:     uniformRanks(n),
+		rNew:  make([]float64, n),
+		cb:    make([]float64, n),
+		cbNew: make([]float64, n),
+	}
+	k.ainv = alphaInv(k.inv, alpha)
+	for v := range k.cb {
+		k.cb[v] = k.r[v] * k.ainv[v]
+	}
+	return k
+}
+
+// Edges returns the number of edges one sweep gathers over.
+func (k *KernelBench) Edges() int { return k.g.M() }
+
+// SeedSweep performs one full Jacobi sweep with the seed kernel (two loads
+// and two multiplies per edge) and swaps the vectors.
+func (k *KernelBench) SeedSweep() {
+	for v := 0; v < k.g.N(); v++ {
+		nr := rankOfSeed(k.g, k.inv, k.r, k.alpha, k.base, uint32(v))
+		k.rNew[v] = nr
+		k.cbNew[v] = nr * k.ainv[v]
+	}
+	k.swap()
+}
+
+// CachedSweep performs one full Jacobi sweep with the contribution-cached
+// kernel (one load and one add per edge, plus the cache store per vertex)
+// and swaps the vectors.
+func (k *KernelBench) CachedSweep() {
+	for v := 0; v < k.g.N(); v++ {
+		nr := rankOfCached(k.g, k.cb, k.base, uint32(v))
+		k.rNew[v] = nr
+		k.cbNew[v] = nr * k.ainv[v]
+	}
+	k.swap()
+}
+
+func (k *KernelBench) swap() {
+	k.r, k.rNew = k.rNew, k.r
+	k.cb, k.cbNew = k.cbNew, k.cb
+}
+
+// Checksum returns the rank sum, defeating dead-code elimination in
+// benchmark loops and doubling as a sanity probe (≈1 for a stochastic
+// iteration).
+func (k *KernelBench) Checksum() float64 {
+	s := 0.0
+	for _, x := range k.r {
+		s += x
+	}
+	return s
+}

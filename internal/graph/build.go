@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"runtime"
+	"slices"
+	"sync"
+)
+
+// parallelBuildThreshold is the edge count below which the cold builders stay
+// sequential: goroutine fan-out and the extra scan passes cost more than they
+// save on small graphs (and every unit-test graph is small).
+const parallelBuildThreshold = 1 << 17
+
+// maxBuildWorkers caps the cold-build parallelism. The in-adjacency scatter
+// is parallelised by target bucket, where every worker re-scans the full
+// out-adjacency, so total work grows linearly with the worker count; past a
+// handful of workers the extra scan passes eat the wall-clock win.
+const maxBuildWorkers = 8
+
+func buildWorkers(m int) int {
+	if m < parallelBuildThreshold {
+		return 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > maxBuildWorkers {
+		w = maxBuildWorkers
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelRanges runs fn over a partition of [0, n) into workers contiguous
+// vertex ranges, in parallel when workers > 1.
+func parallelRanges(n, workers int, fn func(lo, hi int)) {
+	if workers <= 1 || n < 2 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(w*n/workers, (w+1)*n/workers)
+	}
+	wg.Wait()
+}
+
+// buildCSR materialises a CSR from per-vertex out-rows that are already
+// sorted and deduplicated. row(u) may alias caller storage — its contents are
+// copied. This is the cold-build path shared by FromEdges and
+// Dynamic.SnapshotFull: a counting pass for the offsets, a block-copy pass
+// for the out-adjacency, and a scatter pass for the in-adjacency, each
+// parallelised over contiguous ranges once the graph is large enough.
+func buildCSR(n int, row func(u int) []uint32) *CSR {
+	g := &CSR{n: n}
+	g.outPtr = make([]uint64, n+1)
+	for u := 0; u < n; u++ {
+		g.outPtr[u+1] = g.outPtr[u] + uint64(len(row(u)))
+	}
+	m := int(g.outPtr[n])
+	g.outAdj = make([]uint32, m)
+	workers := buildWorkers(m)
+
+	parallelRanges(n, workers, func(lo, hi int) {
+		cur := g.outPtr[lo]
+		for u := lo; u < hi; u++ {
+			cur += uint64(copy(g.outAdj[cur:], row(u)))
+		}
+	})
+
+	inDeg := make([]uint32, n)
+	for _, v := range g.outAdj {
+		inDeg[v]++
+	}
+	g.inPtr = make([]uint64, n+1)
+	for v := 0; v < n; v++ {
+		g.inPtr[v+1] = g.inPtr[v] + uint64(inDeg[v])
+	}
+	g.inAdj = make([]uint32, m)
+
+	if workers <= 1 {
+		cursor := make([]uint64, n)
+		copy(cursor, g.inPtr[:n])
+		for u := uint32(0); int(u) < n; u++ {
+			for _, v := range g.Out(u) {
+				g.inAdj[cursor[v]] = u
+				cursor[v]++
+			}
+		}
+		return g
+	}
+
+	// Parallel scatter: worker w owns a contiguous target range holding
+	// roughly 1/workers of the in-edges, scans the whole out-adjacency in
+	// source order, and writes only edges landing in its range. Writes are
+	// disjoint across workers and each row is filled in increasing source
+	// order, so rows come out sorted without a sort pass.
+	bounds := prefixCuts(g.inPtr, workers)
+	var wg sync.WaitGroup
+	wg.Add(len(bounds) - 1)
+	for w := 0; w+1 < len(bounds); w++ {
+		go func(tlo, thi int) {
+			defer wg.Done()
+			cur := make([]uint64, thi-tlo)
+			for v := tlo; v < thi; v++ {
+				cur[v-tlo] = g.inPtr[v]
+			}
+			for u := uint32(0); int(u) < n; u++ {
+				for _, v := range g.Out(u) {
+					if int(v) >= tlo && int(v) < thi {
+						g.inAdj[cur[int(v)-tlo]] = u
+						cur[int(v)-tlo]++
+					}
+				}
+			}
+		}(bounds[w], bounds[w+1])
+	}
+	wg.Wait()
+	return g
+}
+
+// prefixCuts splits the vertex range of a prefix-sum offset array into parts
+// contiguous ranges of roughly equal edge mass. Returned bounds have length
+// parts+1 with bounds[0]=0 and bounds[parts]=n.
+func prefixCuts(ptr []uint64, parts int) []int {
+	n := len(ptr) - 1
+	total := ptr[n]
+	bounds := make([]int, parts+1)
+	v := 0
+	for w := 1; w < parts; w++ {
+		target := total * uint64(w) / uint64(parts)
+		for v < n && ptr[v] < target {
+			v++
+		}
+		bounds[w] = v
+	}
+	bounds[parts] = n
+	return bounds
+}
+
+// FromEdges builds a CSR snapshot with n vertices from the given edge list.
+// Duplicate edges are collapsed; edges with endpoints ≥ n cause a panic, as
+// that is always a programming error in this codebase.
+//
+// Construction is a counting sort by source (no comparison sort across the
+// edge list): a degree-count pass, a scatter into row storage, then an
+// independent sort+dedup of each row, parallelised for large inputs.
+func FromEdges(n int, edges []Edge) *CSR {
+	off := make([]uint64, n+1)
+	for _, e := range edges {
+		if int(e.U) >= n || int(e.V) >= n {
+			panic(fmtEdgeRange(e, n))
+		}
+		off[e.U+1]++
+	}
+	for u := 0; u < n; u++ {
+		off[u+1] += off[u]
+	}
+	buf := make([]uint32, len(edges))
+	cursor := make([]uint64, n)
+	copy(cursor, off[:n])
+	for _, e := range edges {
+		buf[cursor[e.U]] = e.V
+		cursor[e.U]++
+	}
+	rowLen := make([]uint32, n)
+	parallelRanges(n, buildWorkers(len(edges)), func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			rowLen[u] = uint32(len(sortUnique(buf[off[u]:off[u+1]])))
+		}
+	})
+	return buildCSR(n, func(u int) []uint32 {
+		return buf[off[u] : off[u]+uint64(rowLen[u])]
+	})
+}
+
+func sortUnique(a []uint32) []uint32 {
+	if len(a) < 2 {
+		return a
+	}
+	slices.Sort(a)
+	out := a[:1]
+	for _, x := range a[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"fmt"
+	"slices"
+)
+
+// This file implements the incremental snapshot builder: given the previous
+// CSR and the rows dirtied since it was built, the next CSR is produced by
+// rewriting only the touched adjacency rows and block-copying every clean
+// run between them. The paper's batch-update model (§3.4) makes this the
+// common case — a batch of |Δt| ≪ |E| edges touches at most 2·|Δt| rows, so
+// the merge is a handful of row rebuilds plus a near-memcpy of the rest,
+// where the cold build pays a scatter over all m edges.
+
+// deltaDirtyRowFraction bounds the fraction of rows that may be dirty before
+// Snapshot falls back to a cold build: per-row merging has bookkeeping the
+// straight-line cold builder doesn't, so it stops paying once a large share
+// of the graph changed.
+const deltaDirtyRowFraction = 4
+
+func (d *Dynamic) deltaWorthwhile() bool {
+	return len(d.outDirty)+len(d.inTouched) <= d.n/deltaDirtyRowFraction
+}
+
+// deltaSnapshot builds the next CSR from d.base plus the recorded dirty
+// rows. Both adjacency sides are produced by mergeRows; the out side takes
+// its dirty rows straight from the mutable adjacency, the in side
+// reconstructs each touched in-row by probing the touched sources.
+func (d *Dynamic) deltaSnapshot() *CSR {
+	base := d.base
+	g := &CSR{n: d.n}
+
+	dirtyOut := make([]uint32, 0, len(d.outDirty))
+	for u := range d.outDirty {
+		dirtyOut = append(dirtyOut, u)
+	}
+	slices.Sort(dirtyOut)
+	g.outPtr, g.outAdj = mergeRows(d.n, d.m, base.outPtr, base.outAdj, dirtyOut,
+		func(u uint32) []uint32 { return d.adj[u] })
+
+	dirtyIn := make([]uint32, 0, len(d.inTouched))
+	for v := range d.inTouched {
+		dirtyIn = append(dirtyIn, v)
+	}
+	slices.Sort(dirtyIn)
+	var scratch []uint32
+	g.inPtr, g.inAdj = mergeRows(d.n, d.m, base.inPtr, base.inAdj, dirtyIn,
+		func(v uint32) []uint32 {
+			scratch = d.newInRow(v, scratch[:0])
+			return scratch
+		})
+	return g
+}
+
+// mergeRows assembles one CSR side of m total edges: rows listed in dirty
+// (sorted ascending) are replaced by dirtyRow(u), all other rows are copied
+// from the base side in maximal contiguous blocks. dirtyRow may return a
+// slice that is invalidated by the next call; contents are copied before the
+// next row is requested.
+func mergeRows(n, m int, basePtr []uint64, baseAdj []uint32, dirty []uint32, dirtyRow func(u uint32) []uint32) ([]uint64, []uint32) {
+	ptr := make([]uint64, n+1)
+	adj := make([]uint32, m)
+	cur := uint64(0)
+	prev := 0
+	emitClean := func(hi int) {
+		lo64, hi64 := basePtr[prev], basePtr[hi]
+		copy(adj[cur:], baseAdj[lo64:hi64])
+		if cur == lo64 {
+			copy(ptr[prev:hi], basePtr[prev:hi])
+		} else {
+			shift := int64(cur) - int64(lo64)
+			for v := prev; v < hi; v++ {
+				ptr[v] = uint64(int64(basePtr[v]) + shift)
+			}
+		}
+		cur += hi64 - lo64
+	}
+	for _, u := range dirty {
+		emitClean(int(u))
+		ptr[u] = cur
+		row := dirtyRow(u)
+		copy(adj[cur:], row)
+		cur += uint64(len(row))
+		prev = int(u) + 1
+	}
+	emitClean(n)
+	ptr[n] = cur
+	if cur != uint64(m) {
+		panic(fmt.Sprintf("graph: delta merge produced %d edges, want %d (dirty tracking out of sync)", cur, m))
+	}
+	return ptr, adj
+}
+
+// newInRow reconstructs the in-row of v after the batch: sources in
+// base.In(v) that were not touched are still in-neighbours; each touched
+// source contributes iff the edge (u,v) exists now. Both inputs are sorted,
+// so a single merge produces the row in order. The touched list is
+// deduplicated in place (it is discarded afterwards).
+func (d *Dynamic) newInRow(v uint32, row []uint32) []uint32 {
+	touched := sortUnique(d.inTouched[v])
+	old := d.base.In(v)
+	i, j := 0, 0
+	for i < len(old) && j < len(touched) {
+		switch u, t := old[i], touched[j]; {
+		case u < t:
+			row = append(row, u)
+			i++
+		case u > t:
+			if d.HasEdge(t, v) {
+				row = append(row, t)
+			}
+			j++
+		default:
+			if d.HasEdge(t, v) {
+				row = append(row, t)
+			}
+			i++
+			j++
+		}
+	}
+	row = append(row, old[i:]...)
+	for ; j < len(touched); j++ {
+		if d.HasEdge(touched[j], v) {
+			row = append(row, touched[j])
+		}
+	}
+	return row
+}

@@ -141,80 +141,37 @@ func (g *CSR) Validate() error {
 	return check("in", g.inPtr, g.inAdj)
 }
 
-// FromEdges builds a CSR snapshot with n vertices from the given edge list.
-// Duplicate edges are collapsed; edges with endpoints ≥ n cause a panic, as
-// that is always a programming error in this codebase.
-func FromEdges(n int, edges []Edge) *CSR {
-	adj := make([][]uint32, n)
-	for _, e := range edges {
-		if int(e.U) >= n || int(e.V) >= n {
-			panic(fmt.Sprintf("graph: edge (%d,%d) out of range n=%d", e.U, e.V, n))
-		}
-		adj[e.U] = append(adj[e.U], e.V)
-	}
-	for u := range adj {
-		adj[u] = sortUnique(adj[u])
-	}
-	return fromAdj(adj)
-}
-
-func sortUnique(a []uint32) []uint32 {
-	if len(a) < 2 {
-		return a
-	}
-	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
-	out := a[:1]
-	for _, x := range a[1:] {
-		if x != out[len(out)-1] {
-			out = append(out, x)
-		}
-	}
-	return out
-}
-
-func fromAdj(adj [][]uint32) *CSR {
-	n := len(adj)
-	g := &CSR{n: n}
-	g.outPtr = make([]uint64, n+1)
-	m := 0
-	for u, row := range adj {
-		m += len(row)
-		g.outPtr[u+1] = uint64(m)
-	}
-	g.outAdj = make([]uint32, 0, m)
-	inDeg := make([]uint64, n+1)
-	for _, row := range adj {
-		g.outAdj = append(g.outAdj, row...)
-		for _, v := range row {
-			inDeg[v+1]++
-		}
-	}
-	g.inPtr = make([]uint64, n+1)
-	for v := 0; v < n; v++ {
-		g.inPtr[v+1] = g.inPtr[v] + inDeg[v+1]
-	}
-	g.inAdj = make([]uint32, m)
-	cursor := make([]uint64, n)
-	copy(cursor, g.inPtr[:n])
-	for u := uint32(0); int(u) < n; u++ {
-		for _, v := range adj[u] {
-			g.inAdj[cursor[v]] = u
-			cursor[v]++
-		}
-	}
-	// In-adjacency is filled in increasing source order, so each row is
-	// already sorted and unique.
-	return g
+func fmtEdgeRange(e Edge, n int) string {
+	return fmt.Sprintf("graph: edge (%d,%d) out of range n=%d", e.U, e.V, n)
 }
 
 // Dynamic is a mutable directed graph used to generate snapshot sequences.
 // It keeps one sorted adjacency slice per vertex; mutation is not safe for
 // concurrent use (the paper interleaves updates and computation via
 // read-only snapshots, §3.4 — Snapshot provides exactly that).
+//
+// Dynamic remembers the last CSR it built and which rows have been mutated
+// since, so Snapshot can rebuild only the touched rows of the next CSR and
+// block-copy everything else (see delta.go). With the paper's batch
+// fractions (10⁻⁷–10⁻³ of |E|) almost every row is untouched between
+// snapshots, which turns snapshot construction from the dominant cost of the
+// dynamic pipeline into a near-memcpy.
 type Dynamic struct {
 	n   int
 	adj [][]uint32
 	m   int
+
+	// base is the snapshot the dirty sets are relative to; nil means no
+	// snapshot has been built yet (or tracking was reset) and the next
+	// Snapshot takes the cold path.
+	base *CSR
+	// outDirty holds sources whose out-row changed since base.
+	outDirty map[uint32]struct{}
+	// inTouched maps each target whose in-row may have changed to the
+	// sources whose edge (u,v) membership was toggled. The new in-row is
+	// recovered by merging base.In(v) with a membership probe per touched
+	// source, which is insensitive to insert/delete/reinsert churn.
+	inTouched map[uint32][]uint32
 }
 
 // NewDynamic returns an empty dynamic graph with n vertices.
@@ -222,7 +179,9 @@ func NewDynamic(n int) *Dynamic {
 	return &Dynamic{n: n, adj: make([][]uint32, n)}
 }
 
-// DynamicFromCSR returns a dynamic graph holding the same edges as g.
+// DynamicFromCSR returns a dynamic graph holding the same edges as g. The
+// returned graph treats g as its base snapshot, so a Snapshot after a small
+// number of mutations takes the delta-merge path immediately.
 func DynamicFromCSR(g *CSR) *Dynamic {
 	d := NewDynamic(g.N())
 	for u := uint32(0); int(u) < g.N(); u++ {
@@ -230,6 +189,7 @@ func DynamicFromCSR(g *CSR) *Dynamic {
 		d.adj[u] = append([]uint32(nil), row...)
 	}
 	d.m = g.M()
+	d.base = g
 	return d
 }
 
@@ -265,6 +225,7 @@ func (d *Dynamic) AddEdge(u, v uint32) bool {
 	row[i] = v
 	d.adj[u] = row
 	d.m++
+	d.touch(u, v)
 	return true
 }
 
@@ -277,7 +238,23 @@ func (d *Dynamic) DelEdge(u, v uint32) bool {
 	}
 	d.adj[u] = append(row[:i], row[i+1:]...)
 	d.m--
+	d.touch(u, v)
 	return true
+}
+
+// touch records that edge (u,v) membership changed since the base snapshot.
+// Only real mutations reach here, so idempotent calls like EnsureSelfLoops
+// on an already-looped graph never dirty anything.
+func (d *Dynamic) touch(u, v uint32) {
+	if d.base == nil {
+		return
+	}
+	if d.outDirty == nil {
+		d.outDirty = make(map[uint32]struct{})
+		d.inTouched = make(map[uint32][]uint32)
+	}
+	d.outDirty[u] = struct{}{}
+	d.inTouched[v] = append(d.inTouched[v], u)
 }
 
 // Apply removes every edge in del and inserts every edge in ins, in that
@@ -302,16 +279,39 @@ func (d *Dynamic) EnsureSelfLoops() {
 	}
 }
 
-// Snapshot builds an immutable CSR copy of the current graph.
+// Snapshot builds an immutable CSR of the current graph, choosing the
+// cheapest construction automatically: if nothing changed since the last
+// snapshot, that snapshot is returned as-is (CSRs are immutable, sharing is
+// safe); if few rows changed, the new CSR is delta-merged from the last one
+// (touched rows rebuilt, everything else block-copied); otherwise a full
+// parallel cold build runs.
 func (d *Dynamic) Snapshot() *CSR {
-	adj := make([][]uint32, d.n)
-	for u := range d.adj {
-		adj[u] = append([]uint32(nil), d.adj[u]...)
+	var g *CSR
+	switch {
+	case d.base != nil && len(d.outDirty) == 0 && len(d.inTouched) == 0:
+		return d.base
+	case d.base != nil && d.deltaWorthwhile():
+		g = d.deltaSnapshot()
+	default:
+		g = buildCSR(d.n, func(u int) []uint32 { return d.adj[u] })
 	}
-	return fromAdj(adj)
+	d.base = g
+	d.outDirty, d.inTouched = nil, nil
+	return g
 }
 
-// Clone returns an independent deep copy.
+// SnapshotFull builds an immutable CSR with the cold (full-rebuild) path
+// regardless of dirty-row state. It exists for benchmarking the delta-merge
+// against the rebuild it replaces; Snapshot is what callers should use.
+func (d *Dynamic) SnapshotFull() *CSR {
+	g := buildCSR(d.n, func(u int) []uint32 { return d.adj[u] })
+	d.base = g
+	d.outDirty, d.inTouched = nil, nil
+	return g
+}
+
+// Clone returns an independent deep copy. The clone starts cold: it shares
+// no snapshot-tracking state with d, so its first Snapshot is a full build.
 func (d *Dynamic) Clone() *Dynamic {
 	c := NewDynamic(d.n)
 	for u := range d.adj {

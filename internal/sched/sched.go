@@ -20,18 +20,25 @@ import (
 const DefaultChunk = 2048
 
 // Pool is a dynamic scheduler over the index range [0, n): workers call Next
-// until it reports done, each receiving the next chunk of at most chunk
-// indices. It is the Go equivalent of an OpenMP `for schedule(dynamic,
-// chunk)` work-sharing construct: any idle worker takes the next chunk, so
-// load imbalance is bounded by one chunk per worker.
+// until it reports done, each receiving the next chunk. It is the Go
+// equivalent of an OpenMP `for schedule(dynamic, chunk)` work-sharing
+// construct: any idle worker takes the next chunk, so load imbalance is
+// bounded by one chunk per worker.
+//
+// Chunks are either uniform (fixed index count, NewPool) or edge-balanced
+// (precomputed boundaries holding roughly equal total weight,
+// NewPoolBounds): on power-law graphs a uniform vertex chunk can hold a
+// single hub's worth of edges many times over, serialising the whole pass
+// behind one worker, which is what degree-aware boundaries avoid.
 type Pool struct {
-	next  avec.Counter
-	n     int
-	chunk int
+	next   avec.Counter
+	n      int
+	chunk  int
+	bounds []int // nil → uniform chunks of size chunk
 }
 
-// NewPool returns a dynamic chunk pool over [0, n). A non-positive chunk
-// selects DefaultChunk.
+// NewPool returns a dynamic chunk pool over [0, n) with uniform chunks. A
+// non-positive chunk selects DefaultChunk.
 func NewPool(n, chunk int) *Pool {
 	if chunk <= 0 {
 		chunk = DefaultChunk
@@ -39,10 +46,27 @@ func NewPool(n, chunk int) *Pool {
 	return &Pool{n: n, chunk: chunk}
 }
 
+// NewPoolBounds returns a dynamic pool dispensing the precomputed chunks
+// bounds[t]..bounds[t+1]; bounds must be ascending with bounds[0]=0 and
+// bounds[len-1]=n (see BalancedBounds).
+func NewPoolBounds(bounds []int) *Pool {
+	n := 0
+	if len(bounds) > 0 {
+		n = bounds[len(bounds)-1]
+	}
+	return &Pool{n: n, chunk: DefaultChunk, bounds: bounds}
+}
+
 // Next returns the next chunk [lo, hi) and ok=true, or ok=false when the
 // range is exhausted.
 func (p *Pool) Next() (lo, hi int, ok bool) {
 	t := int(p.next.Add(1)) - 1
+	if p.bounds != nil {
+		if t+1 >= len(p.bounds) {
+			return 0, 0, false
+		}
+		return p.bounds[t], p.bounds[t+1], true
+	}
 	lo = t * p.chunk
 	if lo >= p.n {
 		return 0, 0, false
@@ -58,11 +82,17 @@ func (p *Pool) Next() (lo, hi int, ok bool) {
 // the barrier-based algorithms one worker resets between barrier phases.
 func (p *Pool) Reset() { p.next.Store(0) }
 
-// Chunk returns the configured chunk size.
+// Chunk returns the configured uniform chunk size (advisory for bounds
+// pools).
 func (p *Pool) Chunk() int { return p.chunk }
 
 // NumChunks returns the number of chunks a full pass dispenses.
-func (p *Pool) NumChunks() int { return (p.n + p.chunk - 1) / p.chunk }
+func (p *Pool) NumChunks() int {
+	if p.bounds != nil {
+		return len(p.bounds) - 1
+	}
+	return (p.n + p.chunk - 1) / p.chunk
+}
 
 // Rounds is a continuous ticket scheduler for barrier-free iteration.
 // Tickets are dispensed from a single global counter; ticket t maps to chunk
@@ -76,10 +106,11 @@ type Rounds struct {
 	n              int
 	chunk          int
 	chunksPerRound uint64
+	bounds         []int // nil → uniform chunks of size chunk
 }
 
-// NewRounds returns a continuous round scheduler over [0, n). A
-// non-positive chunk selects DefaultChunk.
+// NewRounds returns a continuous round scheduler over [0, n) with uniform
+// chunks. A non-positive chunk selects DefaultChunk.
 func NewRounds(n, chunk int) *Rounds {
 	if chunk <= 0 {
 		chunk = DefaultChunk
@@ -91,12 +122,33 @@ func NewRounds(n, chunk int) *Rounds {
 	return &Rounds{n: n, chunk: chunk, chunksPerRound: cpr}
 }
 
+// NewRoundsBounds returns a continuous round scheduler dispensing the
+// precomputed edge-balanced chunks bounds[c]..bounds[c+1] each round (see
+// BalancedBounds).
+func NewRoundsBounds(bounds []int) *Rounds {
+	n := 0
+	cpr := uint64(1)
+	if len(bounds) > 0 {
+		n = bounds[len(bounds)-1]
+		if len(bounds) > 1 {
+			cpr = uint64(len(bounds) - 1)
+		}
+	}
+	return &Rounds{n: n, chunk: DefaultChunk, chunksPerRound: cpr, bounds: bounds}
+}
+
 // Next returns the next chunk [lo, hi) and the round it belongs to. Rounds
 // increase without bound; callers bound iteration count themselves.
 func (r *Rounds) Next() (lo, hi int, round uint64) {
 	t := r.next.Add(1) - 1
 	round = t / r.chunksPerRound
 	c := int(t % r.chunksPerRound)
+	if r.bounds != nil {
+		if c+1 >= len(r.bounds) {
+			return 0, 0, round
+		}
+		return r.bounds[c], r.bounds[c+1], round
+	}
 	lo = c * r.chunk
 	hi = lo + r.chunk
 	if hi > r.n {
@@ -155,6 +207,35 @@ func EdgeBalancedRanges(weight []int, parties int) []Range {
 		out = append(out, Range{Lo: n, Hi: n})
 	}
 	return out
+}
+
+// BalancedBounds splits [0, len(weight)) into chunk boundaries such that
+// each chunk carries roughly target total weight (prefix-degree tickets):
+// weight[v] is typically deg(v)+1, so chunks near a power-law hub hold few
+// vertices and chunks in the long tail hold many, equalising per-chunk work
+// where uniform vertex chunks serialise on the hub rows. A vertex whose own
+// weight exceeds target gets a chunk of its own. The result always has
+// bounds[0]=0 and bounds[len-1]=len(weight), suitable for NewPoolBounds and
+// NewRoundsBounds.
+func BalancedBounds(weight []int, target int) []int {
+	n := len(weight)
+	if target < 1 {
+		target = 1
+	}
+	bounds := make([]int, 1, n/8+2)
+	bounds[0] = 0
+	acc := 0
+	for v := 0; v < n; v++ {
+		acc += weight[v]
+		if acc >= target {
+			bounds = append(bounds, v+1)
+			acc = 0
+		}
+	}
+	if bounds[len(bounds)-1] != n {
+		bounds = append(bounds, n)
+	}
+	return bounds
 }
 
 // ErrBroken is returned by Barrier.Await when the barrier can never open
