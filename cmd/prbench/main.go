@@ -36,7 +36,7 @@ func main() {
 	flag.Parse()
 
 	if *bjson != "" {
-		if err := runBenchJSON(*bjson, *scale, *reps); err != nil {
+		if err := harness.RunBenchJSON(*bjson, *scale, *reps); err != nil {
 			fmt.Fprintf(os.Stderr, "prbench: benchjson: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,27 +1,31 @@
 // Command prrank computes PageRanks of an edge-list graph with any of the
-// eight algorithm variants. For the dynamic variants (ND/DT/DF) a batch file
-// of "+ u v" / "- u v" lines describes the update: prrank first converges
-// ranks on the pre-update graph, applies the batch, then runs the requested
-// dynamic algorithm — printing timing for both phases so the incremental
-// saving is visible.
+// eight algorithm variants, through the public dfpr.Engine API. For the
+// dynamic variants (ND/DT/DF) a batch file of "+ u v" / "- u v" lines
+// describes the update: prrank first converges ranks on the pre-update
+// graph, applies the batch, then refreshes with the requested dynamic
+// algorithm — printing timing for both phases so the incremental saving is
+// visible. Ctrl-C cancels a converging run cleanly via context.
 //
 // Usage:
 //
 //	prgen -graph asia_osm > g.el
 //	prgen -graph asia_osm -batch 1e-4 > u.batch
-//	prrank -in g.el -algo StaticLF -top 5
+//	prrank -in g.el -algo staticlf -top 5
 //	prrank -in g.el -batch u.batch -algo DFLF -top 5
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
-	"dfpr/internal/batch"
-	"dfpr/internal/core"
+	"dfpr"
+	"dfpr/internal/exutil"
 	"dfpr/internal/gio"
 	"dfpr/internal/graph"
 	"dfpr/internal/metrics"
@@ -31,53 +35,78 @@ func main() {
 	var (
 		in        = flag.String("in", "", "graph file: edge list ('u v' per line) or MatrixMarket (.mtx)")
 		batchFile = flag.String("batch", "", "batch update file ('+ u v' / '- u v' lines)")
-		algoName  = flag.String("algo", "StaticLF", "algorithm: StaticBB|StaticLF|NDBB|NDLF|DTBB|DTLF|DFBB|DFLF")
+		algoName  = flag.String("algo", "StaticLF", "algorithm (case-insensitive): StaticBB|StaticLF|NDBB|NDLF|DTBB|DTLF|DFBB|DFLF")
 		threads   = flag.Int("threads", 0, "worker goroutines (0 = NumCPU)")
-		alpha     = flag.Float64("alpha", core.DefaultAlpha, "damping factor")
-		tol       = flag.Float64("tol", core.DefaultTol, "iteration tolerance (L∞)")
+		alpha     = flag.Float64("alpha", dfpr.DefaultAlpha, "damping factor")
+		tol       = flag.Float64("tol", dfpr.DefaultTolerance, "iteration tolerance (L∞)")
 		top       = flag.Int("top", 10, "print the k highest-ranked vertices (0 = all ranks)")
 	)
 	flag.Parse()
 	if *in == "" {
 		fatalf("missing -in edge list")
 	}
-	algo, ok := core.ParseAlgo(*algoName)
-	if !ok {
-		fatalf("unknown algorithm %q", *algoName)
+	algo, err := dfpr.ParseAlgorithm(*algoName)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
-	d, err := loadGraph(*in)
+	// A converging run on a large graph can take a while; Ctrl-C aborts it
+	// through the context instead of killing the process mid-write.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	n, edges, err := loadGraph(*in)
 	if err != nil {
 		fatalf("loading %s: %v", *in, err)
 	}
-	d.EnsureSelfLoops()
-	cfg := core.Config{Alpha: *alpha, Tol: *tol, Threads: *threads}
+	eng, err := dfpr.New(n, edges,
+		dfpr.WithAlgorithm(algo),
+		dfpr.WithAlpha(*alpha),
+		dfpr.WithTolerance(*tol),
+		dfpr.WithThreads(*threads),
+	)
+	if err != nil {
+		fatalf("%v", err)
+	}
 
-	input := core.Input{GNew: d.Snapshot()}
+	var res *dfpr.Result
 	if algo.Dynamic() {
-		var up batch.Update
+		pre, err := eng.Rank(ctx)
+		if err != nil {
+			fatalf("baseline ranking failed: %v", err)
+		}
+		fmt.Printf("baseline: static pre-update ranking converged in %d iterations (%s)\n",
+			pre.Iterations, metrics.FormatDur(pre.Elapsed))
+		var del, ins []dfpr.Edge
 		if *batchFile != "" {
-			up, err = loadBatch(*batchFile)
+			del, ins, err = loadBatch(*batchFile)
 			if err != nil {
 				fatalf("loading %s: %v", *batchFile, err)
 			}
 		}
-		pre := core.StaticBB(input.GNew, cfg)
-		fmt.Printf("baseline: StaticBB on pre-update graph converged in %d iterations (%s)\n",
-			pre.Iterations, metrics.FormatDur(pre.Elapsed))
-		gOld, gNew := batch.Transition(d, up)
-		input = core.Input{GOld: gOld, GNew: gNew, Del: up.Del, Ins: up.Ins, Prev: pre.Ranks}
+		if _, err := eng.Apply(ctx, del, ins); err != nil {
+			fatalf("applying batch: %v", err)
+		}
+		res, err = eng.Rank(ctx)
+		if err != nil {
+			fatalf("%s failed: %v", algo, err)
+		}
+	} else {
+		res, err = eng.Rank(ctx)
+		if err != nil {
+			if errors.Is(err, dfpr.ErrCanceled) {
+				fatalf("%s canceled", algo)
+			}
+			fatalf("%s failed: %v", algo, err)
+		}
 	}
 
-	res := core.Run(algo, input, cfg)
-	if res.Err != nil {
-		fatalf("%s failed: %v", algo, res.Err)
-	}
+	snap := eng.Snapshot()
 	fmt.Printf("%s: n=%d m=%d iterations=%d converged=%v elapsed=%s\n",
-		algo, input.GNew.N(), input.GNew.M(), res.Iterations, res.Converged, metrics.FormatDur(res.Elapsed))
+		algo, snap.N, snap.M, res.Iterations, res.Converged, metrics.FormatDur(res.Elapsed))
 
 	if *top > 0 {
-		for rank, v := range metrics.TopK(res.Ranks, *top) {
+		for rank, v := range res.TopK(*top) {
 			fmt.Printf("#%-3d vertex %-10d %.6e\n", rank+1, v, res.Ranks[v])
 		}
 	} else {
@@ -90,28 +119,37 @@ func main() {
 }
 
 // loadGraph reads a MatrixMarket file when the name ends in .mtx, otherwise
-// a SNAP-style edge list.
-func loadGraph(path string) (*graph.Dynamic, error) {
+// a SNAP-style edge list, and flattens it to the public edge form.
+func loadGraph(path string) (int, []dfpr.Edge, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return 0, nil, err
 	}
 	defer f.Close()
+	var d *graph.Dynamic
 	if strings.HasSuffix(path, ".mtx") {
-		return gio.ReadMatrixMarket(f)
+		d, err = gio.ReadMatrixMarket(f)
+	} else {
+		d, err = gio.ReadEdgeList(f)
 	}
-	return gio.ReadEdgeList(f)
+	if err != nil {
+		return 0, nil, err
+	}
+	n, edges := exutil.Flatten(d)
+	return n, edges, nil
 }
 
-func loadBatch(path string) (batch.Update, error) {
-	var up batch.Update
+func loadBatch(path string) (del, ins []dfpr.Edge, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return up, err
+		return nil, nil, err
 	}
 	defer f.Close()
-	up.Del, up.Ins, err = gio.ReadBatch(f)
-	return up, err
+	gdel, gins, err := gio.ReadBatch(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return exutil.Convert(gdel), exutil.Convert(gins), nil
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -1,12 +1,37 @@
 // Package dfpr is a from-scratch Go reproduction of "Lock-Free Computation
 // of PageRank in Dynamic Graphs" (Subhajit Sahu, IPPS 2024,
-// arXiv:2407.19562).
+// arXiv:2407.19562), packaged as a service-grade library for keeping
+// PageRanks fresh on a graph that keeps changing.
+//
+// The public surface is the Engine: a versioned dynamic graph plus a rank
+// vector maintained by the paper's Dynamic Frontier approach (lock-free
+// DFLF by default), constructed with functional options and driven with
+// contexts:
+//
+//	eng, err := dfpr.New(n, edges,
+//		dfpr.WithAlgorithm(dfpr.DFLF),
+//		dfpr.WithTolerance(1e-10),
+//		dfpr.WithThreads(8))
+//	res, err := eng.Rank(ctx)            // initial static convergence
+//	seq, err := eng.Apply(ctx, del, ins) // publish a batch update
+//	res, err = eng.Rank(ctx)             // incremental, frontier-sized refresh
+//
+// Rank honours cancellation: a canceled context aborts a converging run
+// promptly (workers joined, no goroutine leaks) with ErrCanceled, leaving
+// the ranks at the last completed version. Snapshot reads the latest
+// computed state without blocking behind a refresh; Subscribe streams
+// versioned rank updates over a conflating channel sized for live serving;
+// WithFaultPlan/SetFaultPlan inject the paper's thread-delay and
+// crash-stop faults for chaos drills; RankTrace exposes the per-pass
+// frontier sizes that explain where the Dynamic Frontier saving comes
+// from.
 //
 // The paper's contribution — the Dynamic Frontier approach for updating
 // PageRank after batch edge updates, and its lock-free fault-tolerant
-// implementation DFLF — lives in internal/core together with every baseline
-// the paper compares against (Static, Naive-dynamic and Dynamic-Traversal
-// PageRank, each barrier-based and lock-free). Supporting substrates:
+// implementation DFLF — lives in internal/core together with every
+// baseline the paper compares against (Static, Naive-dynamic and
+// Dynamic-Traversal PageRank, each barrier-based and lock-free).
+// Supporting substrates:
 //
 //	internal/avec      atomic float64 and flag vectors
 //	internal/graph     CSR snapshots (incremental delta-merge + parallel
@@ -14,7 +39,7 @@
 //	internal/gen       synthetic stand-ins for the paper's datasets
 //	internal/batch     batch-update generation and temporal replay
 //	internal/sched     dynamic chunk scheduling (uniform and edge-balanced),
-//	                   instrumented barriers
+//	                   instrumented barriers, abortable work pools
 //	internal/fault     thread delay and crash-stop injection
 //	internal/traverse  reachability marking for the DT baseline
 //	internal/metrics   norms, geometric means, table formatting
@@ -30,16 +55,14 @@
 // and the chunk schedulers place chunk boundaries by prefix in-degree so
 // power-law hub rows do not serialise a pass behind one worker.
 //
-// Binaries: cmd/prbench regenerates every table and figure (and, with
-// -benchjson, records kernel and snapshot micro-benchmarks machine-readably,
-// e.g. BENCH_PR1.json), cmd/prgen emits datasets as edge lists, cmd/prrank
-// ranks an edge list with any variant. Runnable examples live under
-// examples/. The benchmarks in this root package (bench_test.go) run trimmed
-// versions of every experiment under `go test -bench`.
+// Binaries (all built on the public API): cmd/prbench regenerates every
+// table and figure (and, with -benchjson, records kernel and snapshot
+// micro-benchmarks machine-readably, e.g. BENCH_PR2.json), cmd/prgen emits
+// datasets as edge lists, cmd/prrank ranks an edge list with any variant.
+// Runnable examples live under examples/. The benchmarks in this root
+// package (bench_test.go) run trimmed versions of every experiment under
+// `go test -bench`.
 //
-// See README.md for a guided tour. (DESIGN.md — the system inventory and
-// paper→reproduction substitution map — and EXPERIMENTS.md — measured
-// results against the paper's claims — are referenced by earlier notes but
-// do not exist yet; until they land, README.md is the authoritative
-// overview.)
+// See README.md for a guided tour and DESIGN.md for the system inventory
+// and the paper→reproduction substitution map.
 package dfpr

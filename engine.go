@@ -1,0 +1,354 @@
+package dfpr
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dfpr/internal/core"
+	"dfpr/internal/graph"
+	"dfpr/internal/snapshot"
+)
+
+// Edge is a directed edge from U to V.
+type Edge struct {
+	U, V uint32
+}
+
+// Engine is the service entry point of this module: a dynamic graph behind
+// a versioned snapshot store, plus a PageRank vector kept current with the
+// configured algorithm (lock-free Dynamic Frontier by default).
+//
+// The intended loop of a live-serving deployment:
+//
+//	eng, _ := dfpr.New(n, edges)
+//	eng.Rank(ctx)                  // initial convergence
+//	...
+//	eng.Apply(ctx, del, ins)       // updates arrive in batches
+//	eng.Rank(ctx)                  // incremental refresh, frontier-sized work
+//
+// Apply is safe for concurrent use and never blocks readers; Rank calls are
+// serialised with each other. Readers use Snapshot for the latest computed
+// ranks without blocking behind a refresh, or Subscribe for a push stream
+// of versioned rank updates. Every Rank honours its context: cancellation
+// aborts a converging run promptly, with all worker goroutines joined
+// before Rank returns ErrCanceled, and leaves the engine's ranks at the
+// last completed version.
+type Engine struct {
+	opts  settings
+	store *snapshot.Store
+
+	// mu serialises Rank (and the lazily created ranker it drives).
+	mu     sync.Mutex
+	ranker *snapshot.Ranker
+	closed bool
+
+	// closeMu excludes Apply from a concurrent Close without making Apply
+	// wait behind Rank: writers share the read side, Close takes the write
+	// side. Lock order: mu before closeMu before subMu.
+	closeMu  sync.RWMutex
+	applyble bool // false once closed; guarded by closeMu
+
+	// pub is the latest published rank state, read lock-free by Snapshot;
+	// refreshes/rebuilds mirror the ranker's counters for lock-free Stats.
+	pub       atomic.Pointer[published]
+	refreshes atomic.Int64
+	rebuilds  atomic.Int64
+
+	// subMu guards the subscriber table. Lock order: mu before subMu.
+	subMu     sync.Mutex
+	subs      map[uint64]*Subscription
+	nextSub   uint64
+	subClosed bool
+}
+
+// published is the rank state Snapshot reads without taking the rank lock.
+type published struct {
+	seq   uint64
+	ranks []float64
+}
+
+// New builds an engine over a directed graph with vertices 0..n-1 and the
+// given initial edges. Self-loops are added to every vertex (the paper's
+// dead-end elimination, §5.1.3) and the result is sealed as version 0.
+// No ranks are computed yet — the first Rank call converges them.
+func New(n int, edges []Edge, opts ...Option) (*Engine, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("dfpr: negative vertex count %d", n)
+	}
+	st := defaultSettings()
+	for _, opt := range opts {
+		if err := opt(&st); err != nil {
+			return nil, err
+		}
+	}
+	ges, err := toInternal(edges, n)
+	if err != nil {
+		return nil, err
+	}
+	d := graph.NewDynamic(n)
+	for _, e := range ges {
+		d.AddEdge(e.U, e.V)
+	}
+	return &Engine{
+		opts:     st,
+		store:    snapshot.NewStore(d, st.history),
+		subs:     make(map[uint64]*Subscription),
+		applyble: true,
+	}, nil
+}
+
+// Apply applies one batch update — del edges removed, ins edges added — and
+// publishes the resulting graph version, returning its sequence number.
+// Batches from concurrent callers are serialised; readers are never
+// blocked. Ranks do not move until the next Rank call. The context is
+// consulted before the (brief, incremental) snapshot construction starts;
+// an already-canceled context applies nothing.
+func (e *Engine) Apply(ctx context.Context, del, ins []Edge) (uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("dfpr: apply aborted: %w", err)
+	}
+	n := e.store.Current().G.N()
+	gdel, err := toInternal(del, n)
+	if err != nil {
+		return 0, err
+	}
+	gins, err := toInternal(ins, n)
+	if err != nil {
+		return 0, err
+	}
+	// The read side keeps concurrent Applies concurrent (the store
+	// serialises them itself) while excluding Close, so no version can be
+	// published after Close returns.
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if !e.applyble {
+		return 0, ErrClosed
+	}
+	_, next := e.store.ApplyEdges(gdel, gins)
+	return next.Seq, nil
+}
+
+func toInternal(edges []Edge, n int) ([]graph.Edge, error) {
+	if len(edges) == 0 {
+		return nil, nil
+	}
+	out := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		if int(e.U) >= n || int(e.V) >= n {
+			return nil, fmt.Errorf("dfpr: edge %d→%d out of range [0, %d)", e.U, e.V, n)
+		}
+		out[i] = graph.Edge{U: e.U, V: e.V}
+	}
+	return out, nil
+}
+
+// Rank brings the PageRank vector up to the latest published graph version
+// and returns it. The first call converges ranks statically; subsequent
+// calls replay the pending batches with the configured algorithm, touching
+// only frontier-sized work for the Dynamic Frontier variants, and fall back
+// to one static recomputation when the engine lagged beyond the retained
+// history. Successful calls that advance the version push an Update to
+// every subscriber.
+//
+// Rank honours ctx: cancellation or deadline aborts the run in progress,
+// all worker goroutines exit before Rank returns, the error satisfies
+// errors.Is(err, ErrCanceled), and the engine's ranks remain at the last
+// completed version. On failure (cancellation, or injected crashes /
+// broken barrier with the static fallback disabled) the returned Result
+// carries the failed run's diagnostics — but no rank vector — alongside
+// the error; versions that completed before the failure become visible on
+// the next successful Rank.
+func (e *Engine) Rank(ctx context.Context) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	if e.ranker == nil {
+		rk, res, err := snapshot.NewRanker(ctx, e.store, e.opts.algo, e.opts.cfg)
+		if err != nil {
+			return failedResultOf(res, 0), err
+		}
+		rk.DisableFallback = e.opts.noFallback
+		e.ranker = rk
+		// The initial convergence covers every version up to the current
+		// one, matching what Behind() reported before the call.
+		out := resultOf(res, int(rk.Seq())+1, false)
+		out.Seq = rk.Seq()
+		e.publishLocked(out)
+		return out, nil
+	}
+	rebuilds := e.ranker.Rebuilds
+	res, advanced, err := e.ranker.Refresh(ctx)
+	e.syncStatsLocked()
+	if err != nil {
+		// The failed run's vector may be partial (a canceled pass stops
+		// mid-iteration), so it is not servable; the Result carries the
+		// run's diagnostics only. Versions that completed before the
+		// failure become visible on the next successful Rank.
+		out := failedResultOf(res, advanced)
+		out.Seq = e.ranker.Seq()
+		return out, err
+	}
+	out := resultOf(res, advanced, e.ranker.Rebuilds > rebuilds)
+	out.Seq = e.ranker.Seq()
+	if advanced > 0 {
+		e.publishLocked(out)
+	}
+	return out, nil
+}
+
+// RankTrace is Rank with frontier observability for the Dynamic Frontier
+// algorithms: each pending batch is replayed with a deterministic
+// single-threaded traced run, and the affected-set size after every pass is
+// returned alongside the result. The initial convergence must already have
+// happened (call Rank once first); algorithms other than DFBB/DFLF are
+// rejected.
+func (e *Engine) RankTrace(ctx context.Context) (*Result, []FrontierStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, nil, ErrClosed
+	}
+	if e.ranker == nil {
+		return nil, nil, fmt.Errorf("dfpr: RankTrace before initial Rank (no baseline to trace from)")
+	}
+	rebuilds := e.ranker.Rebuilds
+	res, series, advanced, err := e.ranker.RefreshTrace(ctx)
+	e.syncStatsLocked()
+	if err != nil {
+		out := failedResultOf(res, advanced)
+		out.Seq = e.ranker.Seq()
+		return out, nil, err
+	}
+	out := resultOf(res, advanced, e.ranker.Rebuilds > rebuilds)
+	out.Seq = e.ranker.Seq()
+	if advanced > 0 {
+		e.publishLocked(out)
+	}
+	stats := make([]FrontierStats, len(series))
+	for i, s := range series {
+		stats[i] = FrontierStats{Affected: s.Affected, NotConverged: s.NotConverged}
+	}
+	return out, stats, nil
+}
+
+// resultOf converts an internal result, copying the rank vector so the
+// caller owns what it receives.
+func resultOf(res core.Result, advanced int, rebuilt bool) *Result {
+	out := &Result{
+		Advanced:       advanced,
+		Rebuilt:        rebuilt,
+		Iterations:     res.Iterations,
+		Converged:      res.Converged,
+		CrashedWorkers: res.CrashedWorkers,
+		Elapsed:        res.Elapsed,
+		BarrierWait:    res.BarrierWait,
+	}
+	if res.Ranks != nil {
+		out.Ranks = append([]float64(nil), res.Ranks...)
+	}
+	return out
+}
+
+// failedResultOf converts the result of a failed or canceled run: the
+// diagnostics are kept, the rank vector is dropped — a run that did not
+// complete may hold a mid-iteration vector that must not be served.
+func failedResultOf(res core.Result, advanced int) *Result {
+	res.Ranks = nil
+	return resultOf(res, advanced, false)
+}
+
+// Snapshot returns the engine's current state without blocking behind an
+// in-flight Rank: the latest published graph version, and a copy of the
+// latest computed ranks (which may lag the graph; compare Seq and RankSeq).
+func (e *Engine) Snapshot() Snapshot {
+	// Load pub before the store: pub trails the store monotonically, so
+	// this order keeps RankSeq ≤ Seq even when an Apply+Rank lands between
+	// the two loads (the reverse order could observe a rank version newer
+	// than the graph version it reported).
+	p := e.pub.Load()
+	v := e.store.Current()
+	s := Snapshot{Seq: v.Seq, N: v.G.N(), M: v.G.M()}
+	if p != nil {
+		s.RankSeq = p.seq
+		s.Ranks = append([]float64(nil), p.ranks...)
+	}
+	return s
+}
+
+// Version returns the latest published graph version.
+func (e *Engine) Version() uint64 { return e.store.Current().Seq }
+
+// Behind reports how many published versions the latest computed ranks lag
+// the graph. Before the first Rank it counts every version including the
+// initial one.
+func (e *Engine) Behind() uint64 {
+	// pub before store, as in Snapshot: the reverse order could underflow
+	// when a concurrent Apply+Rank advances both between the loads.
+	p := e.pub.Load()
+	seq := e.store.Current().Seq
+	if p == nil {
+		return seq + 1
+	}
+	return seq - p.seq
+}
+
+// Stats reports how the engine has kept its ranks fresh so far. Like
+// Snapshot, it never blocks behind an in-flight Rank; counters reflect the
+// most recently finished call.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Refreshes: int(e.refreshes.Load()),
+		Rebuilds:  int(e.rebuilds.Load()),
+	}
+}
+
+// syncStatsLocked mirrors the ranker's counters into the atomics Stats
+// reads. Caller holds e.mu.
+func (e *Engine) syncStatsLocked() {
+	e.refreshes.Store(int64(e.ranker.Refreshes))
+	e.rebuilds.Store(int64(e.ranker.Rebuilds))
+}
+
+// SetFaultPlan replaces the fault-injection plan applied to subsequent
+// runs, validating it like WithFaultPlan does. It is the chaos-testing
+// control: converge cleanly, arm a plan, apply a batch, and observe how
+// the configured algorithm behaves under delays or crash-stop failures.
+func (e *Engine) SetFaultPlan(p FaultPlan) error {
+	if p.DelayProb < 0 || p.DelayProb > 1 {
+		return fmt.Errorf("dfpr: delay probability %v out of range [0, 1]", p.DelayProb)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.opts.cfg.Fault = p.internal()
+	if e.ranker != nil {
+		e.ranker.SetFault(p.internal())
+	}
+	return nil
+}
+
+// Close marks the engine closed and closes every subscription's channel.
+// In-flight Rank calls finish first (cancel their contexts to hurry them).
+// Close is idempotent; subsequent Rank and Apply calls return ErrClosed.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	e.closeMu.Lock()
+	e.applyble = false
+	e.closeMu.Unlock()
+	e.subMu.Lock()
+	e.subClosed = true
+	for id, sub := range e.subs {
+		delete(e.subs, id)
+		close(sub.ch)
+	}
+	e.subMu.Unlock()
+	return nil
+}

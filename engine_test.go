@@ -1,0 +1,453 @@
+package dfpr
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"dfpr/internal/batch"
+	"dfpr/internal/core"
+	"dfpr/internal/gen"
+	"dfpr/internal/graph"
+	"dfpr/internal/metrics"
+)
+
+// testGraph builds a small RMAT graph and returns it in both the public
+// edge form and as a mirror Dynamic for generating batches.
+func testGraph(t testing.TB, scale, seed int64) (int, []Edge, *graph.Dynamic) {
+	t.Helper()
+	d := gen.RMAT(int(scale), 8, seed)
+	edges := make([]Edge, 0, d.M())
+	for u := uint32(0); int(u) < d.N(); u++ {
+		for _, v := range d.Out(u) {
+			edges = append(edges, Edge{U: u, V: v})
+		}
+	}
+	return d.N(), edges, d
+}
+
+func toPublic(edges []graph.Edge) []Edge {
+	out := make([]Edge, len(edges))
+	for i, e := range edges {
+		out[i] = Edge{U: e.U, V: e.V}
+	}
+	return out
+}
+
+// TestEngineRankMatchesCoreRun pins the public API to the internal engine
+// room: an Engine's initial Rank must equal core.StaticBB bit-for-bit
+// tolerance-wise, and its incremental Rank after one Apply must equal
+// core.Run on the identical transition, within L∞ ≤ 1e-12 for the
+// deterministic barrier-based variants. Lock-free variants are
+// asynchronous (nondeterministic interleavings), so they are pinned to the
+// same fixpoint within a tolerance-scale bound instead.
+func TestEngineRankMatchesCoreRun(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		pub   Algorithm
+		inner core.Algo
+		exact bool
+	}{
+		{StaticBB, core.AlgoStaticBB, true},
+		{NDBB, core.AlgoNDBB, true},
+		{DTBB, core.AlgoDTBB, true},
+		{DFBB, core.AlgoDFBB, true},
+		{StaticLF, core.AlgoStaticLF, false},
+		{NDLF, core.AlgoNDLF, false},
+		{DTLF, core.AlgoDTLF, false},
+		{DFLF, core.AlgoDFLF, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.pub.String(), func(t *testing.T) {
+			n, edges, mirror := testGraph(t, 10, 21)
+			tol := 1e-9
+			up := batch.Random(mirror, 40, 3)
+
+			// Public path.
+			eng, err := New(n, edges,
+				WithAlgorithm(tc.pub), WithThreads(4), WithTolerance(tol))
+			if err != nil {
+				t.Fatal(err)
+			}
+			initial, err := eng.Rank(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.Apply(ctx, toPublic(up.Del), toPublic(up.Ins)); err != nil {
+				t.Fatal(err)
+			}
+			res, err := eng.Rank(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Seq != 1 || res.Advanced != 1 || !res.Converged {
+				t.Fatalf("refresh: seq=%d advanced=%d converged=%v", res.Seq, res.Advanced, res.Converged)
+			}
+
+			// Identical manual path through internal/core.
+			cfg := core.Config{Threads: 4, Tol: tol}
+			d := graph.NewDynamic(n)
+			for _, e := range edges {
+				d.AddEdge(e.U, e.V)
+			}
+			d.EnsureSelfLoops()
+			g0 := d.Snapshot()
+			var pre core.Result
+			if tc.pub.LockFree() && !tc.pub.Dynamic() {
+				pre = core.RunCtx(ctx, tc.inner, core.Input{GNew: g0}, cfg)
+			} else {
+				pre = core.StaticBB(g0, cfg)
+			}
+			gOld, gNew := batch.Transition(d, up)
+			want := core.Run(tc.inner, core.Input{
+				GOld: gOld, GNew: gNew, Del: up.Del, Ins: up.Ins, Prev: pre.Ranks,
+			}, cfg)
+			if want.Err != nil {
+				t.Fatal(want.Err)
+			}
+
+			bound := 1e-12
+			if !tc.exact {
+				bound = 20 * tol // LF runs are asynchronous; same fixpoint, looser pin
+			}
+			if e := metrics.LInf(initial.Ranks, pre.Ranks); tc.exact && e > 1e-12 {
+				t.Errorf("initial ranks deviate from StaticBB by %g", e)
+			}
+			if e := metrics.LInf(res.Ranks, want.Ranks); e > bound {
+				t.Errorf("refresh ranks deviate from core.Run by %g (bound %g)", e, bound)
+			}
+			if tc.exact && res.Iterations != want.Iterations {
+				t.Errorf("iterations: engine %d, core %d", res.Iterations, want.Iterations)
+			}
+		})
+	}
+}
+
+// TestRankCancelPromptNoGoroutineLeak is the acceptance guard for context
+// threading: a Rank that would effectively run forever must return promptly
+// with ErrCanceled when its context dies, with every worker goroutine
+// joined (no leak), leaving the engine usable.
+func TestRankCancelPromptNoGoroutineLeak(t *testing.T) {
+	n, edges, _ := testGraph(t, 12, 5)
+	eng, err := New(n, edges,
+		WithAlgorithm(DFLF),
+		WithThreads(4),
+		WithTolerance(1e-300), // unreachable before the FP fixpoint…
+		WithMaxIter(1<<30),    // …and no iteration bound to save us
+		WithFaultPlan(FaultPlan{DelayProb: 5e-4, DelayDur: time.Millisecond, Seed: 1}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = eng.Rank(ctx)
+	took := time.Since(start)
+	cancel()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if took > 5*time.Second {
+		t.Fatalf("cancellation took %v", took)
+	}
+
+	// All worker goroutines must be joined shortly after Rank returns
+	// (AfterFunc's callback goroutine needs a moment to finish).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before Rank, %d after cancel", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The engine survives: disarm the stall and rank for real.
+	if err := eng.SetFaultPlan(FaultPlan{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Rank(context.Background())
+	if err != nil {
+		t.Fatalf("post-cancel Rank: %v", err)
+	}
+	if res.Seq != 0 || len(res.Ranks) != n {
+		t.Fatalf("post-cancel Rank: seq=%d len=%d", res.Seq, len(res.Ranks))
+	}
+}
+
+func TestSubscribeConflatesToLatest(t *testing.T) {
+	ctx := context.Background()
+	n, edges, mirror := testGraph(t, 9, 7)
+	eng, err := New(n, edges, WithThreads(4), WithTolerance(1e-6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := eng.Subscribe()
+	defer sub.Close()
+
+	if _, err := eng.Rank(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		up := batch.Random(mirror, 10, int64(i))
+		mirror.Apply(up.Del, up.Ins)
+		if _, err := eng.Apply(ctx, toPublic(up.Del), toPublic(up.Ins)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Rank(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Four updates were published (v0..v3) and none consumed: the stream
+	// must have conflated down to exactly the newest.
+	select {
+	case u := <-sub.Updates():
+		if u.Seq != 3 {
+			t.Errorf("conflated update Seq = %d, want 3", u.Seq)
+		}
+		if len(u.Ranks) != n || !u.Converged {
+			t.Errorf("update malformed: len=%d converged=%v", len(u.Ranks), u.Converged)
+		}
+	default:
+		t.Fatal("no update pending")
+	}
+	select {
+	case u := <-sub.Updates():
+		t.Errorf("second update pending (Seq %d); stream did not conflate", u.Seq)
+	default:
+	}
+}
+
+func TestEngineSnapshotAndVersioning(t *testing.T) {
+	ctx := context.Background()
+	n, edges, mirror := testGraph(t, 9, 8)
+	eng, err := New(n, edges, WithThreads(2), WithTolerance(1e-6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Behind(); got != 1 {
+		t.Errorf("Behind before first Rank = %d, want 1 (version 0 unranked)", got)
+	}
+	if s := eng.Snapshot(); s.Ranks != nil || s.Seq != 0 {
+		t.Errorf("pre-Rank snapshot: seq=%d ranks=%v", s.Seq, s.Ranks != nil)
+	}
+	if _, err := eng.Rank(ctx); err != nil {
+		t.Fatal(err)
+	}
+	up := batch.Random(mirror, 8, 1)
+	seq, err := eng.Apply(ctx, toPublic(up.Del), toPublic(up.Ins))
+	if err != nil || seq != 1 {
+		t.Fatalf("Apply: seq=%d err=%v", seq, err)
+	}
+	if eng.Version() != 1 || eng.Behind() != 1 {
+		t.Errorf("version=%d behind=%d after apply", eng.Version(), eng.Behind())
+	}
+	s := eng.Snapshot()
+	if s.Seq != 1 || s.RankSeq != 0 || len(s.Ranks) != n {
+		t.Errorf("snapshot lagging wrong: seq=%d rankSeq=%d len=%d", s.Seq, s.RankSeq, len(s.Ranks))
+	}
+	// Snapshot ranks are a defensive copy.
+	s.Ranks[0] = 42
+	if eng.Snapshot().Ranks[0] == 42 {
+		t.Error("Snapshot exposed internal rank storage")
+	}
+	if _, err := eng.Rank(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Behind() != 0 {
+		t.Errorf("behind=%d after refresh", eng.Behind())
+	}
+	st := eng.Stats()
+	if st.Refreshes != 1 || st.Rebuilds != 0 {
+		t.Errorf("stats=%+v", st)
+	}
+}
+
+func TestEngineClose(t *testing.T) {
+	ctx := context.Background()
+	n, edges, _ := testGraph(t, 9, 9)
+	eng, err := New(n, edges, WithThreads(2), WithTolerance(1e-6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := eng.Subscribe()
+	if _, err := eng.Rank(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal("Close not idempotent:", err)
+	}
+	if _, err := eng.Rank(ctx); !errors.Is(err, ErrClosed) {
+		t.Errorf("Rank after Close: %v", err)
+	}
+	if _, err := eng.Apply(ctx, nil, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("Apply after Close: %v", err)
+	}
+	// The pending v0 update is still readable, then the channel closes.
+	if u, ok := <-sub.Updates(); !ok || u.Seq != 0 {
+		t.Errorf("pending update after close: ok=%v seq=%d", ok, u.Seq)
+	}
+	if _, ok := <-sub.Updates(); ok {
+		t.Error("subscription channel not closed")
+	}
+	if _, ok := <-eng.Subscribe().Updates(); ok {
+		t.Error("Subscribe after Close returned a live channel")
+	}
+	sub.Close() // must not panic on double close
+}
+
+func TestEngineFaultDrillWithoutFallback(t *testing.T) {
+	ctx := context.Background()
+	n, edges, mirror := testGraph(t, 9, 10)
+	eng, err := New(n, edges,
+		WithAlgorithm(DFLF), WithThreads(4), WithTolerance(1e-6),
+		WithStaticFallback(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Rank(ctx); err != nil {
+		t.Fatal(err)
+	}
+	up := batch.Random(mirror, 12, 2)
+	if _, err := eng.Apply(ctx, toPublic(up.Del), toPublic(up.Ins)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SetFaultPlan(FaultPlan{DelayProb: 2}); err == nil {
+		t.Error("SetFaultPlan accepted an out-of-range delay probability")
+	}
+	if err := eng.SetFaultPlan(FaultPlan{CrashWorkers: CrashSet(4, 4), Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Rank(ctx)
+	if err == nil {
+		t.Fatal("all-workers-crashed Rank reported success")
+	}
+	if errors.Is(err, ErrCanceled) {
+		t.Errorf("crash failure misreported as cancellation: %v", err)
+	}
+	if res == nil || res.CrashedWorkers != 4 {
+		t.Fatalf("failed Result lacks diagnostics: %+v", res)
+	}
+	if s := eng.Snapshot(); s.RankSeq != 0 {
+		t.Errorf("failed refresh advanced RankSeq to %d", s.RankSeq)
+	}
+	if eng.Stats().Rebuilds != 0 {
+		t.Error("fallback ran despite WithStaticFallback(false)")
+	}
+	// Disarm and recover.
+	if err := eng.SetFaultPlan(FaultPlan{}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := eng.Rank(ctx)
+	if err != nil || rec.Seq != 1 || !rec.Converged {
+		t.Fatalf("recovery: %+v err=%v", rec, err)
+	}
+}
+
+func TestEngineRankTrace(t *testing.T) {
+	ctx := context.Background()
+	n, edges, mirror := testGraph(t, 9, 11)
+	eng, err := New(n, edges,
+		WithAlgorithm(DFLF), WithThreads(1), WithTolerance(1e-6), WithFrontierTolerance(1e-6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.RankTrace(ctx); err == nil {
+		t.Error("RankTrace before Rank accepted")
+	}
+	if _, err := eng.Rank(ctx); err != nil {
+		t.Fatal(err)
+	}
+	up := batch.Random(mirror, 8, 4)
+	if _, err := eng.Apply(ctx, toPublic(up.Del), toPublic(up.Ins)); err != nil {
+		t.Fatal(err)
+	}
+	res, series, err := eng.RankTrace(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Seq != 1 {
+		t.Fatalf("trace result: converged=%v seq=%d", res.Converged, res.Seq)
+	}
+	if len(series) == 0 || series[0].Affected == 0 {
+		t.Fatalf("frontier series empty or starts at zero: %v", series)
+	}
+	// Non-DF algorithms cannot trace.
+	nd, err := New(n, edges, WithAlgorithm(NDLF), WithThreads(1), WithTolerance(1e-6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nd.Rank(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := nd.RankTrace(ctx); err == nil {
+		t.Error("RankTrace accepted a non-DF algorithm")
+	}
+}
+
+func TestOptionValidationAndParse(t *testing.T) {
+	bad := []Option{
+		WithAlpha(0), WithAlpha(1), WithTolerance(0), WithFrontierTolerance(-1),
+		WithMaxIter(0), WithThreads(-1), WithChunk(-1), WithHistory(-1), WithHistory(0),
+		WithAlgorithm(Algorithm(99)), WithFaultPlan(FaultPlan{DelayProb: 2}),
+	}
+	for i, opt := range bad {
+		if _, err := New(4, nil, opt); err == nil {
+			t.Errorf("bad option %d accepted", i)
+		}
+	}
+	if _, err := New(-1, nil); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := New(4, []Edge{{U: 9, V: 0}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+
+	a, err := ParseAlgorithm("dflf")
+	if err != nil || a != DFLF {
+		t.Errorf("ParseAlgorithm(dflf) = %v, %v", a, err)
+	}
+	if _, err := ParseAlgorithm("nope"); err == nil || !strings.Contains(err.Error(), "DFLF") {
+		t.Errorf("unknown-algorithm error does not list valid names: %v", err)
+	}
+	for _, a := range Algorithms() {
+		back, err := ParseAlgorithm(a.String())
+		if err != nil || back != a {
+			t.Errorf("round-trip %v: %v %v", a, back, err)
+		}
+	}
+}
+
+func TestApplyContextAndValidation(t *testing.T) {
+	n, edges, _ := testGraph(t, 9, 12)
+	eng, err := New(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Apply(ctx, nil, []Edge{{U: 0, V: 1}}); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled Apply: %v", err)
+	}
+	if eng.Version() != 0 {
+		t.Error("canceled Apply published a version")
+	}
+	if _, err := eng.Apply(context.Background(), nil, []Edge{{U: uint32(n), V: 0}}); err == nil {
+		t.Error("out-of-range edge accepted by Apply")
+	}
+}

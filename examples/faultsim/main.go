@@ -1,5 +1,7 @@
 // Faultsim: demonstrate the fault tolerance of lock-free Dynamic Frontier
-// PageRank (the paper's §5.3–§5.4, Figures 8–9, as a runnable program).
+// PageRank (the paper's §5.3–§5.4, Figures 8–9, as a runnable program),
+// chaos-tested through the public API: converge cleanly, arm a FaultPlan,
+// apply a batch, and watch Rank.
 //
 // The example runs the same batch update three ways:
 //
@@ -8,7 +10,7 @@
 //     barrier-based DFBB stalls on every delayed straggler while DFLF's
 //     remaining workers keep making progress;
 //  3. with half the workers crash-stopping mid-computation — DFBB deadlocks
-//     (our barrier detects it deterministically) while DFLF still converges
+//     (the barrier detects it deterministically) while DFLF still converges
 //     to the correct ranks.
 //
 // Run with:
@@ -17,58 +19,95 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"dfpr"
 	"dfpr/internal/batch"
-	"dfpr/internal/core"
-	"dfpr/internal/fault"
+	"dfpr/internal/exutil"
 	"dfpr/internal/gen"
 	"dfpr/internal/metrics"
 )
 
 func main() {
+	ctx := context.Background()
 	const workers = 8
 	spec := gen.Spec{Name: "web", Class: gen.Web, N: 1 << 13, Deg: 12, Seed: 99}
 	d := spec.Build()
-	g := d.Snapshot()
-	cfg := core.Config{Threads: workers, Tol: 1e-3 / float64(g.N())}
-	cfg.FrontierTol = cfg.Tol
+	n, edges := exutil.Flatten(d)
+	tol := 1e-3 / float64(n)
+	up := batch.Random(d, d.M()/1000, 5)
 
-	prev := core.StaticLF(g, cfg).Ranks
-	up := batch.Random(d, g.M()/1000, 5)
-	gOld, gNew := batch.Transition(d, up)
-	in := core.Input{GOld: gOld, GNew: gNew, Del: up.Del, Ins: up.Ins, Prev: prev}
-	ref := core.Reference(gNew, core.Config{})
+	newEngine := func(a dfpr.Algorithm) *dfpr.Engine {
+		eng, err := dfpr.New(n, edges,
+			dfpr.WithAlgorithm(a),
+			dfpr.WithThreads(workers),
+			dfpr.WithTolerance(tol),
+			dfpr.WithFrontierTolerance(tol),
+			// Fault drills want the failure itself, not a rescue attempt
+			// that would run under the same injected faults.
+			dfpr.WithStaticFallback(false),
+		)
+		if err != nil {
+			panic(err)
+		}
+		return eng
+	}
 
-	report := func(label string, a core.Algo, plan fault.Plan) {
-		c := cfg
-		c.Fault = plan
-		res := core.Run(a, in, c)
-		status := fmt.Sprintf("converged in %s (%d iterations, err %.1e)",
-			metrics.FormatDur(res.Elapsed), res.Iterations, metrics.LInf(res.Ranks, ref))
-		if res.Err != nil {
-			status = "FAILED: " + res.Err.Error()
+	// Fault-free reference ranks on the post-update graph.
+	refEng := newEngine(dfpr.DFBB)
+	if _, err := refEng.Rank(ctx); err != nil {
+		panic(err)
+	}
+	if _, err := refEng.Apply(ctx, exutil.Convert(up.Del), exutil.Convert(up.Ins)); err != nil {
+		panic(err)
+	}
+	refRes, err := refEng.Rank(ctx)
+	if err != nil {
+		panic(err)
+	}
+	ref := refRes.Ranks
+
+	report := func(label string, a dfpr.Algorithm, plan dfpr.FaultPlan) {
+		eng := newEngine(a)
+		if _, err := eng.Rank(ctx); err != nil { // clean convergence first
+			panic(err)
+		}
+		if _, err := eng.Apply(ctx, exutil.Convert(up.Del), exutil.Convert(up.Ins)); err != nil {
+			panic(err)
+		}
+		if err := eng.SetFaultPlan(plan); err != nil { // faults hit only the dynamic refresh
+			panic(err)
+		}
+		res, err := eng.Rank(ctx)
+		var status string
+		if err != nil {
+			// A failed Rank carries diagnostics but no rank vector.
+			status = fmt.Sprintf("FAILED (%d workers crashed): %v", res.CrashedWorkers, err)
+		} else {
+			status = fmt.Sprintf("converged in %s (%d iterations, err %.1e)",
+				metrics.FormatDur(res.Elapsed), res.Iterations, metrics.LInf(res.Ranks, ref))
 		}
 		fmt.Printf("  %-28s %s\n", label+":", status)
 	}
 
 	fmt.Printf("graph: %d vertices, %d edges; batch: %d updates; %d workers\n\n",
-		g.N(), g.M(), up.Size(), workers)
+		n, d.M(), up.Size(), workers)
 
 	fmt.Println("fault-free baseline")
-	report("DFBB", core.AlgoDFBB, fault.Plan{})
-	report("DFLF", core.AlgoDFLF, fault.Plan{})
+	report("DFBB", dfpr.DFBB, dfpr.FaultPlan{})
+	report("DFLF", dfpr.DFLF, dfpr.FaultPlan{})
 
 	fmt.Println("\nrandom thread delays (expected ~1 sleep of 2ms per iteration)")
-	delay := fault.Plan{DelayProb: 1 / float64(g.N()), DelayDur: 2 * time.Millisecond, Seed: 1}
-	report("DFBB under delays", core.AlgoDFBB, delay)
-	report("DFLF under delays", core.AlgoDFLF, delay)
+	delay := dfpr.FaultPlan{DelayProb: 1 / float64(n), DelayDur: 2 * time.Millisecond, Seed: 1}
+	report("DFBB under delays", dfpr.DFBB, delay)
+	report("DFLF under delays", dfpr.DFLF, delay)
 
 	fmt.Printf("\ncrash-stop: %d of %d workers die mid-computation\n", workers/2, workers)
-	crash := fault.Plan{CrashWorkers: fault.CrashSet(workers/2, workers), CrashHorizon: g.N() / 2, Seed: 2}
-	report("DFBB with crashes", core.AlgoDFBB, crash)
-	report("DFLF with crashes", core.AlgoDFLF, crash)
+	crash := dfpr.FaultPlan{CrashWorkers: dfpr.CrashSet(workers/2, workers), CrashHorizon: n / 2, Seed: 2}
+	report("DFBB with crashes", dfpr.DFBB, crash)
+	report("DFLF with crashes", dfpr.DFLF, crash)
 
 	fmt.Println("\nlock-freedom in action: the barrier-based variant cannot outlive a")
 	fmt.Println("single crash, while DFLF finishes at reduced speed with correct ranks.")

@@ -5,7 +5,8 @@
 // rather than the whole graph. This example applies the same-size batch to
 // two structurally opposite graphs — a high-diameter road network and a
 // small-world web graph — and prints the affected-set size per iteration as
-// an ASCII curve, with and without frontier pruning.
+// an ASCII curve, with and without frontier pruning, using the public
+// engine's traced refresh (Engine.RankTrace).
 //
 // The contrast explains the paper's Figure 7(a) observation directly: on
 // the road network the frontier stays a tiny fraction of the graph (DF wins
@@ -18,34 +19,52 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"dfpr"
 	"dfpr/internal/batch"
-	"dfpr/internal/core"
+	"dfpr/internal/exutil"
 	"dfpr/internal/gen"
 )
 
 func main() {
+	ctx := context.Background()
 	specs := []gen.Spec{
 		{Name: "road (high diameter)", Class: gen.Road, N: 1 << 14, Deg: 3, Seed: 1},
 		{Name: "web (small world)", Class: gen.Web, N: 1 << 14, Deg: 12, Seed: 2},
 	}
 	for _, spec := range specs {
 		d := spec.Build()
-		g := d.Snapshot()
-		tol := 1e-3 / float64(g.N())
-		cfg := core.Config{Threads: 1, Tol: tol, FrontierTol: tol}
-		prev := core.StaticBB(g, cfg).Ranks
+		n, edges := exutil.Flatten(d)
+		tol := 1e-3 / float64(n)
 		up := batch.Random(d, 8, 7)
-		gOld, gNew := batch.Transition(d, up)
 
 		fmt.Printf("\n=== %s — %d vertices, %d edges, batch of %d updates ===\n",
-			spec.Name, g.N(), g.M(), up.Size())
+			spec.Name, n, d.M(), up.Size())
 		for _, prune := range []bool{false, true} {
-			c := cfg
-			c.PruneFrontier = prune
-			res, series := core.TraceDF(gOld, gNew, up.Del, up.Ins, prev, c)
+			eng, err := dfpr.New(n, edges,
+				dfpr.WithAlgorithm(dfpr.DFLF),
+				dfpr.WithThreads(1),
+				dfpr.WithTolerance(tol),
+				dfpr.WithFrontierTolerance(tol),
+				dfpr.WithPruneFrontier(prune),
+			)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := eng.Rank(ctx); err != nil { // static baseline to update from
+				panic(err)
+			}
+			if _, err := eng.Apply(ctx, exutil.Convert(up.Del), exutil.Convert(up.Ins)); err != nil {
+				panic(err)
+			}
+			res, series, err := eng.RankTrace(ctx)
+			if err != nil {
+				panic(err)
+			}
+
 			label := "DF  "
 			if prune {
 				label = "DF-P"
@@ -63,7 +82,7 @@ func main() {
 					bar = s.Affected * 50 / peak
 				}
 				fmt.Printf("  it %2d  %6d affected (%5.2f%% of graph) %s\n",
-					i, s.Affected, 100*float64(s.Affected)/float64(g.N()), strings.Repeat("#", bar))
+					i, s.Affected, 100*float64(s.Affected)/float64(n), strings.Repeat("#", bar))
 			}
 		}
 	}

@@ -1,14 +1,14 @@
 // Liveranker: keep PageRanks fresh while the graph keeps changing.
 //
-// This example exercises the snapshot substrate (§3.4 of the paper: graph
-// updates interleave with computation via read-only snapshots). A writer
-// applies a stream of batch updates to a snapshot.Store; a Ranker
-// subscribes and refreshes its rank vector with lock-free Dynamic Frontier
-// PageRank — sometimes after every batch, sometimes after falling several
-// batches behind (replaying the pending history), and once after falling
-// so far behind that the history was evicted and a static rebuild is the
-// only sound move. This is the deployment shape a downstream user actually
-// wants: core answers "one batch", snapshot answers "a living graph".
+// This is the deployment shape the public API is built for (§3.4 of the
+// paper: graph updates interleave with computation via read-only
+// snapshots). A writer streams batch updates into a dfpr.Engine; Rank
+// refreshes the vector with lock-free Dynamic Frontier PageRank — sometimes
+// after every batch, sometimes after falling several batches behind
+// (replaying the pending history), and once after falling so far behind
+// that the history was evicted and a static rebuild is the only sound move.
+// A subscriber receives every versioned rank update over a conflating
+// stream, the way a serving tier would.
 //
 // Run with:
 //
@@ -16,46 +16,81 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
+	"dfpr"
 	"dfpr/internal/batch"
-	"dfpr/internal/core"
+	"dfpr/internal/exutil"
 	"dfpr/internal/gen"
-	"dfpr/internal/graph"
 	"dfpr/internal/metrics"
-	"dfpr/internal/snapshot"
 )
 
 func main() {
-	d := gen.RMAT(13, 10, 42)
-	store := snapshot.NewStore(d, 4) // keep only 4 versions of history
-	n := store.Current().G.N()
-	cfg := core.Config{Threads: 4, Tol: 1e-3 / float64(n)}
-	cfg.FrontierTol = cfg.Tol
+	ctx := context.Background()
 
-	ranker, err := snapshot.NewRanker(store, core.AlgoDFLF, cfg)
+	// d mirrors the engine's graph so batch.Random can sample real
+	// deletions; every update is applied to both sides.
+	d := gen.RMAT(13, 10, 42)
+	n, edges := exutil.Flatten(d)
+	tol := 1e-3 / float64(n)
+	eng, err := dfpr.New(n, edges,
+		dfpr.WithAlgorithm(dfpr.DFLF),
+		dfpr.WithThreads(4),
+		dfpr.WithTolerance(tol),
+		dfpr.WithFrontierTolerance(tol),
+		dfpr.WithHistory(4), // keep only 4 versions of history
+	)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("store sealed: %d vertices, %d edges; ranker at version %d\n\n",
-		n, store.Current().G.M(), ranker.Seq())
+	// A reference engine recomputes statically at full precision — the
+	// yardstick column of the table below.
+	ref, err := dfpr.New(n, edges, dfpr.WithAlgorithm(dfpr.StaticBB), dfpr.WithThreads(4))
+	if err != nil {
+		panic(err)
+	}
 
+	sub := eng.Subscribe()
+	defer sub.Close()
+
+	if _, err := eng.Rank(ctx); err != nil {
+		panic(err)
+	}
+	snap := eng.Snapshot()
+	fmt.Printf("engine sealed: %d vertices, %d edges; ranks at version %d\n\n", snap.N, snap.M, snap.RankSeq)
+
+	seed := int64(0)
 	apply := func(k int) {
 		for i := 0; i < k; i++ {
-			up := batch.Random(graph.DynamicFromCSR(store.Current().G), 24, int64(ranker.Seq())*10+int64(i))
-			store.Apply(up)
+			seed++
+			up := batch.Random(d, 24, seed)
+			d.Apply(up.Del, up.Ins)
+			if _, err := eng.Apply(ctx, exutil.Convert(up.Del), exutil.Convert(up.Ins)); err != nil {
+				panic(err)
+			}
+			if _, err := ref.Apply(ctx, exutil.Convert(up.Del), exutil.Convert(up.Ins)); err != nil {
+				panic(err)
+			}
 		}
 	}
 	refresh := func(label string) {
-		behind := ranker.Behind()
-		res, advanced, err := ranker.Refresh()
+		behind := eng.Behind()
+		res, err := eng.Rank(ctx)
 		if err != nil {
 			panic(err)
 		}
-		ref := core.Reference(store.Current().G, core.Config{})
-		fmt.Printf("%-34s behind=%d advanced=%d refreshes=%d rebuilds=%d err=%.1e (%s)\n",
-			label, behind, advanced, ranker.Refreshes, ranker.Rebuilds,
-			metrics.LInf(ranker.Ranks(), ref), metrics.FormatDur(res.Elapsed))
+		refRes, err := ref.Rank(ctx)
+		if err != nil {
+			panic(err)
+		}
+		stats := eng.Stats()
+		// The subscription conflates: after a burst of versions the channel
+		// holds exactly the newest update.
+		u := <-sub.Updates()
+		fmt.Printf("%-34s behind=%d advanced=%d rebuilt=%v refreshes=%d rebuilds=%d stream=v%d err=%.1e (%s)\n",
+			label, behind, res.Advanced, res.Rebuilt, stats.Refreshes, stats.Rebuilds,
+			u.Seq, metrics.LInf(u.Ranks, refRes.Ranks), metrics.FormatDur(res.Elapsed))
 	}
 
 	apply(1)
@@ -67,7 +102,7 @@ func main() {
 	apply(6) // more than the history retention of 4
 	refresh("6 batches (history evicted):")
 
-	fmt.Println("\nThe last refresh fell beyond the store's retained history, so the")
-	fmt.Println("ranker rebuilt statically instead of silently missing deleted edges —")
-	fmt.Println("the same correctness discipline the paper's marking phase encodes.")
+	fmt.Println("\nThe last refresh fell beyond the engine's retained history, so it")
+	fmt.Println("rebuilt statically instead of silently missing deleted edges — the")
+	fmt.Println("same correctness discipline the paper's marking phase encodes.")
 }

@@ -1,7 +1,7 @@
 // Quickstart: build a small directed graph, compute PageRank, apply a batch
 // update (one deletion + one insertion), and update the ranks incrementally
 // with lock-free Dynamic Frontier PageRank (DFLF) instead of recomputing
-// from scratch.
+// from scratch — all through the public dfpr.Engine API.
 //
 // Run with:
 //
@@ -9,64 +9,80 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"dfpr/internal/batch"
-	"dfpr/internal/core"
-	"dfpr/internal/graph"
+	"dfpr"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// The 14-vertex example graph of the paper's Figure 4 (1-indexed there,
-	// 0-indexed here).
-	d := graph.NewDynamic(14)
-	edges := []graph.Edge{
+	// 0-indexed here). The engine adds the dead-end-eliminating self-loops
+	// (paper §5.1.3) itself.
+	edges := []dfpr.Edge{
 		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0},
 		{U: 4, V: 5}, {U: 5, V: 6}, {U: 6, V: 7}, {U: 7, V: 8},
 		{U: 8, V: 9}, {U: 9, V: 10}, {U: 10, V: 11}, {U: 11, V: 12},
 		{U: 12, V: 13}, {U: 13, V: 4}, {U: 2, V: 6}, {U: 6, V: 2},
 		{U: 9, V: 3}, {U: 4, V: 8},
 	}
-	for _, e := range edges {
-		d.AddEdge(e.U, e.V)
+	eng, err := dfpr.New(14, edges, dfpr.WithAlgorithm(dfpr.DFLF), dfpr.WithThreads(4))
+	if err != nil {
+		panic(err)
 	}
-	// Self-loops eliminate dead ends (paper §5.1.3) — always do this before
-	// ranking.
-	d.EnsureSelfLoops()
 
-	// Static PageRank on the initial snapshot.
-	cfg := core.Config{Threads: 4}
-	g0 := d.Snapshot()
-	static := core.StaticLF(g0, cfg)
-	fmt.Printf("initial ranks (converged in %d iterations):\n", static.Iterations)
-	printRanks(static.Ranks)
+	// The first Rank converges statically on the initial snapshot.
+	initial, err := eng.Rank(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("initial ranks (converged in %d iterations):\n", initial.Iterations)
+	printRanks(initial.Ranks)
 
 	// Batch update: delete the edge 10→11, insert 7→9 (the paper's Figure 4
-	// example).
-	up := batch.Update{
-		Del: []graph.Edge{{U: 10, V: 11}},
-		Ins: []graph.Edge{{U: 7, V: 9}},
+	// example). Apply publishes a new graph version; the next Rank refreshes
+	// incrementally — only vertices whose ranks can actually move get
+	// reprocessed.
+	del := []dfpr.Edge{{U: 10, V: 11}}
+	ins := []dfpr.Edge{{U: 7, V: 9}}
+	if _, err := eng.Apply(ctx, del, ins); err != nil {
+		panic(err)
 	}
-	gOld, gNew := batch.Transition(d, up)
-
-	// Incremental update with lock-free Dynamic Frontier PageRank: only
-	// vertices whose ranks can actually move get reprocessed.
-	res := core.DFLF(gOld, gNew, up.Del, up.Ins, static.Ranks, cfg)
+	res, err := eng.Rank(ctx)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("\nafter {del 10→11, ins 7→9} via DFLF (%d iterations, converged=%v):\n",
 		res.Iterations, res.Converged)
 	printRanks(res.Ranks)
 
-	// Cross-check against a full static recomputation.
-	full := core.StaticLF(gNew, cfg)
+	// Cross-check against a full static recomputation on the updated graph.
+	var updated []dfpr.Edge
+	for _, e := range edges {
+		if e != (dfpr.Edge{U: 10, V: 11}) {
+			updated = append(updated, e)
+		}
+	}
+	updated = append(updated, dfpr.Edge{U: 7, V: 9})
+	full, err := dfpr.New(14, updated, dfpr.WithAlgorithm(dfpr.StaticLF), dfpr.WithThreads(4))
+	if err != nil {
+		panic(err)
+	}
+	ref, err := full.Rank(ctx)
+	if err != nil {
+		panic(err)
+	}
 	var maxDiff float64
-	for i := range full.Ranks {
-		if d := full.Ranks[i] - res.Ranks[i]; d > maxDiff {
+	for i := range ref.Ranks {
+		if d := ref.Ranks[i] - res.Ranks[i]; d > maxDiff {
 			maxDiff = d
 		} else if -d > maxDiff {
 			maxDiff = -d
 		}
 	}
-	fmt.Printf("\nmax |DFLF - full recompute| = %.2e (tolerance %.0e)\n", maxDiff, core.DefaultTol)
+	fmt.Printf("\nmax |DFLF - full recompute| = %.2e\n", maxDiff)
 }
 
 func printRanks(r []float64) {

@@ -1,12 +1,12 @@
 // Socialnet: rank influencers on a temporal interaction stream.
 //
 // A synthetic stand-in for datasets like sx-stackoverflow: interactions
-// arrive timestamped, with duplicate edges and a few hyper-active users. The
-// first 90% of the stream is preloaded (the paper's setup, §5.1.4), then the
-// rest is replayed in batches. For every batch the example updates ranks
-// three ways — naive-dynamic (NDLF), dynamic frontier (DFLF), and a full
-// static recompute — and reports timings and agreement, reproducing the
-// Figure 5 comparison as a runnable program.
+// arrive timestamped, with duplicate edges and a few hyper-active users.
+// The first 90% of the stream is preloaded (the paper's setup, §5.1.4),
+// then the rest is replayed in batches. Every batch is fed to three public
+// engines — naive-dynamic (NDLF), dynamic frontier (DFLF), and a full
+// static recompute (StaticLF) — and the example reports timings and
+// agreement, reproducing the Figure 5 comparison as a runnable program.
 //
 // Run with:
 //
@@ -14,15 +14,18 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
+	"dfpr"
 	"dfpr/internal/batch"
-	"dfpr/internal/core"
+	"dfpr/internal/exutil"
 	"dfpr/internal/gen"
 	"dfpr/internal/metrics"
 )
 
 func main() {
+	ctx := context.Background()
 	const (
 		users   = 1 << 14
 		events  = 200_000
@@ -30,34 +33,58 @@ func main() {
 	)
 	stream := gen.TemporalStream(users, events, 7)
 	rep := batch.NewReplay(stream, users, 0.9)
-	g := rep.Graph().Snapshot()
-	cfg := core.Config{Threads: 8, Tol: 1e-3 / float64(users)}
-	cfg.FrontierTol = cfg.Tol
+	n, edges := exutil.Flatten(rep.Graph())
+	tol := 1e-3 / float64(users)
+
+	newEngine := func(a dfpr.Algorithm) *dfpr.Engine {
+		eng, err := dfpr.New(n, edges,
+			dfpr.WithAlgorithm(a),
+			dfpr.WithThreads(8),
+			dfpr.WithTolerance(tol),
+			dfpr.WithFrontierTolerance(tol),
+		)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := eng.Rank(ctx); err != nil {
+			panic(err)
+		}
+		return eng
+	}
+	nd, df, st := newEngine(dfpr.NDLF), newEngine(dfpr.DFLF), newEngine(dfpr.StaticLF)
 
 	fmt.Printf("social stream: %d users, %d events (%d static edges after preload)\n",
-		users, events, g.M())
+		users, events, rep.Graph().M())
 
-	base := core.StaticLF(g, cfg)
-	ndRanks, dfRanks := base.Ranks, base.Ranks
 	batchSize := events / 10 / batches
-
 	fmt.Printf("%-7s %12s %12s %12s %14s\n", "batch", "NDLF", "DFLF", "StaticLF", "max |ND-DF|")
+	var ndRanks, dfRanks []float64
 	for i := 1; ; i++ {
-		up, gOld, gNew, ok := rep.NextBatch(batchSize)
+		up, _, _, ok := rep.NextBatch(batchSize)
 		if !ok {
 			break
 		}
-		nd := core.NDLF(gNew, ndRanks, cfg)
-		df := core.DFLF(gOld, gNew, up.Del, up.Ins, dfRanks, cfg)
-		st := core.StaticLF(gNew, cfg)
-		ndRanks, dfRanks = nd.Ranks, df.Ranks
+		del, ins := exutil.Convert(up.Del), exutil.Convert(up.Ins)
+		step := func(eng *dfpr.Engine) *dfpr.Result {
+			if _, err := eng.Apply(ctx, del, ins); err != nil {
+				panic(err)
+			}
+			res, err := eng.Rank(ctx)
+			if err != nil {
+				panic(err)
+			}
+			return res
+		}
+		ndRes, dfRes, stRes := step(nd), step(df), step(st)
+		ndRanks, dfRanks = ndRes.Ranks, dfRes.Ranks
 		fmt.Printf("%-7d %12s %12s %12s %14.2e\n", i,
-			metrics.FormatDur(nd.Elapsed), metrics.FormatDur(df.Elapsed),
-			metrics.FormatDur(st.Elapsed), metrics.LInf(ndRanks, dfRanks))
+			metrics.FormatDur(ndRes.Elapsed), metrics.FormatDur(dfRes.Elapsed),
+			metrics.FormatDur(stRes.Elapsed), metrics.LInf(ndRanks, dfRanks))
 	}
 
 	fmt.Println("\ntop influencers (DFLF ranks):")
-	for i, v := range metrics.TopK(dfRanks, 5) {
+	last := dfpr.Result{Ranks: dfRanks}
+	for i, v := range last.TopK(5) {
 		fmt.Printf("  #%d user %-8d rank %.3e\n", i+1, v, dfRanks[v])
 	}
 }

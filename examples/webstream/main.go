@@ -1,10 +1,11 @@
 // Webstream: track the top pages of an evolving web graph.
 //
 // A crawler keeps discovering link changes on a synthetic RMAT web graph;
-// every batch of changes is applied and PageRanks are refreshed with
-// lock-free Dynamic Frontier PageRank. The example prints how the top-5
-// pages shift over time and how much cheaper each DFLF refresh is than a
-// full static recomputation — the paper's headline use case.
+// every batch of changes flows into a public dfpr.Engine and PageRanks are
+// refreshed with lock-free Dynamic Frontier PageRank. The example prints
+// how the top-5 pages shift over time and how much cheaper each DFLF
+// refresh is than a full static recomputation — the paper's headline use
+// case.
 //
 // Run with:
 //
@@ -12,48 +13,63 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"dfpr"
 	"dfpr/internal/batch"
-	"dfpr/internal/core"
+	"dfpr/internal/exutil"
 	"dfpr/internal/gen"
 	"dfpr/internal/metrics"
 )
 
 func main() {
+	ctx := context.Background()
 	const steps = 8
 	spec := gen.Spec{Name: "web", Class: gen.Web, N: 1 << 14, Deg: 16, Seed: 2026}
 	d := spec.Build()
-	g := d.Snapshot()
-	// Tolerance scaled to graph size (τ·|V| ≈ 1e-3); see DESIGN.md.
-	cfg := core.Config{Threads: 8, Tol: 1e-3 / float64(g.N())}
-	cfg.FrontierTol = cfg.Tol
+	n, edges := exutil.Flatten(d)
+	tol := 1e-3 / float64(n) // tolerance scaled to graph size (τ·|V| ≈ 1e-3)
+	eng, err := dfpr.New(n, edges,
+		dfpr.WithAlgorithm(dfpr.DFLF),
+		dfpr.WithThreads(8),
+		dfpr.WithTolerance(tol),
+		dfpr.WithFrontierTolerance(tol),
+	)
+	if err != nil {
+		panic(err)
+	}
 
-	fmt.Printf("web graph: %d pages, %d links\n", g.N(), g.M())
-	res := core.StaticLF(g, cfg)
+	snap := eng.Snapshot()
+	fmt.Printf("web graph: %d pages, %d links\n", snap.N, snap.M)
+	res, err := eng.Rank(ctx)
+	if err != nil {
+		panic(err)
+	}
 	staticTime := res.Elapsed
 	fmt.Printf("initial static rank: %s (%d iterations)\n\n", metrics.FormatDur(staticTime), res.Iterations)
 
-	ranks := res.Ranks
 	var dfTotal, staticEquiv time.Duration
 	for step := 1; step <= steps; step++ {
-		// Each crawl delivers ~0.01% of |E| as link churn.
-		up := batch.Random(d, g.M()/10000+1, int64(step))
-		gOld, gNew := batch.Transition(d, up)
-		upd := core.DFLF(gOld, gNew, up.Del, up.Ins, ranks, cfg)
-		if upd.Err != nil {
-			fmt.Printf("step %d failed: %v\n", step, upd.Err)
+		// Each crawl delivers ~0.01% of |E| as link churn, sampled against
+		// the mirror graph and applied to both sides.
+		up := batch.Random(d, d.M()/10000+1, int64(step))
+		d.Apply(up.Del, up.Ins)
+		if _, err := eng.Apply(ctx, exutil.Convert(up.Del), exutil.Convert(up.Ins)); err != nil {
+			panic(err)
+		}
+		upd, err := eng.Rank(ctx)
+		if err != nil {
+			fmt.Printf("step %d failed: %v\n", step, err)
 			return
 		}
-		ranks = upd.Ranks
-		g = gNew
 		dfTotal += upd.Elapsed
 		staticEquiv += staticTime
 
 		fmt.Printf("crawl %d: %d del + %d ins, refreshed in %s — top pages:",
 			step, len(up.Del), len(up.Ins), metrics.FormatDur(upd.Elapsed))
-		for _, v := range metrics.TopK(ranks, 5) {
+		for _, v := range upd.TopK(5) {
 			fmt.Printf(" %d", v)
 		}
 		fmt.Println()

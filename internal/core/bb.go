@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"dfpr/internal/avec"
@@ -23,20 +25,20 @@ const (
 // StaticBB is the standard barrier-based parallel PageRank (Algorithm 3):
 // synchronous Jacobi iterations over all vertices with an iteration barrier.
 func StaticBB(g *graph.CSR, cfg Config) Result {
-	return runBB(vStatic, Input{GNew: g}, cfg)
+	return runBB(context.Background(), vStatic, Input{GNew: g}, cfg)
 }
 
 // NDBB is barrier-based Naive-dynamic PageRank (Algorithm 5): StaticBB
 // warm-started from the previous snapshot's ranks.
 func NDBB(g *graph.CSR, prev []float64, cfg Config) Result {
-	return runBB(vND, Input{GNew: g, Prev: prev}, cfg)
+	return runBB(context.Background(), vND, Input{GNew: g, Prev: prev}, cfg)
 }
 
 // DTBB is barrier-based Dynamic Traversal PageRank (Algorithm 7): vertices
 // reachable from batch-edge endpoints are marked affected by parallel DFS,
 // then only affected vertices are iterated.
 func DTBB(gOld, gNew *graph.CSR, del, ins []graph.Edge, prev []float64, cfg Config) Result {
-	return runBB(vDT, Input{GOld: gOld, GNew: gNew, Del: del, Ins: ins, Prev: prev}, cfg)
+	return runBB(context.Background(), vDT, Input{GOld: gOld, GNew: gNew, Del: del, Ins: ins, Prev: prev}, cfg)
 }
 
 // DFBB is the paper's barrier-based Dynamic Frontier PageRank (Algorithm 1):
@@ -44,7 +46,7 @@ func DTBB(gOld, gNew *graph.CSR, del, ins []graph.Edge, prev []float64, cfg Conf
 // grows incrementally through vertices whose rank moves by more than the
 // frontier tolerance.
 func DFBB(gOld, gNew *graph.CSR, del, ins []graph.Edge, prev []float64, cfg Config) Result {
-	return runBB(vDF, Input{GOld: gOld, GNew: gNew, Del: del, Ins: ins, Prev: prev}, cfg)
+	return runBB(context.Background(), vDF, Input{GOld: gOld, GNew: gNew, Del: del, Ins: ins, Prev: prev}, cfg)
 }
 
 // bbShared is the cross-worker state of a barrier-based run. Fields are
@@ -59,6 +61,7 @@ type bbShared struct {
 	iter                int
 	stop                bool
 	converged           bool
+	canceled            bool
 }
 
 // pad64 is a cache-line padded float64 slot for per-worker reductions.
@@ -67,12 +70,15 @@ type pad64 struct {
 	_ [7]uint64
 }
 
-func runBB(vr variant, in Input, cfg Config) Result {
+func runBB(ctx context.Context, vr variant, in Input, cfg Config) Result {
 	cfg = cfg.withDefaults()
 	g := in.GNew
 	n := g.N()
 	if n == 0 {
 		return Result{Converged: true}
+	}
+	if ctx.Err() != nil {
+		return Result{Err: ErrCanceled}
 	}
 	base := (1 - cfg.Alpha) / float64(n)
 	inv := invOutDeg(g)
@@ -120,6 +126,21 @@ func runBB(vr variant, in Input, cfg Config) Result {
 	}
 	edgePool := sched.NewPool(len(edges), cfg.Chunk)
 	localMax := make([]pad64, cfg.Threads)
+
+	// Cancellation: an AfterFunc flips the flag and aborts the chunk pools,
+	// so in-pass workers stop at their next chunk fetch instead of finishing
+	// the iteration. Workers still meet at both barriers (aborted pools make
+	// that cheap), and worker 0 turns the flag into a coordinated stop — the
+	// one place the barrier-based protocol can terminate without deadlock.
+	var canceled atomic.Bool
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			canceled.Store(true)
+			pool.Abort()
+			edgePool.Abort()
+		})
+		defer stop()
+	}
 
 	worker := func(w int) {
 		var mk marker
@@ -203,18 +224,27 @@ func runBB(vr variant, in Input, cfg Config) Result {
 				// L∞ reduction, swap, convergence decision (lines 19-22 of
 				// Algorithm 1). Worker 0 is always alive here: had it
 				// crashed, the barrier above would have broken.
-				dR := 0.0
-				for i := range localMax {
-					if localMax[i].v > dR {
-						dR = localMax[i].v
+				if canceled.Load() {
+					// A canceled pass may be partial (the pool was aborted
+					// mid-iteration), so neither the reduction nor the rank
+					// vector can be trusted — stop without claiming
+					// convergence.
+					sh.canceled = true
+					sh.stop = true
+				} else {
+					dR := 0.0
+					for i := range localMax {
+						if localMax[i].v > dR {
+							dR = localMax[i].v
+						}
 					}
+					sh.r, sh.rNew = sh.rNew, sh.r
+					sh.contrib, sh.contribNew = sh.contribNew, sh.contrib
+					sh.iter++
+					sh.converged = dR <= cfg.Tol
+					sh.stop = sh.converged || sh.iter >= cfg.MaxIter
+					pool.Reset()
 				}
-				sh.r, sh.rNew = sh.rNew, sh.r
-				sh.contrib, sh.contribNew = sh.contribNew, sh.contrib
-				sh.iter++
-				sh.converged = dR <= cfg.Tol
-				sh.stop = sh.converged || sh.iter >= cfg.MaxIter
-				pool.Reset()
 			}
 			// Barrier 2: reduction visible to everyone before the next pass.
 			if bar.Await(w) != nil {
@@ -242,6 +272,10 @@ func runBB(vr variant, in Input, cfg Config) Result {
 	}
 	if bar.Broken() {
 		res.Err = sched.ErrBroken
+		res.Converged = false
+	}
+	if sh.canceled {
+		res.Err = ErrCanceled
 		res.Converged = false
 	}
 	return res

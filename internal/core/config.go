@@ -18,8 +18,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"runtime"
+	"strings"
 	"time"
 
 	"dfpr/internal/avec"
@@ -139,6 +141,13 @@ type Result struct {
 // progress (lock-freedom assumes at least one live thread).
 var ErrAllCrashed = errors.New("core: all workers crashed before convergence")
 
+// ErrCanceled is the Result.Err terminal state of a run aborted by its
+// context before convergence. It is distinct from the failure states
+// (sched.ErrBroken for a deadlocked barrier, ErrAllCrashed for a dead
+// lock-free run): a canceled run stopped because the caller asked it to,
+// with every worker goroutine joined before the Result is returned.
+var ErrCanceled = errors.New("core: run canceled by context")
+
 // Algo identifies one of the eight algorithm variants.
 type Algo int
 
@@ -193,14 +202,24 @@ func (a Algo) LockFree() bool {
 // Dynamic reports whether the variant consumes a previous rank vector.
 func (a Algo) Dynamic() bool { return a != AlgoStaticBB && a != AlgoStaticLF }
 
-// ParseAlgo resolves a variant by its paper name (case-sensitive).
+// ParseAlgo resolves a variant by its paper name, case-insensitively.
 func ParseAlgo(s string) (Algo, bool) {
 	for _, a := range Algos {
-		if a.String() == s {
+		if strings.EqualFold(a.String(), s) {
 			return a, true
 		}
 	}
 	return 0, false
+}
+
+// AlgoNames returns the paper names of all variants in presentation order,
+// for listing valid values in flag and option error messages.
+func AlgoNames() []string {
+	names := make([]string, len(Algos))
+	for i, a := range Algos {
+		names[i] = a.String()
+	}
+	return names
 }
 
 // Input bundles the arguments of a dynamic-PageRank invocation. Static
@@ -217,25 +236,35 @@ type Input struct {
 	Prev []float64
 }
 
-// Run dispatches to the requested algorithm variant.
+// Run dispatches to the requested algorithm variant without cancellation
+// (equivalent to RunCtx with a background context).
 func Run(a Algo, in Input, cfg Config) Result {
+	return RunCtx(context.Background(), a, in, cfg)
+}
+
+// RunCtx dispatches to the requested algorithm variant under a context.
+// When ctx is canceled (or its deadline passes) before the run converges,
+// workers stop taking work, every goroutine exits, and the Result carries
+// ErrCanceled — the run's output vector must then be discarded, as a
+// canceled pass may have computed only part of an iteration.
+func RunCtx(ctx context.Context, a Algo, in Input, cfg Config) Result {
 	switch a {
 	case AlgoStaticBB:
-		return StaticBB(in.GNew, cfg)
+		return runBB(ctx, vStatic, Input{GNew: in.GNew}, cfg)
 	case AlgoStaticLF:
-		return StaticLF(in.GNew, cfg)
+		return runLF(ctx, vStatic, Input{GNew: in.GNew}, cfg)
 	case AlgoNDBB:
-		return NDBB(in.GNew, in.Prev, cfg)
+		return runBB(ctx, vND, Input{GNew: in.GNew, Prev: in.Prev}, cfg)
 	case AlgoNDLF:
-		return NDLF(in.GNew, in.Prev, cfg)
+		return runLF(ctx, vND, Input{GNew: in.GNew, Prev: in.Prev}, cfg)
 	case AlgoDTBB:
-		return DTBB(in.GOld, in.GNew, in.Del, in.Ins, in.Prev, cfg)
+		return runBB(ctx, vDT, in, cfg)
 	case AlgoDTLF:
-		return DTLF(in.GOld, in.GNew, in.Del, in.Ins, in.Prev, cfg)
+		return runLF(ctx, vDT, in, cfg)
 	case AlgoDFBB:
-		return DFBB(in.GOld, in.GNew, in.Del, in.Ins, in.Prev, cfg)
+		return runBB(ctx, vDF, in, cfg)
 	case AlgoDFLF:
-		return DFLF(in.GOld, in.GNew, in.Del, in.Ins, in.Prev, cfg)
+		return runLF(ctx, vDF, in, cfg)
 	default:
 		return Result{Err: errors.New("core: unknown algorithm")}
 	}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"dfpr/internal/avec"
@@ -14,20 +16,20 @@ import (
 // Gauss–Seidel updates on a single shared rank vector, dynamic chunk
 // scheduling with no iteration barrier, and per-vertex convergence flags.
 func StaticLF(g *graph.CSR, cfg Config) Result {
-	return runLF(vStatic, Input{GNew: g}, cfg)
+	return runLF(context.Background(), vStatic, Input{GNew: g}, cfg)
 }
 
 // NDLF is the lock-free Naive-dynamic PageRank (Algorithm 6): StaticLF
 // warm-started from the previous snapshot's ranks.
 func NDLF(g *graph.CSR, prev []float64, cfg Config) Result {
-	return runLF(vND, Input{GNew: g, Prev: prev}, cfg)
+	return runLF(context.Background(), vND, Input{GNew: g, Prev: prev}, cfg)
 }
 
 // DTLF is the lock-free Dynamic Traversal PageRank (Algorithm 8). The
 // reachability marking phase and the rank-computation phase are composed
 // without a barrier through the per-source checked-flag vector C.
 func DTLF(gOld, gNew *graph.CSR, del, ins []graph.Edge, prev []float64, cfg Config) Result {
-	return runLF(vDT, Input{GOld: gOld, GNew: gNew, Del: del, Ins: ins, Prev: prev}, cfg)
+	return runLF(context.Background(), vDT, Input{GOld: gOld, GNew: gNew, Del: del, Ins: ins, Prev: prev}, cfg)
 }
 
 // DFLF is the paper's lock-free Dynamic Frontier PageRank (Algorithm 2), the
@@ -36,15 +38,18 @@ func DTLF(gOld, gNew *graph.CSR, del, ins []graph.Edge, prev []float64, cfg Conf
 // asynchronous rank computation, tolerating random thread delays and
 // crash-stop failures.
 func DFLF(gOld, gNew *graph.CSR, del, ins []graph.Edge, prev []float64, cfg Config) Result {
-	return runLF(vDF, Input{GOld: gOld, GNew: gNew, Del: del, Ins: ins, Prev: prev}, cfg)
+	return runLF(context.Background(), vDF, Input{GOld: gOld, GNew: gNew, Del: del, Ins: ins, Prev: prev}, cfg)
 }
 
-func runLF(vr variant, in Input, cfg Config) Result {
+func runLF(ctx context.Context, vr variant, in Input, cfg Config) Result {
 	cfg = cfg.withDefaults()
 	g := in.GNew
 	n := g.N()
 	if n == 0 {
 		return Result{Converged: true}
+	}
+	if ctx.Err() != nil {
+		return Result{Err: ErrCanceled}
 	}
 	base := (1 - cfg.Alpha) / float64(n)
 	inv := invOutDeg(g)
@@ -96,6 +101,21 @@ func runLF(vr variant, in Input, cfg Config) Result {
 	edgePool := sched.NewPool(len(edges), cfg.Chunk)
 	var maxRound avec.Counter
 
+	// Cancellation: aborting the ticket stream makes every worker's next
+	// ticket carry round MaxUint64, which exceeds MaxIter and so exits the
+	// round loop — no barrier to negotiate, workers simply stop taking work.
+	// The helping loop of the marking phase checks the flag directly, as it
+	// iterates the batch slice rather than a pool.
+	var canceled atomic.Bool
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			canceled.Store(true)
+			rounds.Abort()
+			edgePool.Abort()
+		})
+		defer stop()
+	}
+
 	worker := func(w int) {
 		var mk marker
 		switch vr {
@@ -124,7 +144,7 @@ func runLF(vr variant, in Input, cfg Config) Result {
 					}
 				}
 			}
-			for {
+			for !canceled.Load() {
 				clean := true
 				for _, e := range edges {
 					if !checked.Get(int(e.U)) {
@@ -236,6 +256,14 @@ func runLF(vr variant, in Input, cfg Config) Result {
 		if !converged && res.CrashedWorkers >= cfg.Threads {
 			res.Err = ErrAllCrashed
 		}
+	}
+	if canceled.Load() {
+		// Cancellation wins even if the convergence flags happen to read
+		// all-clear: a run aborted during the marking phase has clear flags
+		// without having processed anything, so a canceled run's vector is
+		// never trustworthy.
+		res.Err = ErrCanceled
+		res.Converged = false
 	}
 	return res
 }

@@ -1,6 +1,10 @@
 package core
 
-import "dfpr/internal/graph"
+import (
+	"context"
+
+	"dfpr/internal/graph"
+)
 
 // FrontierStats describes the affected set of one dynamic run after one
 // marking or processing phase — the observable the DF approach is about.
@@ -15,13 +19,16 @@ type FrontierStats struct {
 // phase and after each full pass, returning the per-pass frontier sizes
 // alongside the result. It exists for diagnosis and for the frontier-growth
 // example: the per-batch cost of DF is essentially the integral of this
-// curve, which is what Figures 5/7 aggregate away.
+// curve, which is what Figures 5/7 aggregate away. The context is checked
+// once per pass — a traced run is single-threaded and much slower than a
+// parallel Rank, so cancellation must be able to interrupt it mid-batch;
+// an aborted trace returns ErrCanceled with the passes sampled so far.
 //
 // Implementation note: the sampler is a separate goroutine polling the flag
 // vectors; samples are therefore approximate under concurrency, exactly as
 // any external observer of a lock-free computation must be. Sampling is
 // keyed to the round counter so the series has one entry per pass.
-func TraceDF(gOld, gNew *graph.CSR, del, ins []graph.Edge, prev []float64, cfg Config) (Result, []FrontierStats) {
+func TraceDF(ctx context.Context, gOld, gNew *graph.CSR, del, ins []graph.Edge, prev []float64, cfg Config) (Result, []FrontierStats) {
 	cfg = cfg.withDefaults()
 	// Reuse the public API: run DFLF on a config whose flag vectors we can
 	// observe. The engines build their own flag vectors internally, so the
@@ -59,6 +66,9 @@ func TraceDF(gOld, gNew *graph.CSR, del, ins []graph.Edge, prev []float64, cfg C
 	iterations := 0
 	converged := false
 	for it := 0; it < cfg.MaxIter; it++ {
+		if ctx.Err() != nil {
+			return Result{Ranks: ranks, Iterations: iterations, Err: ErrCanceled}, series
+		}
 		iterations = it + 1
 		for v := 0; v < n; v++ {
 			if !va.Get(v) {

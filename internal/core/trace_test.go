@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -17,7 +18,7 @@ func TestTraceDFMatchesReference(t *testing.T) {
 	up := batch.Random(d, 32, 4)
 	_, gNew := batch.Transition(d, up)
 	ref := Reference(gNew, Config{})
-	res, series := TraceDF(gOld, gNew, up.Del, up.Ins, prev, testCfg())
+	res, series := TraceDF(context.Background(), gOld, gNew, up.Del, up.Ins, prev, testCfg())
 	if !res.Converged {
 		t.Fatal("trace run did not converge")
 	}
@@ -50,7 +51,7 @@ func TestTraceDFPruningDrainsFrontier(t *testing.T) {
 	_, gNew := batch.Transition(d, up)
 	cfg := testCfg()
 	cfg.PruneFrontier = true
-	res, series := TraceDF(gOld, gNew, up.Del, up.Ins, prev, cfg)
+	res, series := TraceDF(context.Background(), gOld, gNew, up.Del, up.Ins, prev, cfg)
 	if !res.Converged {
 		t.Fatal("pruned trace did not converge")
 	}
@@ -62,7 +63,7 @@ func TestTraceDFPruningDrainsFrontier(t *testing.T) {
 func TestTraceDFEmptyInputs(t *testing.T) {
 	g := smallGraph()
 	prev := Reference(g, Config{})
-	res, series := TraceDF(g, g, nil, nil, prev, testCfg())
+	res, series := TraceDF(context.Background(), g, g, nil, nil, prev, testCfg())
 	if !res.Converged {
 		t.Fatal("empty batch did not converge")
 	}

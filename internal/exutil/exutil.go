@@ -1,0 +1,33 @@
+// Package exutil bridges the internal graph types the generators and IO
+// readers produce to the public dfpr edge form. It exists for the binaries
+// and examples, which consume the library exclusively through the public
+// Engine API but still build their inputs with internal substrates
+// (gen, gio, batch).
+package exutil
+
+import (
+	"dfpr"
+	"dfpr/internal/graph"
+)
+
+// Flatten lists a dynamic graph's edges in the public form, returning the
+// vertex count alongside them — the pair dfpr.New takes.
+func Flatten(d *graph.Dynamic) (int, []dfpr.Edge) {
+	edges := make([]dfpr.Edge, 0, d.M())
+	for u := uint32(0); int(u) < d.N(); u++ {
+		for _, v := range d.Out(u) {
+			edges = append(edges, dfpr.Edge{U: u, V: v})
+		}
+	}
+	return d.N(), edges
+}
+
+// Convert maps internal edges (e.g. one side of a batch.Update) to the
+// public form.
+func Convert(edges []graph.Edge) []dfpr.Edge {
+	out := make([]dfpr.Edge, len(edges))
+	for i, e := range edges {
+		out[i] = dfpr.Edge{U: e.U, V: e.V}
+	}
+	return out
+}

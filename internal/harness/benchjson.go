@@ -1,4 +1,4 @@
-package main
+package harness
 
 import (
 	"encoding/json"
@@ -13,11 +13,11 @@ import (
 	"dfpr/internal/graph"
 )
 
-// The -benchjson mode measures the two PR 1 hot paths — kernel ns/edge and
+// RunBenchJSON measures the two PR 1 hot paths — kernel ns/edge and
 // snapshot-apply time versus batch fraction — and writes them as JSON so
 // future PRs have a machine-readable perf trajectory to diff against.
 
-// BenchReport is the top-level BENCH_PR1.json document.
+// BenchReport is the top-level benchjson document (BENCH_PR1.json, BENCH_PR2.json, …).
 type BenchReport struct {
 	// Generated is the RFC3339 timestamp of the run.
 	Generated string `json:"generated"`
@@ -71,7 +71,7 @@ func benchSpecs(scale float64) []gen.Spec {
 	return out
 }
 
-func runBenchJSON(path string, scale float64, reps int) error {
+func RunBenchJSON(path string, scale float64, reps int) error {
 	if reps < 3 {
 		reps = 3
 	}

@@ -31,10 +31,11 @@ const DefaultChunk = 2048
 // single hub's worth of edges many times over, serialising the whole pass
 // behind one worker, which is what degree-aware boundaries avoid.
 type Pool struct {
-	next   avec.Counter
-	n      int
-	chunk  int
-	bounds []int // nil → uniform chunks of size chunk
+	next    avec.Counter
+	aborted avec.Counter // non-zero once Abort has been called
+	n       int
+	chunk   int
+	bounds  []int // nil → uniform chunks of size chunk
 }
 
 // NewPool returns a dynamic chunk pool over [0, n) with uniform chunks. A
@@ -60,6 +61,9 @@ func NewPoolBounds(bounds []int) *Pool {
 // Next returns the next chunk [lo, hi) and ok=true, or ok=false when the
 // range is exhausted.
 func (p *Pool) Next() (lo, hi int, ok bool) {
+	if p.aborted.Load() != 0 {
+		return 0, 0, false
+	}
 	t := int(p.next.Add(1)) - 1
 	if p.bounds != nil {
 		if t+1 >= len(p.bounds) {
@@ -80,7 +84,17 @@ func (p *Pool) Next() (lo, hi int, ok bool) {
 
 // Reset rewinds the pool for another pass. It must not race with Next; in
 // the barrier-based algorithms one worker resets between barrier phases.
+// Reset does not clear an abort: an aborted pool stays drained.
 func (p *Pool) Reset() { p.next.Store(0) }
+
+// Abort permanently drains the pool: every subsequent (and concurrent) Next
+// reports done, surviving Reset. It is how a context cancellation reaches
+// workers blocked in chunk loops — safe to call from any goroutine, any
+// number of times.
+func (p *Pool) Abort() { p.aborted.Store(1) }
+
+// Aborted reports whether Abort has been called.
+func (p *Pool) Aborted() bool { return p.aborted.Load() != 0 }
 
 // Chunk returns the configured uniform chunk size (advisory for bounds
 // pools).
@@ -103,6 +117,7 @@ func (p *Pool) NumChunks() int {
 // block with `nowait` dynamic loops (Algorithm 2).
 type Rounds struct {
 	next           avec.Counter
+	aborted        avec.Counter // non-zero once Abort has been called
 	n              int
 	chunk          int
 	chunksPerRound uint64
@@ -138,8 +153,13 @@ func NewRoundsBounds(bounds []int) *Rounds {
 }
 
 // Next returns the next chunk [lo, hi) and the round it belongs to. Rounds
-// increase without bound; callers bound iteration count themselves.
+// increase without bound; callers bound iteration count themselves. After
+// Abort, Next returns an empty chunk in round MaxUint64, which exceeds any
+// caller's iteration bound and so terminates every worker's round loop.
 func (r *Rounds) Next() (lo, hi int, round uint64) {
+	if r.aborted.Load() != 0 {
+		return 0, 0, ^uint64(0)
+	}
 	t := r.next.Add(1) - 1
 	round = t / r.chunksPerRound
 	c := int(t % r.chunksPerRound)
@@ -159,6 +179,14 @@ func (r *Rounds) Next() (lo, hi int, round uint64) {
 
 // ChunksPerRound returns the number of chunks in one full pass.
 func (r *Rounds) ChunksPerRound() uint64 { return r.chunksPerRound }
+
+// Abort permanently stops the ticket stream: every subsequent (and
+// concurrent) Next reports round MaxUint64. Safe to call from any
+// goroutine, any number of times.
+func (r *Rounds) Abort() { r.aborted.Store(1) }
+
+// Aborted reports whether Abort has been called.
+func (r *Rounds) Aborted() bool { return r.aborted.Load() != 0 }
 
 // Range is a half-open index interval [Lo, Hi).
 type Range struct {

@@ -13,12 +13,15 @@
 package snapshot
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"dfpr/internal/batch"
 	"dfpr/internal/core"
+	"dfpr/internal/fault"
 	"dfpr/internal/graph"
 )
 
@@ -78,7 +81,16 @@ func (s *Store) Apply(up batch.Update) (prev, next *Version) {
 	next = &Version{G: s.d.Snapshot(), Seq: prev.Seq + 1, Update: up}
 	s.history = append(s.history, next)
 	if len(s.history) > s.keep {
-		s.history = s.history[len(s.history)-s.keep:]
+		// Shift in place and nil the vacated tail instead of re-slicing:
+		// a re-slice keeps the dropped head of the backing array reachable,
+		// which pins every evicted Version (and its CSR) for as long as the
+		// store lives.
+		drop := len(s.history) - s.keep
+		copy(s.history, s.history[drop:])
+		for i := s.keep; i < len(s.history); i++ {
+			s.history[i] = nil
+		}
+		s.history = s.history[:s.keep]
 	}
 	s.cur.Store(next)
 	return prev, next
@@ -140,22 +152,38 @@ type Ranker struct {
 	// Refreshes counts incremental refreshes; Rebuilds counts static
 	// fallbacks (history evicted or incremental failure).
 	Refreshes, Rebuilds int
+
+	// DisableFallback stops Refresh from converting a *failed* incremental
+	// run (crash, deadlock) into a static rebuild: the failed result and its
+	// error are returned instead, leaving ranks at the last good version.
+	// Eviction of the pending history still rebuilds — there is no other
+	// sound way forward. Fault-injection callers set this so an injected
+	// failure surfaces as itself rather than as a rebuild that would be
+	// subjected to the same faults.
+	DisableFallback bool
 }
 
-// NewRanker converges ranks on the store's current version using a static
-// run and returns a ranker positioned at that version. The algo must be a
-// dynamic variant (DF/ND/DT); DFLF is the recommended default.
-func NewRanker(s *Store, algo core.Algo, cfg core.Config) (*Ranker, error) {
-	if !algo.Dynamic() {
-		return nil, fmt.Errorf("snapshot: %v is not a dynamic algorithm", algo)
-	}
+// NewRanker converges ranks on the store's current version and returns a
+// ranker positioned at that version together with the initial run's result.
+// Dynamic algos (DF/ND/DT; DFLF is the recommended default) are converged
+// with a barrier-based static run and then refresh incrementally; a static
+// algo is run as-is, and Refresh then recomputes with it on every new
+// version. Cancellation of ctx aborts the initial convergence.
+func NewRanker(ctx context.Context, s *Store, algo core.Algo, cfg core.Config) (*Ranker, core.Result, error) {
 	v := s.Current()
-	res := core.StaticBB(v.G, cfg)
-	if res.Err != nil {
-		return nil, fmt.Errorf("snapshot: initial ranking failed: %w", res.Err)
+	init := algo
+	if algo.Dynamic() {
+		init = core.AlgoStaticBB
 	}
-	return &Ranker{store: s, cfg: cfg, algo: algo, ranks: res.Ranks, seq: v.Seq}, nil
+	res := core.RunCtx(ctx, init, core.Input{GNew: v.G}, cfg)
+	if res.Err != nil {
+		return nil, res, fmt.Errorf("snapshot: initial ranking failed: %w", res.Err)
+	}
+	return &Ranker{store: s, cfg: cfg, algo: algo, ranks: res.Ranks, seq: v.Seq}, res, nil
 }
+
+// SetFault replaces the fault plan injected into subsequent runs.
+func (r *Ranker) SetFault(p fault.Plan) { r.cfg.Fault = p }
 
 // Ranks returns a copy of the current rank vector.
 func (r *Ranker) Ranks() []float64 {
@@ -171,18 +199,28 @@ func (r *Ranker) Behind() uint64 {
 }
 
 // Refresh brings the ranks up to the store's latest version, replaying each
-// pending batch with the configured dynamic algorithm. When the pending
-// history has been evicted (the ranker lagged more than the store's
-// retention) it falls back to one static recomputation. It returns the last
-// result and the number of versions advanced.
-func (r *Ranker) Refresh() (core.Result, int, error) {
+// pending batch with the configured dynamic algorithm (or recomputing once
+// with the configured static algorithm). When the pending history has been
+// evicted (the ranker lagged more than the store's retention) it falls back
+// to one static recomputation. It returns the last result and the number of
+// versions advanced.
+//
+// Cancellation of ctx aborts the run in progress; the rank vector then
+// stays at the last version that completed, the returned error wraps
+// core.ErrCanceled, and no static fallback is attempted (cancellation is
+// the caller's decision, not a failure to recover from).
+func (r *Ranker) Refresh(ctx context.Context) (core.Result, int, error) {
+	if !r.algo.Dynamic() {
+		return r.refreshStatic(ctx)
+	}
 	chain, ok := r.store.Since(r.seq)
 	if !ok {
-		return r.rebuild()
+		return r.rebuild(ctx)
 	}
 	if len(chain) == 0 {
 		return core.Result{Ranks: r.ranks, Converged: true}, 0, nil
 	}
+	advanced := 0
 	var last core.Result
 	// The first pending update applies on top of the ranker's own version;
 	// its graph is needed as G^{t-1} so that marking sees deleted edges'
@@ -190,7 +228,7 @@ func (r *Ranker) Refresh() (core.Result, int, error) {
 	// silently miss deletion targets — rebuild instead.
 	parent, ok := r.store.Get(r.seq)
 	if !ok {
-		return r.rebuild()
+		return r.rebuild(ctx)
 	}
 	prevG := parent.G
 	for _, v := range chain {
@@ -199,23 +237,94 @@ func (r *Ranker) Refresh() (core.Result, int, error) {
 			Del: v.Update.Del, Ins: v.Update.Ins,
 			Prev: r.ranks,
 		}
-		last = core.Run(r.algo, in, r.cfg)
+		last = core.RunCtx(ctx, r.algo, in, r.cfg)
 		if last.Err != nil {
+			if errors.Is(last.Err, core.ErrCanceled) {
+				return last, advanced, fmt.Errorf("snapshot: refresh aborted at version %d: %w", v.Seq, last.Err)
+			}
+			if r.DisableFallback {
+				return last, advanced, fmt.Errorf("snapshot: incremental refresh failed at version %d: %w", v.Seq, last.Err)
+			}
 			// A crashed/failed incremental step must not poison the vector:
 			// rebuild from scratch on the newest snapshot.
-			return r.rebuild()
+			return r.rebuild(ctx)
 		}
 		r.ranks = last.Ranks
 		r.seq = v.Seq
 		prevG = v.G
 		r.Refreshes++
+		advanced++
 	}
-	return last, len(chain), nil
+	return last, advanced, nil
 }
 
-func (r *Ranker) rebuild() (core.Result, int, error) {
+// RefreshTrace is Refresh with frontier observability: each pending version
+// is replayed with core.TraceDF (single-threaded, deterministic), and the
+// per-pass frontier sizes of every replayed version are concatenated into
+// one series. Only meaningful for the Dynamic Frontier algorithms; other
+// algos are rejected. Evicted history falls back to an untraced static
+// rebuild (the frontier concept does not apply to a full recompute).
+func (r *Ranker) RefreshTrace(ctx context.Context) (core.Result, []core.FrontierStats, int, error) {
+	if r.algo != core.AlgoDFBB && r.algo != core.AlgoDFLF {
+		return core.Result{}, nil, 0, fmt.Errorf("snapshot: %v cannot trace a frontier (Dynamic Frontier only)", r.algo)
+	}
+	chain, ok := r.store.Since(r.seq)
+	if !ok {
+		res, advanced, err := r.rebuild(ctx)
+		return res, nil, advanced, err
+	}
+	if len(chain) == 0 {
+		return core.Result{Ranks: r.ranks, Converged: true}, nil, 0, nil
+	}
+	parent, ok := r.store.Get(r.seq)
+	if !ok {
+		res, advanced, err := r.rebuild(ctx)
+		return res, nil, advanced, err
+	}
+	prevG := parent.G
+	advanced := 0
+	var last core.Result
+	var series []core.FrontierStats
+	for _, v := range chain {
+		res, s := core.TraceDF(ctx, prevG, v.G, v.Update.Del, v.Update.Ins, r.ranks, r.cfg)
+		if res.Err != nil {
+			return res, series, advanced, fmt.Errorf("snapshot: traced refresh aborted at version %d: %w", v.Seq, res.Err)
+		}
+		if !res.Converged {
+			return res, series, advanced, fmt.Errorf("snapshot: traced refresh did not converge at version %d", v.Seq)
+		}
+		last = res
+		series = append(series, s...)
+		r.ranks = res.Ranks
+		r.seq = v.Seq
+		prevG = v.G
+		r.Refreshes++
+		advanced++
+	}
+	return last, series, advanced, nil
+}
+
+// refreshStatic is Refresh for static algorithms: every new store version
+// costs one full recomputation with the configured algo.
+func (r *Ranker) refreshStatic(ctx context.Context) (core.Result, int, error) {
 	v := r.store.Current()
-	res := core.StaticBB(v.G, r.cfg)
+	if v.Seq == r.seq {
+		return core.Result{Ranks: r.ranks, Converged: true}, 0, nil
+	}
+	res := core.RunCtx(ctx, r.algo, core.Input{GNew: v.G}, r.cfg)
+	if res.Err != nil {
+		return res, 0, fmt.Errorf("snapshot: static refresh failed: %w", res.Err)
+	}
+	advanced := int(v.Seq - r.seq)
+	r.ranks = res.Ranks
+	r.seq = v.Seq
+	r.Refreshes++
+	return res, advanced, nil
+}
+
+func (r *Ranker) rebuild(ctx context.Context) (core.Result, int, error) {
+	v := r.store.Current()
+	res := core.RunCtx(ctx, core.AlgoStaticBB, core.Input{GNew: v.G}, r.cfg)
 	if res.Err != nil {
 		return res, 0, fmt.Errorf("snapshot: static rebuild failed: %w", res.Err)
 	}

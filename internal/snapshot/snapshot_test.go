@@ -1,11 +1,17 @@
 package snapshot
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
+	"weak"
 
 	"dfpr/internal/batch"
 	"dfpr/internal/core"
+	"dfpr/internal/fault"
 	"dfpr/internal/gen"
 	"dfpr/internal/graph"
 	"dfpr/internal/metrics"
@@ -84,14 +90,14 @@ func TestSinceEvicted(t *testing.T) {
 func TestRankerTracksReference(t *testing.T) {
 	s := testStore(t, 0)
 	n := s.Current().G.N()
-	r, err := NewRanker(s, core.AlgoDFLF, testCfg(n))
+	r, _, err := NewRanker(context.Background(), s, core.AlgoDFLF, testCfg(n))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
 		up := batch.Random(graph.DynamicFromCSR(s.Current().G), 12, int64(i))
 		s.Apply(up)
-		res, advanced, err := r.Refresh()
+		res, advanced, err := r.Refresh(context.Background())
 		if err != nil || advanced != 1 {
 			t.Fatalf("step %d: advanced=%d err=%v", i, advanced, err)
 		}
@@ -111,7 +117,7 @@ func TestRankerTracksReference(t *testing.T) {
 func TestRankerCatchesUpMultipleVersions(t *testing.T) {
 	s := testStore(t, 0)
 	n := s.Current().G.N()
-	r, err := NewRanker(s, core.AlgoDFLF, testCfg(n))
+	r, _, err := NewRanker(context.Background(), s, core.AlgoDFLF, testCfg(n))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +128,7 @@ func TestRankerCatchesUpMultipleVersions(t *testing.T) {
 	if r.Behind() != 5 {
 		t.Fatalf("Behind = %d", r.Behind())
 	}
-	_, advanced, err := r.Refresh()
+	_, advanced, err := r.Refresh(context.Background())
 	if err != nil || advanced != 5 {
 		t.Fatalf("advanced=%d err=%v", advanced, err)
 	}
@@ -138,7 +144,7 @@ func TestRankerCatchesUpMultipleVersions(t *testing.T) {
 func TestRankerRebuildsWhenEvicted(t *testing.T) {
 	s := testStore(t, 2)
 	n := s.Current().G.N()
-	r, err := NewRanker(s, core.AlgoDFLF, testCfg(n))
+	r, _, err := NewRanker(context.Background(), s, core.AlgoDFLF, testCfg(n))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +152,7 @@ func TestRankerRebuildsWhenEvicted(t *testing.T) {
 		up := batch.Random(graph.DynamicFromCSR(s.Current().G), 4, int64(i))
 		s.Apply(up)
 	}
-	_, advanced, err := r.Refresh()
+	_, advanced, err := r.Refresh(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,21 +165,48 @@ func TestRankerRebuildsWhenEvicted(t *testing.T) {
 	}
 }
 
-func TestRankerRejectsStaticAlgo(t *testing.T) {
+func TestRankerStaticAlgoRecomputesPerRefresh(t *testing.T) {
 	s := testStore(t, 0)
-	if _, err := NewRanker(s, core.AlgoStaticLF, core.Config{}); err == nil {
-		t.Error("static algorithm accepted")
+	n := s.Current().G.N()
+	r, init, err := NewRanker(context.Background(), s, core.AlgoStaticLF, testCfg(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !init.Converged {
+		t.Fatal("initial static run did not converge")
+	}
+	// Idle refresh is free.
+	if _, advanced, err := r.Refresh(context.Background()); err != nil || advanced != 0 {
+		t.Fatalf("idle static refresh: advanced=%d err=%v", advanced, err)
+	}
+	for i := 0; i < 3; i++ {
+		up := batch.Random(graph.DynamicFromCSR(s.Current().G), 4, int64(i))
+		s.Apply(up)
+	}
+	res, advanced, err := r.Refresh(context.Background())
+	if err != nil || advanced != 3 {
+		t.Fatalf("static refresh: advanced=%d err=%v", advanced, err)
+	}
+	if !res.Converged || r.Seq() != 3 {
+		t.Fatalf("converged=%v seq=%d", res.Converged, r.Seq())
+	}
+	if r.Refreshes != 1 || r.Rebuilds != 0 {
+		t.Errorf("refreshes=%d rebuilds=%d (static refresh is one recompute)", r.Refreshes, r.Rebuilds)
+	}
+	ref := core.Reference(s.Current().G, core.Config{})
+	if e := metrics.LInf(r.Ranks(), ref); e > 20*testCfg(n).Tol {
+		t.Errorf("error after static refresh: %g", e)
 	}
 }
 
 func TestRefreshWithNoPendingWork(t *testing.T) {
 	s := testStore(t, 0)
 	n := s.Current().G.N()
-	r, err := NewRanker(s, core.AlgoDFLF, testCfg(n))
+	r, _, err := NewRanker(context.Background(), s, core.AlgoDFLF, testCfg(n))
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, advanced, err := r.Refresh()
+	res, advanced, err := r.Refresh(context.Background())
 	if err != nil || advanced != 0 || !res.Converged {
 		t.Errorf("idle refresh: advanced=%d err=%v", advanced, err)
 	}
@@ -215,7 +248,7 @@ func TestConcurrentReadersDuringWrites(t *testing.T) {
 
 func TestRanksAreCopies(t *testing.T) {
 	s := testStore(t, 0)
-	r, err := NewRanker(s, core.AlgoDFLF, testCfg(s.Current().G.N()))
+	r, _, err := NewRanker(context.Background(), s, core.AlgoDFLF, testCfg(s.Current().G.N()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,5 +256,200 @@ func TestRanksAreCopies(t *testing.T) {
 	a[0] = 42
 	if r.Ranks()[0] == 42 {
 		t.Error("Ranks returned internal storage")
+	}
+}
+
+// TestHistoryTrimReleasesEvictedVersions pins the memory-correctness of
+// Store.Apply's trimming: once a version falls out of retention nothing in
+// the store may keep it reachable (a plain re-slice would pin the dropped
+// backing-array head, retaining every evicted CSR for the store's
+// lifetime). Weak pointers observe reachability directly.
+func TestHistoryTrimReleasesEvictedVersions(t *testing.T) {
+	const keep = 3
+	s := testStore(t, keep)
+	var weaks []weak.Pointer[Version]
+	weaks = append(weaks, weak.Make(s.Current()))
+	const total = 10
+	for i := 0; i < total; i++ {
+		up := batch.Random(graph.DynamicFromCSR(s.Current().G), 2, int64(i))
+		_, next := s.Apply(up)
+		weaks = append(weaks, weak.Make(next))
+	}
+	// Versions 0..total-keep are evicted; the last keep versions are live.
+	runtime.GC()
+	runtime.GC()
+	for seq, w := range weaks {
+		evicted := seq <= total-keep
+		if got := w.Value(); evicted && got != nil {
+			t.Errorf("version %d evicted from history but still reachable", seq)
+		} else if !evicted && got == nil {
+			t.Errorf("version %d should be retained but was collected", seq)
+		}
+	}
+	if _, ok := s.Get(uint64(total)); !ok {
+		t.Error("latest version missing from history after trims")
+	}
+}
+
+// TestRankerFallbackWithPruneFrontier drives the fallen-behind → static
+// recompute path deterministically with frontier pruning on: more batches
+// land than the store retains, so Refresh must rebuild, and the rebuilt
+// vector must match an independent reference.
+func TestRankerFallbackWithPruneFrontier(t *testing.T) {
+	s := testStore(t, 2)
+	n := s.Current().G.N()
+	cfg := testCfg(n)
+	cfg.PruneFrontier = true
+	r, _, err := NewRanker(context.Background(), s, core.AlgoDFLF, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ { // beyond retention of 2
+		up := batch.Random(graph.DynamicFromCSR(s.Current().G), 8, int64(40+i))
+		s.Apply(up)
+	}
+	res, advanced, err := r.Refresh(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advanced != 5 || r.Rebuilds != 1 || !res.Converged {
+		t.Fatalf("advanced=%d rebuilds=%d converged=%v (want static fallback)", advanced, r.Rebuilds, res.Converged)
+	}
+	ref := core.Reference(s.Current().G, core.Config{})
+	if e := metrics.LInf(r.Ranks(), ref); e > 20*cfg.Tol {
+		t.Errorf("error after pruned-frontier rebuild: %g", e)
+	}
+}
+
+// TestRankerRefreshUnderConcurrentApply exercises the Ranker (with pruning
+// on) while a writer keeps applying batches against a store with tiny
+// retention: every Refresh must stay sound — incremental when the history
+// allows, static rebuild when it has been evicted — and the vector must
+// match the reference once the writer stops.
+func TestRankerRefreshUnderConcurrentApply(t *testing.T) {
+	s := testStore(t, 8)
+	n := s.Current().G.N()
+	cfg := testCfg(n)
+	cfg.PruneFrontier = true
+	r, _, err := NewRanker(context.Background(), s, core.AlgoDFLF, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Throttled so refreshes can sometimes catch up within the
+		// retention window (incremental path) and sometimes cannot (the
+		// writer bursts past it); both paths must stay sound.
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			burst := 1 + i%4*3 // 1, 4, 7, 10 versions at a time
+			for j := 0; j < burst; j++ {
+				up := batch.Random(graph.DynamicFromCSR(s.Current().G), 6, int64(1000+i*16+j))
+				s.Apply(up)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	// Refresh continuously until the writer has pushed the store through
+	// enough versions that both catch-up paths got exercised.
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; s.Current().Seq < 60; i++ {
+		if _, _, err := r.Refresh(context.Background()); err != nil {
+			t.Errorf("refresh %d under concurrent load: %v", i, err)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("writer never advanced the store far enough")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	close(stop)
+	wg.Wait()
+	// Quiescent catch-up, then pin against the reference.
+	if _, _, err := r.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if r.Seq() != s.Current().Seq {
+		t.Fatalf("ranker at %d, store at %d after quiescent refresh", r.Seq(), s.Current().Seq)
+	}
+	ref := core.Reference(s.Current().G, core.Config{})
+	if e := metrics.LInf(r.Ranks(), ref); e > 20*cfg.Tol {
+		t.Errorf("error after concurrent-load catch-up: %g", e)
+	}
+	if r.Refreshes == 0 {
+		t.Error("no incremental refresh happened at all")
+	}
+}
+
+// TestRankerDisableFallback injects a crash of every worker: with the
+// fallback disabled the failure must surface as itself, the vector must
+// stay at its last good version, and clearing the plan must let the ranker
+// recover incrementally.
+func TestRankerDisableFallback(t *testing.T) {
+	s := testStore(t, 0)
+	n := s.Current().G.N()
+	cfg := testCfg(n)
+	r, _, err := NewRanker(context.Background(), s, core.AlgoDFLF, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.DisableFallback = true
+	up := batch.Random(graph.DynamicFromCSR(s.Current().G), 12, 77)
+	s.Apply(up)
+
+	r.SetFault(fault.Plan{CrashWorkers: fault.CrashSet(cfg.Threads, cfg.Threads), Seed: 3})
+	res, advanced, err := r.Refresh(context.Background())
+	if err == nil {
+		t.Fatal("crashed refresh reported success")
+	}
+	if !errors.Is(err, core.ErrAllCrashed) {
+		t.Errorf("err = %v, want ErrAllCrashed", err)
+	}
+	if advanced != 0 || r.Seq() != 0 || r.Rebuilds != 0 {
+		t.Errorf("advanced=%d seq=%d rebuilds=%d after disabled fallback", advanced, r.Seq(), r.Rebuilds)
+	}
+	if res.CrashedWorkers != cfg.Threads {
+		t.Errorf("CrashedWorkers = %d, want %d", res.CrashedWorkers, cfg.Threads)
+	}
+
+	r.SetFault(fault.Plan{})
+	if _, advanced, err := r.Refresh(context.Background()); err != nil || advanced != 1 {
+		t.Fatalf("recovery refresh: advanced=%d err=%v", advanced, err)
+	}
+	ref := core.Reference(s.Current().G, core.Config{})
+	if e := metrics.LInf(r.Ranks(), ref); e > 20*cfg.Tol {
+		t.Errorf("error after recovery: %g", e)
+	}
+}
+
+// TestRankerRefreshCanceled verifies a canceled refresh does not trigger
+// the static fallback and leaves the ranker at its last good version.
+func TestRankerRefreshCanceled(t *testing.T) {
+	s := testStore(t, 0)
+	n := s.Current().G.N()
+	r, _, err := NewRanker(context.Background(), s, core.AlgoDFLF, testCfg(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := batch.Random(graph.DynamicFromCSR(s.Current().G), 12, 78)
+	s.Apply(up)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, advanced, err := r.Refresh(ctx)
+	if !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if advanced != 0 || r.Seq() != 0 || r.Rebuilds != 0 {
+		t.Errorf("advanced=%d seq=%d rebuilds=%d after canceled refresh", advanced, r.Seq(), r.Rebuilds)
+	}
+	if _, advanced, err := r.Refresh(context.Background()); err != nil || advanced != 1 {
+		t.Fatalf("post-cancel refresh: advanced=%d err=%v", advanced, err)
 	}
 }

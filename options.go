@@ -1,0 +1,289 @@
+package dfpr
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dfpr/internal/core"
+	"dfpr/internal/fault"
+	"dfpr/internal/snapshot"
+)
+
+// Algorithm selects which of the paper's eight PageRank variants an Engine
+// refreshes with. The zero value is DFLF, the paper's contribution and the
+// recommended default: lock-free Dynamic Frontier PageRank.
+type Algorithm int
+
+// The eight algorithm variants, in the paper's naming. DF is the Dynamic
+// Frontier approach (the contribution), ND Naive-dynamic, DT Dynamic
+// Traversal; the BB/LF suffix picks the barrier-based (synchronous Jacobi)
+// or lock-free (asynchronous Gauss–Seidel, fault-tolerant) implementation.
+const (
+	DFLF Algorithm = iota
+	DFBB
+	NDLF
+	NDBB
+	DTLF
+	DTBB
+	StaticLF
+	StaticBB
+)
+
+// algoMap pairs each public Algorithm with its internal counterpart;
+// coreToPub is its inverse.
+var algoMap = map[Algorithm]core.Algo{
+	DFLF:     core.AlgoDFLF,
+	DFBB:     core.AlgoDFBB,
+	NDLF:     core.AlgoNDLF,
+	NDBB:     core.AlgoNDBB,
+	DTLF:     core.AlgoDTLF,
+	DTBB:     core.AlgoDTBB,
+	StaticLF: core.AlgoStaticLF,
+	StaticBB: core.AlgoStaticBB,
+}
+
+var coreToPub = func() map[core.Algo]Algorithm {
+	m := make(map[core.Algo]Algorithm, len(algoMap))
+	for pub, c := range algoMap {
+		m[c] = pub
+	}
+	return m
+}()
+
+// Algorithms lists every variant in the paper's presentation order.
+func Algorithms() []Algorithm {
+	return []Algorithm{StaticBB, NDBB, DFBB, StaticLF, NDLF, DFLF, DTBB, DTLF}
+}
+
+// String returns the paper's name for the variant.
+func (a Algorithm) String() string {
+	if c, ok := algoMap[a]; ok {
+		return c.String()
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Dynamic reports whether the variant consumes previous ranks and a batch
+// update; static variants recompute from scratch on every refresh.
+func (a Algorithm) Dynamic() bool { return algoMap[a].Dynamic() }
+
+// LockFree reports whether the variant is barrier-free and therefore
+// tolerates random thread delays and crash-stop worker failures.
+func (a Algorithm) LockFree() bool { return algoMap[a].LockFree() }
+
+// ParseAlgorithm resolves a variant by its paper name, case-insensitively.
+// The error of an unknown name lists every valid name.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	c, ok := core.ParseAlgo(s)
+	if !ok {
+		return 0, fmt.Errorf("dfpr: unknown algorithm %q (valid: %s)", s, strings.Join(core.AlgoNames(), ", "))
+	}
+	return coreToPub[c], nil
+}
+
+// FaultPlan describes thread delays and crash-stop failures to inject into
+// rank computations (the paper's §5.1.6 fault model), for chaos-testing the
+// fault tolerance claims through the public API. The zero plan injects
+// nothing.
+type FaultPlan struct {
+	// DelayProb is the probability that a worker sleeps after computing one
+	// vertex rank.
+	DelayProb float64
+	// DelayDur is the sleep duration of one injected delay.
+	DelayDur time.Duration
+	// CrashWorkers lists worker ids that crash-stop during a run (see
+	// CrashSet).
+	CrashWorkers []int
+	// CrashHorizon bounds the pseudo-random crash point: each crashing
+	// worker stops after processing k vertices, k drawn uniformly from
+	// [0, CrashHorizon). Zero crashes on the first check.
+	CrashHorizon int
+	// Seed makes the injection reproducible.
+	Seed int64
+}
+
+func (p FaultPlan) internal() fault.Plan {
+	return fault.Plan{
+		DelayProb:    p.DelayProb,
+		DelayDur:     p.DelayDur,
+		CrashWorkers: p.CrashWorkers,
+		CrashHorizon: p.CrashHorizon,
+		Seed:         p.Seed,
+	}
+}
+
+// CrashSet returns k distinct worker ids out of workers, spread evenly, for
+// FaultPlan.CrashWorkers.
+func CrashSet(k, workers int) []int { return fault.CrashSet(k, workers) }
+
+// The paper's default parameters (§5.1.2), shared by the Engine options
+// and the CLI flag defaults.
+const (
+	// DefaultAlpha is the default damping factor.
+	DefaultAlpha = core.DefaultAlpha
+	// DefaultTolerance is the default iteration tolerance τ (L∞).
+	DefaultTolerance = core.DefaultTol
+	// DefaultMaxIter is the default iteration bound per run.
+	DefaultMaxIter = core.DefaultMaxIter
+	// DefaultHistory is the default number of retained graph versions.
+	DefaultHistory = snapshot.DefaultHistory
+)
+
+// settings is the resolved configuration an Engine is built with.
+type settings struct {
+	cfg        core.Config
+	algo       core.Algo
+	history    int
+	noFallback bool
+}
+
+func defaultSettings() settings {
+	return settings{algo: core.AlgoDFLF, history: snapshot.DefaultHistory}
+}
+
+// Option configures an Engine at construction. Options validate eagerly:
+// New reports the first invalid option instead of deferring surprises to
+// the first Rank.
+type Option func(*settings) error
+
+// WithAlgorithm selects the refresh algorithm (default DFLF). A static
+// variant makes every Rank a full recomputation — useful as a baseline or
+// yardstick.
+func WithAlgorithm(a Algorithm) Option {
+	return func(s *settings) error {
+		c, ok := algoMap[a]
+		if !ok {
+			return fmt.Errorf("dfpr: unknown algorithm %v (valid: %s)", a, strings.Join(core.AlgoNames(), ", "))
+		}
+		s.algo = c
+		return nil
+	}
+}
+
+// WithAlpha sets the damping factor, in (0, 1) exclusive (default 0.85).
+func WithAlpha(alpha float64) Option {
+	return func(s *settings) error {
+		if alpha <= 0 || alpha >= 1 {
+			return fmt.Errorf("dfpr: alpha %v out of range (0, 1)", alpha)
+		}
+		s.cfg.Alpha = alpha
+		return nil
+	}
+}
+
+// WithTolerance sets the iteration tolerance τ on the L∞ rank change
+// (default 1e-10).
+func WithTolerance(tol float64) Option {
+	return func(s *settings) error {
+		if tol <= 0 {
+			return fmt.Errorf("dfpr: tolerance %v must be positive", tol)
+		}
+		s.cfg.Tol = tol
+		return nil
+	}
+}
+
+// WithFrontierTolerance sets the frontier tolerance τ_f the Dynamic
+// Frontier variants use to decide when a rank change is large enough to
+// mark out-neighbours affected (default τ/1000).
+func WithFrontierTolerance(tol float64) Option {
+	return func(s *settings) error {
+		if tol <= 0 {
+			return fmt.Errorf("dfpr: frontier tolerance %v must be positive", tol)
+		}
+		s.cfg.FrontierTol = tol
+		return nil
+	}
+}
+
+// WithMaxIter bounds the iterations of one run (default 500).
+func WithMaxIter(n int) Option {
+	return func(s *settings) error {
+		if n <= 0 {
+			return fmt.Errorf("dfpr: max iterations %d must be positive", n)
+		}
+		s.cfg.MaxIter = n
+		return nil
+	}
+}
+
+// WithThreads sets the number of worker goroutines per run (default
+// runtime.NumCPU()).
+func WithThreads(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("dfpr: thread count %d must be non-negative", n)
+		}
+		s.cfg.Threads = n
+		return nil
+	}
+}
+
+// WithChunk sets the dynamic-scheduling chunk size (default 2048).
+func WithChunk(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("dfpr: chunk size %d must be non-negative", n)
+		}
+		s.cfg.Chunk = n
+		return nil
+	}
+}
+
+// WithUniformChunks restores the paper's fixed vertex-count chunks instead
+// of the default edge-balanced chunk boundaries.
+func WithUniformChunks(uniform bool) Option {
+	return func(s *settings) error {
+		s.cfg.UniformChunks = uniform
+		return nil
+	}
+}
+
+// WithPruneFrontier removes converged vertices from the Dynamic Frontier
+// affected set (the "DF with pruning" refinement; default off).
+func WithPruneFrontier(prune bool) Option {
+	return func(s *settings) error {
+		s.cfg.PruneFrontier = prune
+		return nil
+	}
+}
+
+// WithFaultPlan injects the given faults into every subsequent run — see
+// also Engine.SetFaultPlan for changing the plan between runs.
+func WithFaultPlan(p FaultPlan) Option {
+	return func(s *settings) error {
+		if p.DelayProb < 0 || p.DelayProb > 1 {
+			return fmt.Errorf("dfpr: delay probability %v out of range [0, 1]", p.DelayProb)
+		}
+		s.cfg.Fault = p.internal()
+		return nil
+	}
+}
+
+// WithHistory sets how many past graph versions the engine retains for
+// incremental catch-up; keep must be positive (the default is 64). An
+// engine that falls further behind than the retention rebuilds ranks
+// statically instead of replaying.
+func WithHistory(keep int) Option {
+	return func(s *settings) error {
+		if keep <= 0 {
+			return fmt.Errorf("dfpr: history %d must be positive", keep)
+		}
+		s.history = keep
+		return nil
+	}
+}
+
+// WithStaticFallback controls whether a *failed* incremental refresh
+// (crashed workers, broken barrier) falls back to one static recomputation
+// (default true). With the fallback off, Rank surfaces the failure and
+// leaves the ranks at the last good version — the right mode for fault
+// drills, where the fallback would be subjected to the same injected
+// faults.
+func WithStaticFallback(enabled bool) Option {
+	return func(s *settings) error {
+		s.noFallback = !enabled
+		return nil
+	}
+}

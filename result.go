@@ -1,0 +1,87 @@
+package dfpr
+
+import (
+	"errors"
+	"time"
+
+	"dfpr/internal/core"
+	"dfpr/internal/metrics"
+)
+
+// ErrCanceled is reported by Rank when its context is canceled (or its
+// deadline passes) before the run converges. It is a terminal state
+// distinct from algorithm failures: every worker goroutine has exited, the
+// engine's ranks remain at the last completed version, and the engine stays
+// fully usable. errors.Is(err, ErrCanceled) identifies it through any
+// wrapping.
+var ErrCanceled = core.ErrCanceled
+
+// ErrClosed is returned by operations on an engine after Close.
+var ErrClosed = errors.New("dfpr: engine closed")
+
+// Result reports the outcome of one Rank call.
+type Result struct {
+	// Seq is the store version the ranks correspond to.
+	Seq uint64
+	// Advanced is the number of graph versions this call moved the ranks
+	// forward by (0 when the engine was already current).
+	Advanced int
+	// Rebuilt reports that this call fell back to a full static
+	// recomputation (history evicted, or an incremental run failed with the
+	// static fallback enabled) instead of replaying batches incrementally.
+	Rebuilt bool
+	// Ranks is the PageRank vector, indexed by vertex. The slice is the
+	// caller's to keep. It is nil when the call failed: an aborted run's
+	// vector may be mid-iteration and is never exposed.
+	Ranks []float64
+	// Iterations is the number of iterations of the final run (for
+	// lock-free variants: the highest pass index any worker completed, plus
+	// one).
+	Iterations int
+	// Converged reports whether the tolerance was met before MaxIter.
+	Converged bool
+	// CrashedWorkers is the number of workers that crash-stopped under an
+	// injected FaultPlan.
+	CrashedWorkers int
+	// Elapsed is the wall-clock time of the final run, excluding input
+	// construction.
+	Elapsed time.Duration
+	// BarrierWait is the cumulative time workers spent blocked at iteration
+	// barriers (zero for lock-free variants).
+	BarrierWait time.Duration
+}
+
+// TopK returns the indices of the k highest-ranked vertices, highest first.
+func (r *Result) TopK(k int) []int { return metrics.TopK(r.Ranks, k) }
+
+// Snapshot is a point-in-time view of an engine: the latest published graph
+// version and the latest computed ranks, which may lag it.
+type Snapshot struct {
+	// Seq is the latest published graph version.
+	Seq uint64
+	// RankSeq is the version the Ranks correspond to (≤ Seq; meaningful
+	// only once Ranks is non-nil).
+	RankSeq uint64
+	// N and M are the vertex and edge counts of the latest graph version.
+	N, M int
+	// Ranks is a copy of the latest computed rank vector, or nil if Rank
+	// has not completed yet.
+	Ranks []float64
+}
+
+// Stats counts how an engine has kept its ranks fresh: Refreshes are
+// incremental (or static-algorithm) refreshes, Rebuilds are static
+// fallbacks after eviction or failure.
+type Stats struct {
+	Refreshes, Rebuilds int
+}
+
+// FrontierStats describes the Dynamic Frontier affected set after one pass
+// of a traced refresh — see Engine.RankTrace.
+type FrontierStats struct {
+	// Affected is the number of vertices currently marked affected.
+	Affected int
+	// NotConverged is the number of vertices whose rank has not yet settled
+	// within tolerance.
+	NotConverged int
+}

@@ -1,0 +1,95 @@
+package dfpr
+
+import "time"
+
+// Update is one versioned rank refresh delivered to subscribers.
+type Update struct {
+	// Seq is the graph version the ranks correspond to.
+	Seq uint64
+	// Ranks is the refreshed PageRank vector; the slice is the receiver's
+	// to keep.
+	Ranks []float64
+	// Iterations and Converged describe the run that produced the update.
+	Iterations int
+	Converged  bool
+	// Elapsed is the wall-clock time of the refresh.
+	Elapsed time.Duration
+}
+
+// Subscription is a push stream of rank updates from an Engine, delivered
+// whenever a Rank call advances the rank version.
+//
+// Delivery is conflating, sized for live serving: a subscriber that falls
+// behind loses intermediate versions, never the latest — the channel always
+// holds the most recent undelivered update, so a slow consumer wakes up to
+// fresh ranks instead of a backlog of stale ones. The channel is closed by
+// Subscription.Close and by Engine.Close.
+type Subscription struct {
+	e  *Engine
+	id uint64
+	ch chan Update
+}
+
+// Subscribe registers a new rank-update stream. Subscribing to a closed
+// engine returns a subscription whose channel is already closed.
+func (e *Engine) Subscribe() *Subscription {
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	e.nextSub++
+	sub := &Subscription{e: e, id: e.nextSub, ch: make(chan Update, 1)}
+	if e.subClosed {
+		close(sub.ch)
+		return sub
+	}
+	if e.subs == nil {
+		e.subs = make(map[uint64]*Subscription)
+	}
+	e.subs[sub.id] = sub
+	return sub
+}
+
+// Updates returns the receive channel of the stream.
+func (s *Subscription) Updates() <-chan Update { return s.ch }
+
+// Close unregisters the subscription and closes its channel. Idempotent.
+func (s *Subscription) Close() {
+	s.e.subMu.Lock()
+	defer s.e.subMu.Unlock()
+	if _, ok := s.e.subs[s.id]; ok {
+		delete(s.e.subs, s.id)
+		close(s.ch)
+	}
+}
+
+// publishLocked records the new rank state for Snapshot and pushes an
+// update to every subscriber. Caller holds e.mu, which also makes it the
+// only publisher — the conflating send below relies on that.
+func (e *Engine) publishLocked(res *Result) {
+	e.pub.Store(&published{seq: res.Seq, ranks: append([]float64(nil), res.Ranks...)})
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	for _, sub := range e.subs {
+		u := Update{
+			Seq:        res.Seq,
+			Ranks:      append([]float64(nil), res.Ranks...),
+			Iterations: res.Iterations,
+			Converged:  res.Converged,
+			Elapsed:    res.Elapsed,
+		}
+		for {
+			select {
+			case sub.ch <- u:
+			default:
+				// Channel full: evict the stale undelivered update and
+				// retry. One spin suffices unless the receiver raced the
+				// eviction, in which case the send lands on the next try.
+				select {
+				case <-sub.ch:
+				default:
+				}
+				continue
+			}
+			break
+		}
+	}
+}
