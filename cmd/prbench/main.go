@@ -12,12 +12,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"testing"
 	"time"
 
+	"dfpr"
+	"dfpr/internal/exutil"
+	"dfpr/internal/gen"
 	"dfpr/internal/harness"
 )
 
@@ -36,7 +41,7 @@ func main() {
 	flag.Parse()
 
 	if *bjson != "" {
-		if err := harness.RunBenchJSON(*bjson, *scale, *reps); err != nil {
+		if err := harness.RunBenchJSON(*bjson, *scale, *reps, queryBench(*scale, *threads)); err != nil {
 			fmt.Fprintf(os.Stderr, "prbench: benchjson: %v\n", err)
 			os.Exit(1)
 		}
@@ -87,5 +92,78 @@ func main() {
 			fmt.Println()
 		}
 		fmt.Printf("-- %s completed in %s --\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// queryBench contributes the view-query section of the benchjson report:
+// the zero-copy read path (View.ScoreOf, View.TopK) measured through the
+// public API on the suite's largest graph, against the deprecated
+// full-copy Snapshot as baseline. It runs here rather than in the harness
+// because internal packages cannot import the root package.
+func queryBench(scale float64, threads int) func(*harness.BenchReport) {
+	return func(rep *harness.BenchReport) {
+		var spec gen.Spec
+		for _, s := range gen.SuiteSparse12(scale) {
+			if s.Name == "sk-2005" {
+				spec = s
+				break
+			}
+		}
+		d := spec.Build()
+		n, edges := exutil.Flatten(d)
+		eng, err := dfpr.New(n, edges, dfpr.WithThreads(threads), dfpr.WithTolerance(1e-3/float64(n)))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prbench: querybench: %v\n", err)
+			return
+		}
+		defer eng.Close()
+		if _, err := eng.Rank(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "prbench: querybench: %v\n", err)
+			return
+		}
+		v, err := eng.View()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prbench: querybench: %v\n", err)
+			return
+		}
+		const k = 10
+		q := harness.QueryResult{Graph: spec.Name, Vertices: v.N(), Edges: v.M(), K: k}
+
+		firstStart := time.Now()
+		v.TopK(k) // builds the per-version order cache
+		q.TopKFirstNs = float64(time.Since(firstStart).Nanoseconds())
+
+		nsPerOp := func(f func(b *testing.B)) float64 {
+			r := testing.Benchmark(f)
+			return float64(r.T.Nanoseconds()) / float64(r.N)
+		}
+		q.ScoreOfNs = nsPerOp(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, ok := v.ScoreOf(uint32(i % n)); !ok {
+					b.Fatal("lookup failed")
+				}
+			}
+		})
+		q.TopKWarmNs = nsPerOp(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if len(v.TopK(k)) != k {
+					b.Fatal("topk failed")
+				}
+			}
+		})
+		q.SnapshotCopyNs = nsPerOp(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				//lint:ignore SA1019 the deprecated copy path is the baseline this section measures against
+				if s := eng.Snapshot(); len(s.Ranks) != n {
+					b.Fatal("snapshot failed")
+				}
+			}
+		})
+		q.ScoreOfAllocs = testing.AllocsPerRun(200, func() { v.ScoreOf(7) })
+		q.TopKAllocs = testing.AllocsPerRun(200, func() { v.TopK(k) })
+		rep.Queries = append(rep.Queries, q)
+		fmt.Fprintf(os.Stderr,
+			"benchjson: query %-14s scoreof %.1f ns (%.0f allocs)  topk %.0f ns (%.0f allocs)  snapshot-copy %.0f ns\n",
+			spec.Name, q.ScoreOfNs, q.ScoreOfAllocs, q.TopKWarmNs, q.TopKAllocs, q.SnapshotCopyNs)
 	}
 }

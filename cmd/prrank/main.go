@@ -22,12 +22,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strings"
 
 	"dfpr"
 	"dfpr/internal/exutil"
 	"dfpr/internal/gio"
-	"dfpr/internal/graph"
 	"dfpr/internal/metrics"
 )
 
@@ -55,7 +53,7 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 
-	n, edges, err := loadGraph(*in)
+	n, edges, err := exutil.LoadGraph(*in)
 	if err != nil {
 		fatalf("loading %s: %v", *in, err)
 	}
@@ -101,42 +99,21 @@ func main() {
 		}
 	}
 
-	snap := eng.Snapshot()
+	view := res.View
 	fmt.Printf("%s: n=%d m=%d iterations=%d converged=%v elapsed=%s\n",
-		algo, snap.N, snap.M, res.Iterations, res.Converged, metrics.FormatDur(res.Elapsed))
+		algo, view.N(), view.M(), res.Iterations, res.Converged, metrics.FormatDur(res.Elapsed))
 
 	if *top > 0 {
-		for rank, v := range res.TopK(*top) {
-			fmt.Printf("#%-3d vertex %-10d %.6e\n", rank+1, v, res.Ranks[v])
+		for rank, e := range view.TopK(*top) {
+			fmt.Printf("#%-3d vertex %-10d %.6e\n", rank+1, e.V, e.Score)
 		}
 	} else {
 		w := bufio.NewWriter(os.Stdout)
 		defer w.Flush()
-		for v, r := range res.Ranks {
+		for v, r := range view.Scores() {
 			fmt.Fprintf(w, "%d %.12e\n", v, r)
 		}
 	}
-}
-
-// loadGraph reads a MatrixMarket file when the name ends in .mtx, otherwise
-// a SNAP-style edge list, and flattens it to the public edge form.
-func loadGraph(path string) (int, []dfpr.Edge, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return 0, nil, err
-	}
-	defer f.Close()
-	var d *graph.Dynamic
-	if strings.HasSuffix(path, ".mtx") {
-		d, err = gio.ReadMatrixMarket(f)
-	} else {
-		d, err = gio.ReadEdgeList(f)
-	}
-	if err != nil {
-		return 0, nil, err
-	}
-	n, edges := exutil.Flatten(d)
-	return n, edges, nil
 }
 
 func loadBatch(path string) (del, ins []dfpr.Edge, err error) {

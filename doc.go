@@ -16,15 +16,30 @@
 //	seq, err := eng.Apply(ctx, del, ins) // publish a batch update
 //	res, err = eng.Rank(ctx)             // incremental, frontier-sized refresh
 //
+// Reads go through Views — immutable, zero-copy handles pinned to one
+// published version, shared by every reader of that version:
+//
+//	v, err := eng.View()       // latest ranks, one atomic load
+//	score, ok := v.ScoreOf(u)  // point lookup, zero allocations
+//	board := v.TopK(10)        // O(k) result from a cached shared selection
+//	old, err := eng.ViewAt(s)  // retained history (WithHistory versions)
+//	moved := v.Delta(old)      // movement set, cost scales with the batch
+//
 // Rank honours cancellation: a canceled context aborts a converging run
 // promptly (workers joined, no goroutine leaks) with ErrCanceled, leaving
-// the ranks at the last completed version. Snapshot reads the latest
-// computed state without blocking behind a refresh; Subscribe streams
-// versioned rank updates over a conflating channel sized for live serving;
-// WithFaultPlan/SetFaultPlan inject the paper's thread-delay and
-// crash-stop faults for chaos drills; RankTrace exposes the per-pass
-// frontier sizes that explain where the Dynamic Frontier saving comes
-// from.
+// the ranks at the last completed version. Subscribe streams versioned
+// rank updates — each carrying the version's View — over a conflating
+// channel sized for live serving; WithFaultPlan/SetFaultPlan inject the
+// paper's thread-delay and crash-stop faults for chaos drills; RankTrace
+// exposes the per-pass frontier sizes that explain where the Dynamic
+// Frontier saving comes from. The copy-based readers (Engine.Snapshot,
+// Result.Ranks, Update.Ranks) remain as deprecated O(|V|)-per-call shims
+// for one release.
+//
+// The serve package exposes an Engine over HTTP/JSON (GET /v1/rank/{u},
+// /v1/topk, /v1/delta, POST /v1/apply, /v1/stats, with per-request version
+// pinning via the X-DFPR-Version header and graceful drain); cmd/prserve
+// is its ready-made binary.
 //
 // The paper's contribution — the Dynamic Frontier approach for updating
 // PageRank after batch edge updates, and its lock-free fault-tolerant
@@ -53,12 +68,16 @@
 // kernels gather a contribution cache contrib[u] = α·rank[u]/outdeg(u)
 // maintained at every rank store, one memory read per edge instead of two;
 // and the chunk schedulers place chunk boundaries by prefix in-degree so
-// power-law hub rows do not serialise a pass behind one worker.
+// power-law hub rows do not serialise a pass behind one worker. The read
+// path adds per-version views: one shared immutable vector and one shared
+// top-k selection per version, so point lookups allocate nothing and
+// leaderboards allocate O(k) (measured in BENCH_PR3.json).
 //
 // Binaries (all built on the public API): cmd/prbench regenerates every
-// table and figure (and, with -benchjson, records kernel and snapshot
-// micro-benchmarks machine-readably, e.g. BENCH_PR2.json), cmd/prgen emits
-// datasets as edge lists, cmd/prrank ranks an edge list with any variant.
+// table and figure (and, with -benchjson, records kernel, snapshot and
+// view-query micro-benchmarks machine-readably, e.g. BENCH_PR3.json),
+// cmd/prgen emits datasets as edge lists, cmd/prrank ranks an edge list
+// with any variant, cmd/prserve serves ranks over HTTP.
 // Runnable examples live under examples/. The benchmarks in this root
 // package (bench_test.go) run trimmed versions of every experiment under
 // `go test -bench`.

@@ -29,9 +29,10 @@ type Edge struct {
 //	eng.Rank(ctx)                  // incremental refresh, frontier-sized work
 //
 // Apply is safe for concurrent use and never blocks readers; Rank calls are
-// serialised with each other. Readers use Snapshot for the latest computed
-// ranks without blocking behind a refresh, or Subscribe for a push stream
-// of versioned rank updates. Every Rank honours its context: cancellation
+// serialised with each other. Readers use View (or ViewAt for retained
+// history) for zero-copy access to the latest computed ranks without
+// blocking behind a refresh, or Subscribe for a push stream of versioned
+// rank updates carrying views. Every Rank honours its context: cancellation
 // aborts a converging run promptly, with all worker goroutines joined
 // before Rank returns ErrCanceled, and leaves the engine's ranks at the
 // last completed version.
@@ -50,23 +51,25 @@ type Engine struct {
 	closeMu  sync.RWMutex
 	applyble bool // false once closed; guarded by closeMu
 
-	// pub is the latest published rank state, read lock-free by Snapshot;
-	// refreshes/rebuilds mirror the ranker's counters for lock-free Stats.
-	pub       atomic.Pointer[published]
+	// latest is the most recently published view, read lock-free by View,
+	// Snapshot and Behind; refreshes/rebuilds mirror the ranker's counters
+	// for lock-free Stats.
+	latest    atomic.Pointer[View]
 	refreshes atomic.Int64
 	rebuilds  atomic.Int64
+
+	// viewMu guards the ring of retained published views ViewAt serves
+	// from; each entry pins its store version so version chains stay
+	// reachable for Delta. Lock order: mu before viewMu before the store's
+	// internal lock.
+	viewMu sync.Mutex
+	views  []*View // oldest first, at most opts.history entries
 
 	// subMu guards the subscriber table. Lock order: mu before subMu.
 	subMu     sync.Mutex
 	subs      map[uint64]*Subscription
 	nextSub   uint64
 	subClosed bool
-}
-
-// published is the rank state Snapshot reads without taking the rank lock.
-type published struct {
-	seq   uint64
-	ranks []float64
 }
 
 // New builds an engine over a directed graph with vertices 0..n-1 and the
@@ -196,6 +199,10 @@ func (e *Engine) Rank(ctx context.Context) (*Result, error) {
 	out.Seq = e.ranker.Seq()
 	if advanced > 0 {
 		e.publishLocked(out)
+	} else {
+		// Nothing new to publish: the engine was already current, so the
+		// latest published view is exactly this result's view.
+		out.View = e.latest.Load()
 	}
 	return out, nil
 }
@@ -227,6 +234,8 @@ func (e *Engine) RankTrace(ctx context.Context) (*Result, []FrontierStats, error
 	out.Seq = e.ranker.Seq()
 	if advanced > 0 {
 		e.publishLocked(out)
+	} else {
+		out.View = e.latest.Load()
 	}
 	stats := make([]FrontierStats, len(series))
 	for i, s := range series {
@@ -235,10 +244,11 @@ func (e *Engine) RankTrace(ctx context.Context) (*Result, []FrontierStats, error
 	return out, stats, nil
 }
 
-// resultOf converts an internal result, copying the rank vector so the
-// caller owns what it receives.
+// resultOf converts an internal result's diagnostics. The rank vector is
+// not carried here: successful results get a zero-copy View attached at
+// publication (publishLocked), failed ones stay without rank state.
 func resultOf(res core.Result, advanced int, rebuilt bool) *Result {
-	out := &Result{
+	return &Result{
 		Advanced:       advanced,
 		Rebuilt:        rebuilt,
 		Iterations:     res.Iterations,
@@ -247,34 +257,68 @@ func resultOf(res core.Result, advanced int, rebuilt bool) *Result {
 		Elapsed:        res.Elapsed,
 		BarrierWait:    res.BarrierWait,
 	}
-	if res.Ranks != nil {
-		out.Ranks = append([]float64(nil), res.Ranks...)
-	}
-	return out
 }
 
 // failedResultOf converts the result of a failed or canceled run: the
-// diagnostics are kept, the rank vector is dropped — a run that did not
-// complete may hold a mid-iteration vector that must not be served.
+// diagnostics are kept, no view is attached — a run that did not complete
+// may hold a mid-iteration vector that must not be served.
 func failedResultOf(res core.Result, advanced int) *Result {
-	res.Ranks = nil
 	return resultOf(res, advanced, false)
+}
+
+// View returns a zero-copy read handle on the latest published ranks. It
+// never blocks behind an in-flight Rank (one atomic load), the returned
+// view is immutable and shared by every caller of the same version, and it
+// stays valid — pinned to its version — for as long as the caller holds it.
+// Before the first successful Rank there are no ranks to serve and View
+// returns ErrNoRanks.
+func (e *Engine) View() (*View, error) {
+	v := e.latest.Load()
+	if v == nil {
+		return nil, ErrNoRanks
+	}
+	return v, nil
+}
+
+// ViewAt returns the read handle for a previously published rank version
+// still inside the engine's retention window (WithHistory versions of
+// published ranks are kept). Only versions a Rank actually published exist:
+// a Rank that advanced several graph versions at once published only the
+// final one. Requests outside the window return ErrVersionEvicted; a view
+// obtained earlier keeps working regardless of trimming.
+func (e *Engine) ViewAt(seq uint64) (*View, error) {
+	e.viewMu.Lock()
+	defer e.viewMu.Unlock()
+	for i := len(e.views) - 1; i >= 0; i-- {
+		if v := e.views[i]; v.seq == seq {
+			return v, nil
+		}
+		if e.views[i].seq < seq {
+			break
+		}
+	}
+	return nil, fmt.Errorf("dfpr: rank version %d: %w", seq, ErrVersionEvicted)
 }
 
 // Snapshot returns the engine's current state without blocking behind an
 // in-flight Rank: the latest published graph version, and a copy of the
 // latest computed ranks (which may lag the graph; compare Seq and RankSeq).
+//
+// Deprecated: Snapshot copies the full O(|V|) rank vector on every call.
+// Use View (and Engine.Version for the graph sequence) — a View serves
+// point lookups and top-k from shared immutable state. Snapshot remains as
+// a copy-based shim for one release.
 func (e *Engine) Snapshot() Snapshot {
-	// Load pub before the store: pub trails the store monotonically, so
-	// this order keeps RankSeq ≤ Seq even when an Apply+Rank lands between
-	// the two loads (the reverse order could observe a rank version newer
-	// than the graph version it reported).
-	p := e.pub.Load()
+	// Load the view before the store: published ranks trail the store
+	// monotonically, so this order keeps RankSeq ≤ Seq even when an
+	// Apply+Rank lands between the two loads (the reverse order could
+	// observe a rank version newer than the graph version it reported).
+	p := e.latest.Load()
 	v := e.store.Current()
 	s := Snapshot{Seq: v.Seq, N: v.G.N(), M: v.G.M()}
 	if p != nil {
 		s.RankSeq = p.seq
-		s.Ranks = append([]float64(nil), p.ranks...)
+		s.Ranks = p.RanksCopy()
 	}
 	return s
 }
@@ -286,9 +330,9 @@ func (e *Engine) Version() uint64 { return e.store.Current().Seq }
 // the graph. Before the first Rank it counts every version including the
 // initial one.
 func (e *Engine) Behind() uint64 {
-	// pub before store, as in Snapshot: the reverse order could underflow
+	// view before store, as in Snapshot: the reverse order could underflow
 	// when a concurrent Apply+Rank advances both between the loads.
-	p := e.pub.Load()
+	p := e.latest.Load()
 	seq := e.store.Current().Seq
 	if p == nil {
 		return seq + 1

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -113,10 +114,10 @@ func TestEngineRankMatchesCoreRun(t *testing.T) {
 			if !tc.exact {
 				bound = 20 * tol // LF runs are asynchronous; same fixpoint, looser pin
 			}
-			if e := metrics.LInf(initial.Ranks, pre.Ranks); tc.exact && e > 1e-12 {
+			if e := metrics.LInf(initial.Ranks(), pre.Ranks); tc.exact && e > 1e-12 {
 				t.Errorf("initial ranks deviate from StaticBB by %g", e)
 			}
-			if e := metrics.LInf(res.Ranks, want.Ranks); e > bound {
+			if e := metrics.LInf(res.Ranks(), want.Ranks); e > bound {
 				t.Errorf("refresh ranks deviate from core.Run by %g (bound %g)", e, bound)
 			}
 			if tc.exact && res.Iterations != want.Iterations {
@@ -182,8 +183,8 @@ func TestRankCancelPromptNoGoroutineLeak(t *testing.T) {
 	if err != nil {
 		t.Fatalf("post-cancel Rank: %v", err)
 	}
-	if res.Seq != 0 || len(res.Ranks) != n {
-		t.Fatalf("post-cancel Rank: seq=%d len=%d", res.Seq, len(res.Ranks))
+	if res.Seq != 0 || res.View == nil || res.View.N() != n {
+		t.Fatalf("post-cancel Rank: seq=%d view=%v", res.Seq, res.View)
 	}
 }
 
@@ -217,8 +218,11 @@ func TestSubscribeConflatesToLatest(t *testing.T) {
 		if u.Seq != 3 {
 			t.Errorf("conflated update Seq = %d, want 3", u.Seq)
 		}
-		if len(u.Ranks) != n || !u.Converged {
-			t.Errorf("update malformed: len=%d converged=%v", len(u.Ranks), u.Converged)
+		if u.View == nil || u.View.N() != n || !u.Converged {
+			t.Errorf("update malformed: view=%v converged=%v", u.View, u.Converged)
+		}
+		if u.View.Seq() != u.Seq {
+			t.Errorf("update view pinned to %d, update says %d", u.View.Seq(), u.Seq)
 		}
 	default:
 		t.Fatal("no update pending")
@@ -227,6 +231,102 @@ func TestSubscribeConflatesToLatest(t *testing.T) {
 	case u := <-sub.Updates():
 		t.Errorf("second update pending (Seq %d); stream did not conflate", u.Seq)
 	default:
+	}
+}
+
+// TestSubscribeSlowConsumerMonotoneViews drives the view-carrying stream
+// with a deliberately slow consumer while the writer publishes a burst of
+// versions: the laggard must observe a strictly monotone subsequence of
+// versions ending at the latest, and every view it gets must be internally
+// consistent — its scores bitwise-equal to what the publisher computed for
+// that version (no torn or stale-score reads). Run under -race in CI.
+func TestSubscribeSlowConsumerMonotoneViews(t *testing.T) {
+	ctx := context.Background()
+	n, edges, mirror := testGraph(t, 9, 77)
+	eng, err := New(n, edges, WithThreads(4), WithTolerance(1e-3/float64(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := eng.Subscribe()
+
+	// checksum is order- and value-sensitive; publisher and consumer compute
+	// it from the same immutable vector, so equality must be exact.
+	checksum := func(v *View) float64 {
+		var c float64
+		v.Range(func(u uint32, s float64) bool {
+			c += s * float64(u+1)
+			return true
+		})
+		return c
+	}
+
+	const versions = 20
+	var mu sync.Mutex
+	published := make(map[uint64]float64)
+
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		defer eng.Close() // closes the stream; the pending latest stays readable
+		if res, err := eng.Rank(ctx); err != nil {
+			t.Error(err)
+			return
+		} else {
+			mu.Lock()
+			published[res.Seq] = checksum(res.View)
+			mu.Unlock()
+		}
+		for i := 0; i < versions; i++ {
+			up := batch.Random(mirror, 8, int64(500+i))
+			mirror.Apply(up.Del, up.Ins)
+			if _, err := eng.Apply(ctx, toPublic(up.Del), toPublic(up.Ins)); err != nil {
+				t.Error(err)
+				return
+			}
+			res, err := eng.Rank(ctx)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			published[res.Seq] = checksum(res.View)
+			mu.Unlock()
+		}
+	}()
+
+	var got []uint64
+	for u := range sub.Updates() {
+		if u.View == nil {
+			t.Fatalf("update %d without view", u.Seq)
+		}
+		if u.View.Seq() != u.Seq {
+			t.Fatalf("update says version %d, view pinned to %d", u.Seq, u.View.Seq())
+		}
+		mu.Lock()
+		want, ok := published[u.Seq]
+		mu.Unlock()
+		if !ok {
+			t.Fatalf("received version %d that was never published", u.Seq)
+		}
+		if c := checksum(u.View); c != want {
+			t.Fatalf("version %d: consumer checksum %v != publisher %v (torn or stale view)", u.Seq, c, want)
+		}
+		got = append(got, u.Seq)
+		time.Sleep(2 * time.Millisecond) // lag deliberately so the stream conflates
+	}
+	writer.Wait()
+
+	if len(got) == 0 {
+		t.Fatal("consumer saw no updates")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("versions not strictly monotone: %v", got)
+		}
+	}
+	if last := got[len(got)-1]; last != versions {
+		t.Errorf("laggard ended at version %d, want the latest %d (observed %v)", last, versions, got)
 	}
 }
 

@@ -67,7 +67,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	ref := refRes.Ranks
+	ref := refRes.View
 
 	report := func(label string, a dfpr.Algorithm, plan dfpr.FaultPlan) {
 		eng := newEngine(a)
@@ -87,7 +87,7 @@ func main() {
 			status = fmt.Sprintf("FAILED (%d workers crashed): %v", res.CrashedWorkers, err)
 		} else {
 			status = fmt.Sprintf("converged in %s (%d iterations, err %.1e)",
-				metrics.FormatDur(res.Elapsed), res.Iterations, metrics.LInf(res.Ranks, ref))
+				metrics.FormatDur(res.Elapsed), res.Iterations, exutil.LInf(res.View, ref))
 		}
 		fmt.Printf("  %-28s %s\n", label+":", status)
 	}

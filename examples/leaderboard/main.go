@@ -1,0 +1,103 @@
+// Leaderboard: a live top-k page over a temporal edge stream, consumed the
+// way a serving tier would — through the conflating Subscribe stream and
+// zero-copy views.
+//
+// A writer goroutine replays a temporal interaction stream into a
+// dfpr.Engine in batches, refreshing ranks after each. The reader never
+// touches a rank vector: every Update carries the immutable View of its
+// version, and View.TopK answers from a per-version cached partial
+// selection shared by all readers — the reader's steady-state cost is O(k)
+// per frame, not O(|V|). Movements against the previous frame are shown as
+// ▲/▼/＊ markers, and a recycled AppendTopK buffer keeps the loop
+// allocation-free once warm.
+//
+// Run with:
+//
+//	go run ./examples/leaderboard
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"dfpr"
+	"dfpr/internal/batch"
+	"dfpr/internal/exutil"
+	"dfpr/internal/gen"
+	"dfpr/internal/metrics"
+)
+
+const k = 8
+
+func main() {
+	ctx := context.Background()
+	const (
+		users  = 1 << 13
+		events = 120_000
+	)
+	stream := gen.TemporalStream(users, events, 11)
+	rep := batch.NewReplay(stream, users, 0.9)
+	n, edges := exutil.Flatten(rep.Graph())
+	tol := 1e-3 / float64(n)
+
+	eng, err := dfpr.New(n, edges,
+		dfpr.WithAlgorithm(dfpr.DFLF),
+		dfpr.WithThreads(4),
+		dfpr.WithTolerance(tol),
+		dfpr.WithFrontierTolerance(tol),
+	)
+	if err != nil {
+		panic(err)
+	}
+	sub := eng.Subscribe()
+
+	// Writer: replay the final 10% of the stream in batches, refreshing
+	// after each; closing the engine at the end closes the subscription,
+	// which ends the reader loop below.
+	go func() {
+		defer eng.Close()
+		if _, err := eng.Rank(ctx); err != nil {
+			panic(err)
+		}
+		for {
+			up, _, _, ok := rep.NextBatch(2000)
+			if !ok {
+				return
+			}
+			if _, err := eng.Apply(ctx, exutil.Convert(up.Del), exutil.Convert(up.Ins)); err != nil {
+				panic(err)
+			}
+			if _, err := eng.Rank(ctx); err != nil {
+				panic(err)
+			}
+		}
+	}()
+
+	fmt.Printf("leaderboard: %d users, %d events, top %d per refresh\n", users, events, k)
+	prevPos := map[uint32]int{} // user → 1-based position in the previous frame
+	top := make([]dfpr.Ranked, 0, k)
+	frame := 0
+	for u := range sub.Updates() {
+		top = u.View.AppendTopK(top[:0], k)
+		frame++
+		fmt.Printf("\nframe %d — version %d (%d iterations, %s)\n",
+			frame, u.Seq, u.Iterations, metrics.FormatDur(u.Elapsed))
+		next := make(map[uint32]int, k)
+		for i, e := range top {
+			pos := i + 1
+			next[e.V] = pos
+			marker := " "
+			switch was, ok := prevPos[e.V]; {
+			case !ok && frame > 1:
+				marker = "＊" // new entrant
+			case ok && was > pos:
+				marker = "▲"
+			case ok && was < pos:
+				marker = "▼"
+			}
+			fmt.Printf("  %s #%-2d user %-8d %.3e\n", marker, pos, e.V, e.Score)
+		}
+		prevPos = next
+	}
+	fmt.Println("\nstream drained; engine closed.")
+}

@@ -57,8 +57,11 @@ func main() {
 	if _, err := eng.Rank(ctx); err != nil {
 		panic(err)
 	}
-	snap := eng.Snapshot()
-	fmt.Printf("engine sealed: %d vertices, %d edges; ranks at version %d\n\n", snap.N, snap.M, snap.RankSeq)
+	view, err := eng.View()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("engine sealed: %d vertices, %d edges; ranks at version %d\n\n", view.N(), view.M(), view.Seq())
 
 	seed := int64(0)
 	apply := func(k int) {
@@ -90,7 +93,7 @@ func main() {
 		u := <-sub.Updates()
 		fmt.Printf("%-34s behind=%d advanced=%d rebuilt=%v refreshes=%d rebuilds=%d stream=v%d err=%.1e (%s)\n",
 			label, behind, res.Advanced, res.Rebuilt, stats.Refreshes, stats.Rebuilds,
-			u.Seq, metrics.LInf(u.Ranks, refRes.Ranks), metrics.FormatDur(res.Elapsed))
+			u.Seq, exutil.LInf(u.View, refRes.View), metrics.FormatDur(res.Elapsed))
 	}
 
 	apply(1)

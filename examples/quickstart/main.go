@@ -39,7 +39,7 @@ func main() {
 		panic(err)
 	}
 	fmt.Printf("initial ranks (converged in %d iterations):\n", initial.Iterations)
-	printRanks(initial.Ranks)
+	printRanks(initial.View)
 
 	// Batch update: delete the edge 10→11, insert 7→9 (the paper's Figure 4
 	// example). Apply publishes a new graph version; the next Rank refreshes
@@ -56,7 +56,23 @@ func main() {
 	}
 	fmt.Printf("\nafter {del 10→11, ins 7→9} via DFLF (%d iterations, converged=%v):\n",
 		res.Iterations, res.Converged)
-	printRanks(res.Ranks)
+	printRanks(res.View)
+
+	// The batch's footprint, straight from the view layer: Delta compares
+	// the two retained versions by walking the dirty frontier, so its cost
+	// scales with the batch, not the graph.
+	before, err := eng.ViewAt(0)
+	if err != nil {
+		panic(err)
+	}
+	moved := res.View.Delta(before)
+	fmt.Printf("\n%d of %d vertices moved; the first few:\n", len(moved), res.View.N())
+	for i, m := range moved {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  v%-2d %.6f → %.6f\n", m.V, m.From, m.To)
+	}
 
 	// Cross-check against a full static recomputation on the updated graph.
 	var updated []dfpr.Edge
@@ -75,8 +91,9 @@ func main() {
 		panic(err)
 	}
 	var maxDiff float64
-	for i := range ref.Ranks {
-		if d := ref.Ranks[i] - res.Ranks[i]; d > maxDiff {
+	for v, x := range ref.View.Scores() {
+		y, _ := res.View.ScoreOf(v)
+		if d := x - y; d > maxDiff {
 			maxDiff = d
 		} else if -d > maxDiff {
 			maxDiff = -d
@@ -85,8 +102,8 @@ func main() {
 	fmt.Printf("\nmax |DFLF - full recompute| = %.2e\n", maxDiff)
 }
 
-func printRanks(r []float64) {
-	for v, x := range r {
-		fmt.Printf("  v%-2d %.6f\n", v, x)
+func printRanks(v *dfpr.View) {
+	for u, x := range v.Scores() {
+		fmt.Printf("  v%-2d %.6f\n", u, x)
 	}
 }

@@ -58,7 +58,7 @@ func main() {
 
 	batchSize := events / 10 / batches
 	fmt.Printf("%-7s %12s %12s %12s %14s\n", "batch", "NDLF", "DFLF", "StaticLF", "max |ND-DF|")
-	var ndRanks, dfRanks []float64
+	var ndView, dfView *dfpr.View
 	for i := 1; ; i++ {
 		up, _, _, ok := rep.NextBatch(batchSize)
 		if !ok {
@@ -76,15 +76,14 @@ func main() {
 			return res
 		}
 		ndRes, dfRes, stRes := step(nd), step(df), step(st)
-		ndRanks, dfRanks = ndRes.Ranks, dfRes.Ranks
+		ndView, dfView = ndRes.View, dfRes.View
 		fmt.Printf("%-7d %12s %12s %12s %14.2e\n", i,
 			metrics.FormatDur(ndRes.Elapsed), metrics.FormatDur(dfRes.Elapsed),
-			metrics.FormatDur(stRes.Elapsed), metrics.LInf(ndRanks, dfRanks))
+			metrics.FormatDur(stRes.Elapsed), exutil.LInf(ndView, dfView))
 	}
 
 	fmt.Println("\ntop influencers (DFLF ranks):")
-	last := dfpr.Result{Ranks: dfRanks}
-	for i, v := range last.TopK(5) {
-		fmt.Printf("  #%d user %-8d rank %.3e\n", i+1, v, dfRanks[v])
+	for i, e := range dfView.TopK(5) {
+		fmt.Printf("  #%d user %-8d rank %.3e\n", i+1, e.V, e.Score)
 	}
 }

@@ -41,8 +41,7 @@ func main() {
 		panic(err)
 	}
 
-	snap := eng.Snapshot()
-	fmt.Printf("web graph: %d pages, %d links\n", snap.N, snap.M)
+	fmt.Printf("web graph: %d pages, %d links\n", n, len(edges))
 	res, err := eng.Rank(ctx)
 	if err != nil {
 		panic(err)
@@ -69,8 +68,8 @@ func main() {
 
 		fmt.Printf("crawl %d: %d del + %d ins, refreshed in %s — top pages:",
 			step, len(up.Del), len(up.Ins), metrics.FormatDur(upd.Elapsed))
-		for _, v := range upd.TopK(5) {
-			fmt.Printf(" %d", v)
+		for _, e := range upd.View.TopK(5) {
+			fmt.Printf(" %d", e.V)
 		}
 		fmt.Println()
 	}

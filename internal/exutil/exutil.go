@@ -6,7 +6,11 @@
 package exutil
 
 import (
+	"os"
+	"strings"
+
 	"dfpr"
+	"dfpr/internal/gio"
 	"dfpr/internal/graph"
 )
 
@@ -30,4 +34,48 @@ func Convert(edges []graph.Edge) []dfpr.Edge {
 		out[i] = dfpr.Edge{U: e.U, V: e.V}
 	}
 	return out
+}
+
+// LInf returns the L∞ distance between the rank vectors of two views,
+// iterating both in place — no copies. It panics on vertex-count mismatch,
+// which is always an example bug. The examples use it to pin an
+// incremental engine against a reference engine without leaving the
+// view-based read path.
+func LInf(a, b *dfpr.View) float64 {
+	if a.N() != b.N() {
+		panic("exutil: LInf between views of different vertex counts")
+	}
+	var m float64
+	a.Range(func(u uint32, s float64) bool {
+		t, _ := b.ScoreOf(u)
+		if d := s - t; d > m {
+			m = d
+		} else if -d > m {
+			m = -d
+		}
+		return true
+	})
+	return m
+}
+
+// LoadGraph reads a graph file — MatrixMarket when the name ends in .mtx,
+// a SNAP-style edge list otherwise — and flattens it to the pair dfpr.New
+// takes. Shared by the binaries (prrank, prserve).
+func LoadGraph(path string) (int, []dfpr.Edge, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer f.Close()
+	var d *graph.Dynamic
+	if strings.HasSuffix(path, ".mtx") {
+		d, err = gio.ReadMatrixMarket(f)
+	} else {
+		d, err = gio.ReadEdgeList(f)
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	n, edges := Flatten(d)
+	return n, edges, nil
 }

@@ -28,6 +28,29 @@ type BenchReport struct {
 	Kernels []KernelResult `json:"kernels"`
 	// Snapshots holds delta-merge vs full-rebuild times per batch fraction.
 	Snapshots []SnapshotResult `json:"snapshots"`
+	// Queries holds read-path micro-benchmarks (View.ScoreOf/TopK costs and
+	// allocation counts). The harness cannot import the root package, so
+	// the section is filled by an extra passed to RunBenchJSON — cmd/prbench
+	// provides it.
+	Queries []QueryResult `json:"queries,omitempty"`
+}
+
+// QueryResult reports the view-query costs on one graph: per-call time and
+// allocations of the zero-copy read path, against the deprecated
+// full-vector-copy Snapshot as the baseline it replaces. The allocation
+// counts are the PR 3 acceptance numbers: ScoreOf must allocate nothing and
+// a warm TopK only its O(k) result, never O(|V|).
+type QueryResult struct {
+	Graph          string  `json:"graph"`
+	Vertices       int     `json:"vertices"`
+	Edges          int     `json:"edges"`
+	K              int     `json:"k"`
+	ScoreOfNs      float64 `json:"scoreof_ns_per_call"`
+	ScoreOfAllocs  float64 `json:"scoreof_allocs_per_call"`
+	TopKFirstNs    float64 `json:"topk_first_ns"`
+	TopKWarmNs     float64 `json:"topk_warm_ns_per_call"`
+	TopKAllocs     float64 `json:"topk_warm_allocs_per_call"`
+	SnapshotCopyNs float64 `json:"snapshot_copy_ns_per_call"`
 }
 
 // KernelResult reports one graph's kernel sweep comparison.
@@ -71,7 +94,11 @@ func benchSpecs(scale float64) []gen.Spec {
 	return out
 }
 
-func RunBenchJSON(path string, scale float64, reps int) error {
+// RunBenchJSON runs the measurements and writes the report to path. extras
+// run against the assembled report before it is written; the binaries use
+// them to contribute sections measured through the public API (which this
+// internal package cannot import).
+func RunBenchJSON(path string, scale float64, reps int, extras ...func(*BenchReport)) error {
 	if reps < 3 {
 		reps = 3
 	}
@@ -126,6 +153,10 @@ func RunBenchJSON(path string, scale float64, reps int) error {
 		})
 		fmt.Fprintf(os.Stderr, "benchjson: snapshot frac=%.0e delta=%v full=%v (%.2fx)\n",
 			fraction, delta, full, float64(full)/float64(delta))
+	}
+
+	for _, extra := range extras {
+		extra(&rep)
 	}
 
 	f, err := os.Create(path)

@@ -88,17 +88,78 @@ func Speedup(base, x time.Duration) float64 {
 }
 
 // TopK returns the indices of the k largest values, descending. Used by the
-// examples to surface the highest-ranked vertices.
+// examples to surface the highest-ranked vertices. Ties break toward the
+// lower index, so the order is deterministic.
 func TopK(vals []float64, k int) []int {
-	idx := make([]int, len(vals))
-	for i := range idx {
-		idx[i] = i
+	sel := Select(vals, k)
+	out := make([]int, len(sel))
+	for i, v := range sel {
+		out[i] = int(v)
 	}
-	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
-	if k > len(idx) {
-		k = len(idx)
+	return out
+}
+
+// Select returns the indices of the k largest values in descending order,
+// ties broken toward the lower index. It is the shared top-k kernel of the
+// query path: a size-k min-heap partial selection, O(n log k) time and O(k)
+// space, so selecting a leaderboard never sorts (or allocates) the whole
+// vector. k ≥ n degenerates to a full descending sort of the indices.
+func Select(vals []float64, k int) []uint32 {
+	n := len(vals)
+	if k <= 0 || n == 0 {
+		return nil
 	}
-	return idx[:k]
+	if k > n {
+		k = n
+	}
+	// worse reports a strictly lower priority: smaller value, or equal value
+	// with the higher index (so the heap evicts high indices first and the
+	// final order prefers low indices on ties).
+	worse := func(a, b uint32) bool {
+		if vals[a] != vals[b] {
+			return vals[a] < vals[b]
+		}
+		return a > b
+	}
+	h := make([]uint32, 0, k)
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			min := i
+			if l < len(h) && worse(h[l], h[min]) {
+				min = l
+			}
+			if r < len(h) && worse(h[r], h[min]) {
+				min = r
+			}
+			if min == i {
+				return
+			}
+			h[i], h[min] = h[min], h[i]
+			i = min
+		}
+	}
+	for i := 0; i < n; i++ {
+		u := uint32(i)
+		if len(h) < k {
+			h = append(h, u)
+			for c := len(h) - 1; c > 0; {
+				p := (c - 1) / 2
+				if !worse(h[c], h[p]) {
+					break
+				}
+				h[c], h[p] = h[p], h[c]
+				c = p
+			}
+			continue
+		}
+		if worse(h[0], u) { // u beats the current worst of the top k
+			h[0] = u
+			siftDown(0)
+		}
+	}
+	sort.Slice(h, func(a, b int) bool { return worse(h[b], h[a]) })
+	return h
 }
 
 // Table accumulates rows and renders them with aligned columns; the

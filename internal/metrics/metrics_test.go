@@ -2,6 +2,8 @@ package metrics
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -105,6 +107,44 @@ func TestTopK(t *testing.T) {
 	}
 	if got := TopK(vals, 10); len(got) != 4 {
 		t.Errorf("TopK overflow = %v", got)
+	}
+}
+
+// TestSelectMatchesSort pins the partial-selection kernel against a stable
+// full sort over random inputs with heavy ties: identical prefix, including
+// the lower-index-first tie rule, for every k.
+func TestSelectMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(rng.Intn(8)) / 8 // few distinct values → many ties
+		}
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+		for _, k := range []int{1, 2, n / 2, n, n + 5} {
+			got := Select(vals, k)
+			want := k
+			if want > n {
+				want = n
+			}
+			if len(got) != want {
+				t.Fatalf("trial %d: Select(%d) returned %d entries", trial, k, len(got))
+			}
+			for i := range got {
+				if int(got[i]) != idx[i] {
+					t.Fatalf("trial %d k=%d pos %d: got %d want %d (vals %v)",
+						trial, k, i, got[i], idx[i], vals)
+				}
+			}
+		}
+	}
+	if Select(nil, 3) != nil || Select([]float64{1}, 0) != nil {
+		t.Error("degenerate Select not nil")
 	}
 }
 

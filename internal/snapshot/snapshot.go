@@ -44,6 +44,16 @@ type Store struct {
 	cur     atomic.Value // *Version
 	history []*Version   // ring of recent versions, oldest first
 	keep    int
+	// pins maps versions that readers hold pinned (see Pin) to their
+	// refcount entry; a pinned version survives history trimming until its
+	// last Release.
+	pins map[uint64]*pinEntry
+}
+
+// pinEntry is one pinned version and its reference count.
+type pinEntry struct {
+	v    *Version
+	refs int
 }
 
 // DefaultHistory is how many past versions a store retains for Ranker
@@ -126,17 +136,61 @@ func (s *Store) Since(afterSeq uint64) (chain []*Version, ok bool) {
 	return chain, true
 }
 
-// Get returns the version with the given sequence number if it is still in
-// history.
+// Get returns the version with the given sequence number if it is still
+// reachable — in the retention ring, or held alive by a Pin.
 func (s *Store) Get(seq uint64) (*Version, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.getLocked(seq)
+}
+
+func (s *Store) getLocked(seq uint64) (*Version, bool) {
+	if e, ok := s.pins[seq]; ok {
+		return e.v, true
+	}
 	for _, v := range s.history {
 		if v.Seq == seq {
 			return v, true
 		}
 	}
 	return nil, false
+}
+
+// Pin marks the version with the given sequence number as held by a reader:
+// it stays reachable through Get (and keeps its CSR alive) even after the
+// retention ring trims past it, until a matching Release. Pins nest — each
+// successful Pin must be paired with one Release. Pinning a version that is
+// already gone reports false.
+func (s *Store) Pin(seq uint64) (*Version, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.pins[seq]; ok {
+		e.refs++
+		return e.v, true
+	}
+	v, ok := s.getLocked(seq)
+	if !ok {
+		return nil, false
+	}
+	if s.pins == nil {
+		s.pins = make(map[uint64]*pinEntry)
+	}
+	s.pins[seq] = &pinEntry{v: v, refs: 1}
+	return v, true
+}
+
+// Release undoes one Pin. Releasing an unpinned version is a no-op, so
+// callers may release defensively.
+func (s *Store) Release(seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.pins[seq]
+	if !ok {
+		return
+	}
+	if e.refs--; e.refs == 0 {
+		delete(s.pins, seq)
+	}
 }
 
 // Ranker keeps a PageRank vector synchronised with a Store. It is safe for
@@ -148,6 +202,7 @@ type Ranker struct {
 	algo  core.Algo
 	ranks []float64
 	seq   uint64
+	cur   *Version // the store version ranks correspond to (Seq == seq)
 
 	// Refreshes counts incremental refreshes; Rebuilds counts static
 	// fallbacks (history evicted or incremental failure).
@@ -179,7 +234,7 @@ func NewRanker(ctx context.Context, s *Store, algo core.Algo, cfg core.Config) (
 	if res.Err != nil {
 		return nil, res, fmt.Errorf("snapshot: initial ranking failed: %w", res.Err)
 	}
-	return &Ranker{store: s, cfg: cfg, algo: algo, ranks: res.Ranks, seq: v.Seq}, res, nil
+	return &Ranker{store: s, cfg: cfg, algo: algo, ranks: res.Ranks, seq: v.Seq, cur: v}, res, nil
 }
 
 // SetFault replaces the fault plan injected into subsequent runs.
@@ -189,6 +244,18 @@ func (r *Ranker) SetFault(p fault.Plan) { r.cfg.Fault = p }
 func (r *Ranker) Ranks() []float64 {
 	return append([]float64(nil), r.ranks...)
 }
+
+// RanksShared returns the current rank vector without copying. The slice is
+// immutable once returned: every algorithm run allocates a fresh output
+// vector, so a subsequent Refresh replaces r.ranks rather than mutating it.
+// This is the zero-copy publication point the read path is built on —
+// callers must treat the slice as frozen.
+func (r *Ranker) RanksShared() []float64 { return r.ranks }
+
+// Version returns the store version the current ranks correspond to. Its
+// Seq always equals Seq(); the Version itself carries the graph snapshot
+// the ranks were converged on.
+func (r *Ranker) Version() *Version { return r.cur }
 
 // Seq returns the store version the ranks correspond to.
 func (r *Ranker) Seq() uint64 { return r.seq }
@@ -251,6 +318,7 @@ func (r *Ranker) Refresh(ctx context.Context) (core.Result, int, error) {
 		}
 		r.ranks = last.Ranks
 		r.seq = v.Seq
+		r.cur = v
 		prevG = v.G
 		r.Refreshes++
 		advanced++
@@ -297,6 +365,7 @@ func (r *Ranker) RefreshTrace(ctx context.Context) (core.Result, []core.Frontier
 		series = append(series, s...)
 		r.ranks = res.Ranks
 		r.seq = v.Seq
+		r.cur = v
 		prevG = v.G
 		r.Refreshes++
 		advanced++
@@ -318,6 +387,7 @@ func (r *Ranker) refreshStatic(ctx context.Context) (core.Result, int, error) {
 	advanced := int(v.Seq - r.seq)
 	r.ranks = res.Ranks
 	r.seq = v.Seq
+	r.cur = v
 	r.Refreshes++
 	return res, advanced, nil
 }
@@ -331,6 +401,7 @@ func (r *Ranker) rebuild(ctx context.Context) (core.Result, int, error) {
 	advanced := int(v.Seq - r.seq)
 	r.ranks = res.Ranks
 	r.seq = v.Seq
+	r.cur = v
 	r.Rebuilds++
 	return res, advanced, nil
 }

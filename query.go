@@ -1,0 +1,78 @@
+package dfpr
+
+import "sort"
+
+// Query-side kernels behind the View API: the two Delta strategies. The
+// public entry points live in view.go; this file holds the frontier walk
+// and the full-scan fallback.
+
+// deltaFrontier computes the movement set between lo and hi (lo.seq <
+// hi.seq, same store) by replaying the dirty-row frontier of the batch
+// chain: seed with every endpoint of every batch edge in (lo.seq, hi.seq],
+// then expand along hi's out-edges wherever the two vectors actually
+// differ. ok is false when any link of the chain has been evicted from the
+// store (and not pinned), in which case the caller must fall back to a full
+// scan.
+func deltaFrontier(lo, hi *View, eps float64) ([]Movement, bool) {
+	var seeds []uint32
+	for seq := lo.seq + 1; seq <= hi.seq; seq++ {
+		ver, ok := lo.store.Get(seq)
+		if !ok {
+			return nil, false
+		}
+		for _, e := range ver.Update.Del {
+			seeds = append(seeds, e.U, e.V)
+		}
+		for _, e := range ver.Update.Ins {
+			seeds = append(seeds, e.U, e.V)
+		}
+	}
+	g := hi.ver.G
+	seen := make(map[uint32]struct{}, 2*len(seeds))
+	queue := make([]uint32, 0, len(seeds))
+	push := func(u uint32) {
+		if _, dup := seen[u]; !dup {
+			seen[u] = struct{}{}
+			queue = append(queue, u)
+		}
+	}
+	for _, u := range seeds {
+		push(u)
+	}
+	var moved []Movement
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		d := hi.ranks[u] - lo.ranks[u]
+		if d == 0 {
+			continue
+		}
+		if d > eps || -d > eps {
+			moved = append(moved, Movement{V: u, From: lo.ranks[u], To: hi.ranks[u]})
+		}
+		// A moved rank changes u's contribution to every out-neighbour.
+		for _, w := range g.Out(u) {
+			push(w)
+		}
+	}
+	sortMovements(moved)
+	return moved, true
+}
+
+// deltaScan is the O(|V|) fallback: compare every slot.
+func deltaScan(lo, hi *View, eps float64) []Movement {
+	var moved []Movement
+	for u := range lo.ranks {
+		d := hi.ranks[u] - lo.ranks[u]
+		if d > eps || -d > eps {
+			moved = append(moved, Movement{V: uint32(u), From: lo.ranks[u], To: hi.ranks[u]})
+		}
+	}
+	return moved // already in vertex order
+}
+
+// sortMovements orders by vertex id (the frontier walk emits movements in
+// traversal order, not vertex order).
+func sortMovements(m []Movement) {
+	sort.Slice(m, func(a, b int) bool { return m[a].V < m[b].V })
+}

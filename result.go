@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"dfpr/internal/core"
-	"dfpr/internal/metrics"
 )
 
 // ErrCanceled is reported by Rank when its context is canceled (or its
@@ -19,6 +18,15 @@ var ErrCanceled = core.ErrCanceled
 // ErrClosed is returned by operations on an engine after Close.
 var ErrClosed = errors.New("dfpr: engine closed")
 
+// ErrNoRanks is returned by Engine.View before the first successful Rank:
+// there is no published rank version to serve yet.
+var ErrNoRanks = errors.New("dfpr: no ranks published yet")
+
+// ErrVersionEvicted is returned by Engine.ViewAt for a rank version outside
+// the engine's retention window (see WithHistory). errors.Is identifies it
+// through the wrapping that names the missing version.
+var ErrVersionEvicted = errors.New("dfpr: rank version no longer retained")
+
 // Result reports the outcome of one Rank call.
 type Result struct {
 	// Seq is the store version the ranks correspond to.
@@ -30,10 +38,12 @@ type Result struct {
 	// recomputation (history evicted, or an incremental run failed with the
 	// static fallback enabled) instead of replaying batches incrementally.
 	Rebuilt bool
-	// Ranks is the PageRank vector, indexed by vertex. The slice is the
-	// caller's to keep. It is nil when the call failed: an aborted run's
-	// vector may be mid-iteration and is never exposed.
-	Ranks []float64
+	// View is the zero-copy read handle on the computed ranks — the same
+	// immutable view Engine.View returns for this version. A Rank that
+	// advanced nothing carries the already-published view. It is nil only
+	// when the call failed: an aborted run's vector may be mid-iteration
+	// and is never exposed.
+	View *View
 	// Iterations is the number of iterations of the final run (for
 	// lock-free variants: the highest pass index any worker completed, plus
 	// one).
@@ -51,11 +61,42 @@ type Result struct {
 	BarrierWait time.Duration
 }
 
-// TopK returns the indices of the k highest-ranked vertices, highest first.
-func (r *Result) TopK(k int) []int { return metrics.TopK(r.Ranks, k) }
+// Ranks returns a fresh copy of the PageRank vector, or nil for a failed
+// call.
+//
+// Deprecated: the copy is O(|V|) per call. Read through View (ScoreOf,
+// TopK, Scores) instead; Ranks remains as a copy-based shim for one
+// release.
+func (r *Result) Ranks() []float64 {
+	if r.View == nil {
+		return nil
+	}
+	return r.View.RanksCopy()
+}
+
+// TopK returns the indices of the k highest-ranked vertices, highest first,
+// or nil for a failed call.
+//
+// Deprecated: use View.TopK, which returns scores alongside vertices and
+// shares one cached ordering across all readers of the version.
+func (r *Result) TopK(k int) []int {
+	if r.View == nil {
+		return nil
+	}
+	top := r.View.TopK(k)
+	out := make([]int, len(top))
+	for i, e := range top {
+		out[i] = int(e.V)
+	}
+	return out
+}
 
 // Snapshot is a point-in-time view of an engine: the latest published graph
 // version and the latest computed ranks, which may lag it.
+//
+// Deprecated: Snapshot carries an O(|V|) copy of the rank vector. Use
+// Engine.View for reads and Engine.Version/Behind for versioning; the type
+// remains as a copy-based shim for one release.
 type Snapshot struct {
 	// Seq is the latest published graph version.
 	Seq uint64

@@ -1,0 +1,457 @@
+// Package serve exposes a dfpr.Engine as an HTTP/JSON service shaped for
+// read-heavy traffic: point rank lookups, top-k leaderboards and version
+// deltas are answered from zero-copy Views (no O(|V|) work per request),
+// while edge batches POSTed to the write endpoint feed Engine.Apply and a
+// rank refresh. Every response names the rank version it was served from in
+// the X-DFPR-Version header, and a request may pin itself to a retained
+// version by sending the same header.
+//
+// Endpoints (all JSON):
+//
+//	GET  /v1/rank/{u}            {"vertex":u,"score":s,"version":v}
+//	GET  /v1/topk?k=10           {"version":v,"entries":[{"vertex":u,"score":s},…]}
+//	GET  /v1/delta?from=&to=     {"from":a,"to":b,"movements":[{"vertex":u,"from":x,"to":y},…]}
+//	POST /v1/apply               {"del":[{"u":..,"v":..}],"ins":[…]} → {"version":..,"rank_version":..,…}
+//	GET  /v1/stats               engine + serving counters
+//
+// Errors are JSON too: {"error":"…"} with 400 (malformed request), 404
+// (unknown vertex/route), 410 (version evicted from retention), 503 (no
+// ranks yet / engine closed). Shutdown drains in-flight requests
+// gracefully.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+
+	"dfpr"
+)
+
+// VersionHeader is the response header naming the rank version a read was
+// served from, and the request header that pins a read to a retained
+// version.
+const VersionHeader = "X-DFPR-Version"
+
+// Server wraps an Engine with the HTTP query surface. Create one with New,
+// mount Handler on any mux (or use ListenAndServe), and stop it with
+// Shutdown for a graceful drain. The zero value is not usable.
+type Server struct {
+	eng  *dfpr.Engine
+	mux  *http.ServeMux
+	hs   *http.Server
+	opts options
+
+	reads  atomic.Int64 // rank/topk/delta requests answered
+	writes atomic.Int64 // apply batches accepted
+}
+
+type options struct {
+	defaultK int
+	maxK     int
+	maxBatch int
+	refresh  bool
+}
+
+// Option configures a Server at construction.
+type Option func(*options) error
+
+// WithDefaultTopK sets the k used when /v1/topk carries no k parameter
+// (default 10).
+func WithDefaultTopK(k int) Option {
+	return func(o *options) error {
+		if k <= 0 {
+			return fmt.Errorf("serve: default top-k %d must be positive", k)
+		}
+		o.defaultK = k
+		return nil
+	}
+}
+
+// WithMaxTopK caps the k a request may ask for (default 1000) so one query
+// cannot demand an O(|V|) response.
+func WithMaxTopK(k int) Option {
+	return func(o *options) error {
+		if k <= 0 {
+			return fmt.Errorf("serve: max top-k %d must be positive", k)
+		}
+		o.maxK = k
+		return nil
+	}
+}
+
+// WithMaxBatch caps the edges (deletions plus insertions) one /v1/apply
+// request may carry (default 100000).
+func WithMaxBatch(n int) Option {
+	return func(o *options) error {
+		if n <= 0 {
+			return fmt.Errorf("serve: max batch %d must be positive", n)
+		}
+		o.maxBatch = n
+		return nil
+	}
+}
+
+// WithRefreshOnApply controls whether /v1/apply triggers a synchronous
+// Rank after publishing the batch (default true). With it off, applies
+// only publish graph versions and ranks move when the embedding program
+// calls Rank itself.
+func WithRefreshOnApply(refresh bool) Option {
+	return func(o *options) error {
+		o.refresh = refresh
+		return nil
+	}
+}
+
+// New wraps the engine. The engine stays owned by the caller: Shutdown
+// drains the HTTP side but does not Close the engine.
+func New(eng *dfpr.Engine, opts ...Option) (*Server, error) {
+	o := options{defaultK: 10, maxK: 1000, maxBatch: 100000, refresh: true}
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	s := &Server{eng: eng, mux: http.NewServeMux(), opts: o}
+	s.mux.HandleFunc("GET /v1/rank/{u}", s.handleRank)
+	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
+	s.mux.HandleFunc("GET /v1/delta", s.handleDelta)
+	s.mux.HandleFunc("POST /v1/apply", s.handleApply)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving the /v1 surface, for mounting
+// on an existing server or httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe binds addr and serves until Shutdown (which makes it
+// return http.ErrServerClosed) or a listener error.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve serves on an existing listener until Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.hs = &http.Server{Handler: s.mux}
+	return s.hs.Serve(l)
+}
+
+// Shutdown gracefully drains the server: the listener closes immediately,
+// in-flight requests run to completion (bounded by ctx), and only then does
+// Shutdown return — the drain a rolling deploy needs. Calling it without a
+// running listener is a no-op.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.hs == nil {
+		return nil
+	}
+	return s.hs.Shutdown(ctx)
+}
+
+// viewFor resolves the view a read request is served from: the version
+// pinned by the request's X-DFPR-Version header, or the latest. It writes
+// the error response itself and returns nil when there is nothing to serve.
+func (s *Server) viewFor(w http.ResponseWriter, r *http.Request) *dfpr.View {
+	if h := r.Header.Get(VersionHeader); h != "" {
+		seq, err := strconv.ParseUint(h, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "malformed %s header %q", VersionHeader, h)
+			return nil
+		}
+		v, err := s.eng.ViewAt(seq)
+		if err != nil {
+			writeErr(w, http.StatusGone, "%v", err)
+			return nil
+		}
+		return v
+	}
+	v, err := s.eng.View()
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return nil
+	}
+	return v
+}
+
+type rankResponse struct {
+	Vertex  uint32  `json:"vertex"`
+	Score   float64 `json:"score"`
+	Version uint64  `json:"version"`
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	v := s.viewFor(w, r)
+	if v == nil {
+		return
+	}
+	u64, err := strconv.ParseUint(r.PathValue("u"), 10, 32)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "malformed vertex %q", r.PathValue("u"))
+		return
+	}
+	score, ok := v.ScoreOf(uint32(u64))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "vertex %d out of range [0, %d)", u64, v.N())
+		return
+	}
+	s.reads.Add(1)
+	writeJSON(w, v.Seq(), rankResponse{Vertex: uint32(u64), Score: score, Version: v.Seq()})
+}
+
+type topkEntry struct {
+	Vertex uint32  `json:"vertex"`
+	Score  float64 `json:"score"`
+}
+
+type topkResponse struct {
+	Version uint64      `json:"version"`
+	K       int         `json:"k"`
+	Entries []topkEntry `json:"entries"`
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	v := s.viewFor(w, r)
+	if v == nil {
+		return
+	}
+	k := s.opts.defaultK
+	if q := r.URL.Query().Get("k"); q != "" {
+		kk, err := strconv.Atoi(q)
+		if err != nil || kk <= 0 {
+			writeErr(w, http.StatusBadRequest, "malformed k %q", q)
+			return
+		}
+		k = kk
+	}
+	if k > s.opts.maxK {
+		writeErr(w, http.StatusBadRequest, "k %d exceeds the server cap %d", k, s.opts.maxK)
+		return
+	}
+	top := v.TopK(k)
+	entries := make([]topkEntry, len(top))
+	for i, e := range top {
+		entries[i] = topkEntry{Vertex: e.V, Score: e.Score}
+	}
+	s.reads.Add(1)
+	writeJSON(w, v.Seq(), topkResponse{Version: v.Seq(), K: len(entries), Entries: entries})
+}
+
+type deltaMovement struct {
+	Vertex uint32  `json:"vertex"`
+	From   float64 `json:"from"`
+	To     float64 `json:"to"`
+}
+
+type deltaResponse struct {
+	From      uint64          `json:"from"`
+	To        uint64          `json:"to"`
+	Movements []deltaMovement `json:"movements"`
+}
+
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	fromSeq, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "malformed or missing from=%q", q.Get("from"))
+		return
+	}
+	from, err := s.eng.ViewAt(fromSeq)
+	if err != nil {
+		writeErr(w, statusOf(err), "%v", err)
+		return
+	}
+	var to *dfpr.View
+	if t := q.Get("to"); t != "" {
+		toSeq, err := strconv.ParseUint(t, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "malformed to=%q", t)
+			return
+		}
+		if to, err = s.eng.ViewAt(toSeq); err != nil {
+			writeErr(w, statusOf(err), "%v", err)
+			return
+		}
+	} else if to, err = s.eng.View(); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	limit := 0
+	if l := q.Get("limit"); l != "" {
+		if limit, err = strconv.Atoi(l); err != nil || limit < 0 {
+			writeErr(w, http.StatusBadRequest, "malformed limit=%q", l)
+			return
+		}
+	}
+	moved := to.Delta(from)
+	// Biggest movers first — the shape a "what changed" consumer wants.
+	sort.Slice(moved, func(a, b int) bool {
+		da, db := abs(moved[a].To-moved[a].From), abs(moved[b].To-moved[b].From)
+		if da != db {
+			return da > db
+		}
+		return moved[a].V < moved[b].V
+	})
+	if limit > 0 && len(moved) > limit {
+		moved = moved[:limit]
+	}
+	out := deltaResponse{From: from.Seq(), To: to.Seq(), Movements: make([]deltaMovement, len(moved))}
+	for i, m := range moved {
+		out.Movements[i] = deltaMovement{Vertex: m.V, From: m.From, To: m.To}
+	}
+	s.reads.Add(1)
+	writeJSON(w, to.Seq(), out)
+}
+
+type applyEdge struct {
+	U uint32 `json:"u"`
+	V uint32 `json:"v"`
+}
+
+type applyRequest struct {
+	Del []applyEdge `json:"del"`
+	Ins []applyEdge `json:"ins"`
+}
+
+type applyResponse struct {
+	Version     uint64 `json:"version"`
+	RankVersion uint64 `json:"rank_version"`
+	Advanced    int    `json:"advanced"`
+	Rebuilt     bool   `json:"rebuilt"`
+}
+
+func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
+	var req applyRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "malformed apply body: %v", err)
+		return
+	}
+	if n := len(req.Del) + len(req.Ins); n == 0 {
+		writeErr(w, http.StatusBadRequest, "empty batch")
+		return
+	} else if n > s.opts.maxBatch {
+		writeErr(w, http.StatusBadRequest, "batch of %d edges exceeds the server cap %d", n, s.opts.maxBatch)
+		return
+	}
+	seq, err := s.eng.Apply(r.Context(), toEdges(req.Del), toEdges(req.Ins))
+	if err != nil {
+		writeErr(w, statusOf(err), "%v", err)
+		return
+	}
+	// The batch is published from here on: count the accepted write even if
+	// the refresh below fails, so stats reconcile against Version().
+	s.writes.Add(1)
+	resp := applyResponse{Version: seq}
+	if s.opts.refresh {
+		res, err := s.eng.Rank(r.Context())
+		if err != nil {
+			// The client's request was valid and is already applied; a
+			// failing refresh is a server-side condition, not a 4xx.
+			writeErr(w, refreshStatusOf(err), "batch published as version %d but refresh failed: %v", seq, err)
+			return
+		}
+		resp.RankVersion, resp.Advanced, resp.Rebuilt = res.Seq, res.Advanced, res.Rebuilt
+	} else if v, err := s.eng.View(); err == nil {
+		resp.RankVersion = v.Seq()
+	}
+	writeJSON(w, resp.RankVersion, resp)
+}
+
+type statsResponse struct {
+	Version     uint64 `json:"version"`
+	RankVersion uint64 `json:"rank_version"`
+	Behind      uint64 `json:"behind"`
+	Vertices    int    `json:"vertices"`
+	Edges       int    `json:"edges"`
+	Refreshes   int    `json:"refreshes"`
+	Rebuilds    int    `json:"rebuilds"`
+	Reads       int64  `json:"reads_served"`
+	Writes      int64  `json:"writes_accepted"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	out := statsResponse{
+		Version:   s.eng.Version(),
+		Behind:    s.eng.Behind(),
+		Refreshes: st.Refreshes,
+		Rebuilds:  st.Rebuilds,
+		Reads:     s.reads.Load(),
+		Writes:    s.writes.Load(),
+	}
+	if v, err := s.eng.View(); err == nil {
+		out.RankVersion = v.Seq()
+		out.Vertices = v.N()
+		out.Edges = v.M()
+	}
+	writeJSON(w, out.RankVersion, out)
+}
+
+func toEdges(in []applyEdge) []dfpr.Edge {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]dfpr.Edge, len(in))
+	for i, e := range in {
+		out[i] = dfpr.Edge{U: e.U, V: e.V}
+	}
+	return out
+}
+
+// statusOf maps engine errors from request-shaped operations onto HTTP
+// statuses; the default is 400 because what remains is input validation
+// (out-of-range edges, malformed parameters).
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, dfpr.ErrVersionEvicted):
+		return http.StatusGone
+	case errors.Is(err, dfpr.ErrNoRanks), errors.Is(err, dfpr.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, dfpr.ErrCanceled):
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// refreshStatusOf maps a failed post-apply Rank onto HTTP statuses: the
+// request was already validated and applied, so unknown failures are the
+// server's (500), never the client's.
+func refreshStatusOf(err error) int {
+	if code := statusOf(err); code != http.StatusBadRequest {
+		return code
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, version uint64, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(VersionHeader, strconv.FormatUint(version, 10))
+	// An encode error here means the connection died mid-response; the
+	// status line is already out, so there is nothing sound left to send.
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -6,14 +6,28 @@ import "time"
 type Update struct {
 	// Seq is the graph version the ranks correspond to.
 	Seq uint64
-	// Ranks is the refreshed PageRank vector; the slice is the receiver's
-	// to keep.
-	Ranks []float64
+	// View is the zero-copy read handle on the refreshed ranks — the same
+	// immutable view Engine.View returns for this version, shared by every
+	// subscriber instead of copied per channel.
+	View *View
 	// Iterations and Converged describe the run that produced the update.
 	Iterations int
 	Converged  bool
 	// Elapsed is the wall-clock time of the refresh.
 	Elapsed time.Duration
+}
+
+// Ranks returns a fresh copy of the update's rank vector.
+//
+// Deprecated: the copy is O(|V|) per call, once per subscriber — the
+// allocation pattern the view-based stream removes. Read through View
+// (ScoreOf, TopK, Scores) instead; Ranks remains as a copy-based shim for
+// one release.
+func (u Update) Ranks() []float64 {
+	if u.View == nil {
+		return nil
+	}
+	return u.View.RanksCopy()
 }
 
 // Subscription is a push stream of rank updates from an Engine, delivered
@@ -61,21 +75,55 @@ func (s *Subscription) Close() {
 	}
 }
 
-// publishLocked records the new rank state for Snapshot and pushes an
-// update to every subscriber. Caller holds e.mu, which also makes it the
-// only publisher — the conflating send below relies on that.
+// publishLocked turns a successful Rank outcome into the published view of
+// its version: attaches the view to the result, retains it in the ViewAt
+// ring (pinning its store version so Delta chains stay reachable), makes it
+// the lock-free latest, and pushes an update to every subscriber. All of it
+// is zero-copy — the rank vector is shared between the result, the ring,
+// Snapshot readers and every subscriber. Caller holds e.mu, which also
+// makes it the only publisher — the conflating send below relies on that.
 func (e *Engine) publishLocked(res *Result) {
-	e.pub.Store(&published{seq: res.Seq, ranks: append([]float64(nil), res.Ranks...)})
+	v := newView(e.store, e.ranker.Version(), res.Seq, e.ranker.RanksShared())
+	res.View = v
+
+	e.viewMu.Lock()
+	// Pin the batch chain (previous published version, this version] so
+	// Delta between retained views can walk it even after the store's own
+	// retention ring trims past those versions. Ranges of successive views
+	// are disjoint, so ring eviction releases exactly what publication
+	// pinned. A Pin may miss when a concurrent Apply burst already trimmed
+	// a chain link; the view still holds its own graph strongly, and Delta
+	// across the missing link degrades to a full scan.
+	v.chainFrom = v.seq
+	if p := e.latest.Load(); p != nil {
+		v.chainFrom = p.seq
+	}
+	for s := v.chainFrom + 1; s <= v.seq; s++ {
+		e.store.Pin(s)
+	}
+	e.views = append(e.views, v)
+	if len(e.views) > e.opts.history {
+		old := e.views[0]
+		copy(e.views, e.views[1:])
+		e.views[len(e.views)-1] = nil
+		e.views = e.views[:len(e.views)-1]
+		for s := old.chainFrom + 1; s <= old.seq; s++ {
+			e.store.Release(s)
+		}
+	}
+	e.viewMu.Unlock()
+	e.latest.Store(v)
+
 	e.subMu.Lock()
 	defer e.subMu.Unlock()
+	u := Update{
+		Seq:        res.Seq,
+		View:       v,
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+		Elapsed:    res.Elapsed,
+	}
 	for _, sub := range e.subs {
-		u := Update{
-			Seq:        res.Seq,
-			Ranks:      append([]float64(nil), res.Ranks...),
-			Iterations: res.Iterations,
-			Converged:  res.Converged,
-			Elapsed:    res.Elapsed,
-		}
 		for {
 			select {
 			case sub.ch <- u:

@@ -1,0 +1,241 @@
+package dfpr
+
+import (
+	"iter"
+	"sync"
+
+	"dfpr/internal/metrics"
+	"dfpr/internal/snapshot"
+)
+
+// View is an immutable, zero-copy read handle over one published rank
+// version: the rank vector, the graph snapshot it was converged on, and a
+// lazily built top-k ordering, all pinned to the version the View was taken
+// at. Views are what the read path serves from — a million concurrent
+// readers of the same version share one vector and one top-k cache instead
+// of copying O(|V|) state per request.
+//
+// A View never changes after it is published: ScoreOf, TopK, Neighbors,
+// Range and Scores always answer for the same version, no matter how many
+// batches the engine applies meanwhile. Take a fresh Engine.View() to
+// observe newer ranks. Views are safe for concurrent use and need no
+// explicit release — holding one keeps its version's data alive (the graph
+// snapshot and rank vector are strongly referenced) even after the engine's
+// retention window has trimmed past it; dropping the last reference frees
+// it with ordinary garbage collection.
+type View struct {
+	store *snapshot.Store
+	seq   uint64
+	ranks []float64         // shared immutable rank vector
+	ver   *snapshot.Version // graph snapshot at seq
+	// chainFrom is the previously published rank version (== seq for the
+	// first view): the engine pins the batch chain (chainFrom, seq] in the
+	// store while this view is retained, so Delta between retained views
+	// can walk it. Set at publication, never after.
+	chainFrom uint64
+
+	// topk is the lazily built descending order shared by every reader of
+	// this version: the first TopK(k) runs one partial selection, later
+	// calls (any k up to the cached prefix) only copy k entries out.
+	topkMu    sync.Mutex
+	topkOrder []uint32
+}
+
+// Ranked is one entry of a top-k query: a vertex and its score.
+type Ranked struct {
+	V     uint32
+	Score float64
+}
+
+// Movement is one vertex's rank change between two views — see View.Delta.
+type Movement struct {
+	V        uint32
+	From, To float64
+}
+
+// newView wraps one published rank state. The ranks slice is shared, not
+// copied — the caller guarantees it is frozen (see Ranker.RanksShared).
+func newView(store *snapshot.Store, ver *snapshot.Version, seq uint64, ranks []float64) *View {
+	return &View{store: store, seq: seq, ranks: ranks, ver: ver}
+}
+
+// Seq returns the version this view is pinned to: both the graph version
+// and the rank version, which coincide for every published view.
+func (v *View) Seq() uint64 { return v.seq }
+
+// N returns the vertex count of the view's graph.
+func (v *View) N() int { return len(v.ranks) }
+
+// M returns the directed edge count of the view's graph (self-loops
+// included — every vertex carries one, the paper's dead-end elimination).
+func (v *View) M() int { return v.ver.G.M() }
+
+// ScoreOf returns the PageRank score of u at this version, and whether u is
+// a valid vertex. It is one bounds check and one load — zero allocations,
+// no locks — the shape of a point lookup under read-heavy traffic.
+func (v *View) ScoreOf(u uint32) (float64, bool) {
+	if int(u) >= len(v.ranks) {
+		return 0, false
+	}
+	return v.ranks[u], true
+}
+
+// TopK returns the k highest-ranked vertices at this version, highest
+// first, ties broken toward the lower vertex id. The underlying descending
+// order is built lazily on first use with a partial selection (O(|V|·log k))
+// and cached on the view, shared by every reader of the version; subsequent
+// calls allocate only the returned O(k) slice. k beyond |V| is clamped.
+func (v *View) TopK(k int) []Ranked {
+	if k <= 0 {
+		return nil
+	}
+	if k > len(v.ranks) {
+		k = len(v.ranks)
+	}
+	return v.AppendTopK(make([]Ranked, 0, k), k)
+}
+
+// AppendTopK is TopK appending into dst, for callers recycling buffers on a
+// hot serving path: with cap(dst) ≥ k (and the order cache warm) it
+// performs zero allocations.
+func (v *View) AppendTopK(dst []Ranked, k int) []Ranked {
+	if k <= 0 {
+		return dst
+	}
+	if k > len(v.ranks) {
+		k = len(v.ranks)
+	}
+	ord := v.order(k)
+	for _, u := range ord[:k] {
+		dst = append(dst, Ranked{V: u, Score: v.ranks[u]})
+	}
+	return dst
+}
+
+// order returns the cached descending order, at least k entries long. The
+// cached prefix grows geometrically so a reader sweeping k upward re-selects
+// O(log |V|) times, not once per k.
+func (v *View) order(k int) []uint32 {
+	v.topkMu.Lock()
+	defer v.topkMu.Unlock()
+	if len(v.topkOrder) >= k {
+		return v.topkOrder
+	}
+	grow := max(k, 2*len(v.topkOrder))
+	if grow > len(v.ranks) {
+		grow = len(v.ranks)
+	}
+	v.topkOrder = metrics.Select(v.ranks, grow)
+	return v.topkOrder
+}
+
+// Neighbors returns the sorted out-neighbours of u in the view's graph
+// version, or nil for an out-of-range vertex. The slice aliases the
+// immutable snapshot's storage — zero-copy — and must not be modified.
+// Every vertex carries a self-loop (dead-end elimination, paper §5.1.3).
+func (v *View) Neighbors(u uint32) []uint32 {
+	if int(u) >= v.ver.G.N() {
+		return nil
+	}
+	return v.ver.G.Out(u)
+}
+
+// InNeighbors returns the sorted in-neighbours of u, with the same aliasing
+// contract as Neighbors.
+func (v *View) InNeighbors(u uint32) []uint32 {
+	if int(u) >= v.ver.G.N() {
+		return nil
+	}
+	return v.ver.G.In(u)
+}
+
+// Range calls fn for every vertex and its score in vertex order, stopping
+// early when fn returns false. It iterates the shared vector in place — no
+// per-caller materialisation.
+func (v *View) Range(fn func(u uint32, score float64) bool) {
+	for u, s := range v.ranks {
+		if !fn(uint32(u), s) {
+			return
+		}
+	}
+}
+
+// Scores returns an iterator over (vertex, score) pairs in vertex order,
+// for range-over-func loops:
+//
+//	for u, score := range view.Scores() { ... }
+//
+// Like Range it reads the shared vector directly and allocates nothing.
+func (v *View) Scores() iter.Seq2[uint32, float64] {
+	return func(yield func(uint32, float64) bool) {
+		for u, s := range v.ranks {
+			if !yield(uint32(u), s) {
+				return
+			}
+		}
+	}
+}
+
+// RanksCopy returns a fresh copy of the full rank vector.
+//
+// Deprecated: the copy is O(|V|) per call — exactly what the view API
+// removes. Use ScoreOf, TopK, Range or Scores; copy only to hand the vector
+// to code that insists on owning a mutable slice.
+func (v *View) RanksCopy() []float64 {
+	return append([]float64(nil), v.ranks...)
+}
+
+// Delta returns every vertex whose rank differs between old and v, as
+// movements From (the older view's score) To (the newer's), sorted by
+// vertex id. The two views may be passed in either order; views of the same
+// version yield nil.
+//
+// When the chain of batch updates between the two versions is still
+// reachable in the engine's retained history, Delta seeds a frontier with
+// the batch edges' endpoints and expands it along out-edges exactly where
+// scores actually moved — the same dirty-frontier discipline the Dynamic
+// Frontier algorithm uses — so its cost scales with the true movement set,
+// not |V|. A vertex's rank can only change if an incident in-edge was
+// toggled by a batch (a seeded endpoint), or an in-neighbour's rank or
+// out-degree changed (the neighbour is itself seeded or in the movement
+// set, and out-row changes always come from batch endpoints), so the
+// expansion is exhaustive. When the chain has been evicted — or the views
+// come from different engines — Delta falls back to one full O(|V|) scan.
+// Both views must have the same vertex count; Delta panics otherwise.
+func (v *View) Delta(old *View) []Movement {
+	return v.DeltaAbove(old, 0)
+}
+
+// DeltaAbove is Delta reporting only movements with |To-From| > eps. The
+// frontier expansion still follows every non-zero difference (pruning it at
+// eps could hide downstream movement), so eps filters the report, not the
+// walk.
+func (v *View) DeltaAbove(old *View, eps float64) []Movement {
+	if old == nil || old == v || old.seq == v.seq && old.store == v.store {
+		return nil
+	}
+	if len(old.ranks) != len(v.ranks) {
+		panic("dfpr: Delta between views of different vertex counts")
+	}
+	lo, hi := old, v
+	if lo.seq > hi.seq {
+		lo, hi = hi, lo
+	}
+	var moved []Movement
+	if lo.store == hi.store && lo.store != nil {
+		if m, ok := deltaFrontier(lo, hi, eps); ok {
+			moved = m
+		} else {
+			moved = deltaScan(lo, hi, eps)
+		}
+	} else {
+		moved = deltaScan(lo, hi, eps)
+	}
+	// Report in the caller's direction: From is always old's score.
+	if lo != old {
+		for i := range moved {
+			moved[i].From, moved[i].To = moved[i].To, moved[i].From
+		}
+	}
+	return moved
+}

@@ -1,0 +1,414 @@
+package dfpr
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+
+	"dfpr/internal/batch"
+	"dfpr/internal/metrics"
+)
+
+// viewEngine converges a small engine and returns it with its mirror graph
+// for batch generation.
+func viewEngine(t *testing.T, opts ...Option) (*Engine, func(seed int64, size int)) {
+	t.Helper()
+	n, edges, mirror := testGraph(t, 9, 33)
+	base := []Option{WithThreads(2), WithTolerance(1e-3 / float64(n)), WithFrontierTolerance(1e-3 / float64(n))}
+	eng, err := New(n, edges, append(base, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	if _, err := eng.Rank(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	step := func(seed int64, size int) {
+		t.Helper()
+		up := batch.Random(mirror, size, seed)
+		mirror.Apply(up.Del, up.Ins)
+		if _, err := eng.Apply(context.Background(), toPublic(up.Del), toPublic(up.Ins)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Rank(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng, step
+}
+
+func TestViewBeforeFirstRank(t *testing.T) {
+	n, edges, _ := testGraph(t, 8, 1)
+	eng, err := New(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.View(); !errors.Is(err, ErrNoRanks) {
+		t.Errorf("View before Rank: %v, want ErrNoRanks", err)
+	}
+	if _, err := eng.ViewAt(0); !errors.Is(err, ErrVersionEvicted) {
+		t.Errorf("ViewAt before Rank: %v, want ErrVersionEvicted", err)
+	}
+}
+
+func TestViewScoreOfAndIteration(t *testing.T) {
+	eng, _ := viewEngine(t)
+	v, err := eng.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Snapshot() // deprecated shim doubles as the reference copy
+	if v.Seq() != snap.RankSeq || v.N() != snap.N || v.M() != snap.M {
+		t.Fatalf("view (%d,%d,%d) disagrees with snapshot (%d,%d,%d)",
+			v.Seq(), v.N(), v.M(), snap.RankSeq, snap.N, snap.M)
+	}
+	for u := 0; u < v.N(); u++ {
+		s, ok := v.ScoreOf(uint32(u))
+		if !ok || s != snap.Ranks[u] {
+			t.Fatalf("ScoreOf(%d) = %v,%v want %v", u, s, ok, snap.Ranks[u])
+		}
+	}
+	if _, ok := v.ScoreOf(uint32(v.N())); ok {
+		t.Error("ScoreOf accepted an out-of-range vertex")
+	}
+	// Range and Scores visit every vertex in order, with early stop.
+	seen := 0
+	v.Range(func(u uint32, s float64) bool {
+		if int(u) != seen || s != snap.Ranks[u] {
+			t.Fatalf("Range visited (%d,%v) at position %d", u, s, seen)
+		}
+		seen++
+		return true
+	})
+	if seen != v.N() {
+		t.Fatalf("Range visited %d of %d", seen, v.N())
+	}
+	stopped := 0
+	for range v.Scores() {
+		stopped++
+		if stopped == 3 {
+			break
+		}
+	}
+	if stopped != 3 {
+		t.Fatalf("Scores early stop visited %d", stopped)
+	}
+}
+
+func TestViewTopKMatchesSelection(t *testing.T) {
+	eng, step := viewEngine(t)
+	step(1, 12)
+	v, err := eng.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks := v.RanksCopy()
+	// Ask for a small k first, then larger ones: the cached prefix must
+	// grow correctly rather than serve a stale short order.
+	for _, k := range []int{1, 3, 17, 64, v.N(), v.N() + 5} {
+		got := v.TopK(k)
+		want := metrics.Select(ranks, k)
+		if len(got) != len(want) {
+			t.Fatalf("TopK(%d) returned %d entries, want %d", k, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].V != want[i] || got[i].Score != ranks[want[i]] {
+				t.Fatalf("TopK(%d)[%d] = %+v, want vertex %d score %v",
+					k, i, got[i], want[i], ranks[want[i]])
+			}
+		}
+		if !sort.SliceIsSorted(got, func(a, b int) bool {
+			if got[a].Score != got[b].Score {
+				return got[a].Score > got[b].Score
+			}
+			return got[a].V < got[b].V
+		}) {
+			t.Fatalf("TopK(%d) not in descending order: %v", k, got)
+		}
+	}
+	if v.TopK(0) != nil || v.TopK(-1) != nil {
+		t.Error("TopK of non-positive k returned entries")
+	}
+	// AppendTopK reuses the destination.
+	buf := make([]Ranked, 0, 4)
+	out := v.AppendTopK(buf, 4)
+	if &out[0] != &buf[:1][0] {
+		t.Error("AppendTopK did not append into the provided buffer")
+	}
+}
+
+func TestViewNeighbors(t *testing.T) {
+	eng, _ := viewEngine(t)
+	v, err := eng.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for u := uint32(0); int(u) < v.N(); u++ {
+		nb := v.Neighbors(u)
+		if len(nb) == 0 {
+			t.Fatalf("vertex %d has no out-neighbours (self-loops guarantee ≥ 1)", u)
+		}
+		if !sort.SliceIsSorted(nb, func(a, b int) bool { return nb[a] < nb[b] }) {
+			t.Fatalf("Neighbors(%d) not sorted: %v", u, nb)
+		}
+		has := false
+		for _, w := range nb {
+			if w == u {
+				has = true
+			}
+		}
+		if !has {
+			t.Fatalf("Neighbors(%d) missing the self-loop: %v", u, nb)
+		}
+		if len(v.InNeighbors(u)) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no vertex has in-neighbours")
+	}
+	if v.Neighbors(uint32(v.N())) != nil || v.InNeighbors(uint32(v.N())) != nil {
+		t.Error("out-of-range vertex returned neighbours")
+	}
+}
+
+func TestViewAtRetentionAndImmutability(t *testing.T) {
+	eng, step := viewEngine(t, WithHistory(3))
+	v0, err := eng.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	score0, _ := v0.ScoreOf(0)
+	top0 := v0.TopK(5)
+
+	for i := 0; i < 5; i++ { // publish versions 1..5; retention 3 keeps 3..5
+		step(int64(100+i), 10)
+	}
+	latest, err := eng.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.Seq() != 5 {
+		t.Fatalf("latest view at %d, want 5", latest.Seq())
+	}
+	for seq := uint64(3); seq <= 5; seq++ {
+		v, err := eng.ViewAt(seq)
+		if err != nil || v.Seq() != seq {
+			t.Fatalf("ViewAt(%d): %v err=%v", seq, v, err)
+		}
+	}
+	for _, seq := range []uint64{0, 1, 2, 99} {
+		if _, err := eng.ViewAt(seq); !errors.Is(err, ErrVersionEvicted) {
+			t.Errorf("ViewAt(%d) = %v, want ErrVersionEvicted", seq, err)
+		}
+	}
+	// The held v0 keeps answering for its version after trimming.
+	if s, ok := v0.ScoreOf(0); !ok || s != score0 {
+		t.Errorf("held view score drifted: %v vs %v", s, score0)
+	}
+	for i, e := range v0.TopK(5) {
+		if e != top0[i] {
+			t.Errorf("held view TopK drifted at %d: %+v vs %+v", i, e, top0[i])
+		}
+	}
+}
+
+// TestViewDeltaFrontierMatchesScan pins the frontier-walk Delta against the
+// brute-force scan: with the chain retained the two must report the exact
+// same movement set, and the frontier result must cover every vertex whose
+// rank changed.
+func TestViewDeltaFrontierMatchesScan(t *testing.T) {
+	eng, step := viewEngine(t)
+	before, err := eng.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	step(7, 14)
+	step(8, 14)
+	after, err := eng.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := after.Delta(before)
+	want := deltaScan(before, after, 0)
+	if len(got) != len(want) {
+		t.Fatalf("frontier delta found %d movements, scan %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("movement %d: frontier %+v scan %+v", i, got[i], want[i])
+		}
+	}
+	// Direction flips when the arguments swap.
+	rev := before.Delta(after)
+	if len(rev) != len(got) {
+		t.Fatalf("reversed delta size %d, want %d", len(rev), len(got))
+	}
+	for i := range rev {
+		if rev[i].From != got[i].To || rev[i].To != got[i].From || rev[i].V != got[i].V {
+			t.Fatalf("reversed movement %d: %+v vs %+v", i, rev[i], got[i])
+		}
+	}
+	if d := after.Delta(after); d != nil {
+		t.Errorf("self delta non-empty: %v", d)
+	}
+	// DeltaAbove filters the report by magnitude.
+	eps := 0.0
+	for _, m := range got {
+		if d := m.To - m.From; d > eps {
+			eps = d
+		} else if -d > eps {
+			eps = -d
+		}
+	}
+	if len(after.DeltaAbove(before, eps)) != 0 {
+		t.Error("DeltaAbove at the max magnitude still reported movements")
+	}
+	if len(after.DeltaAbove(before, eps/2)) == 0 {
+		t.Error("DeltaAbove at half the max magnitude reported nothing")
+	}
+}
+
+// TestViewDeltaEvictedChainFallsBack drives the store past its retention so
+// the batch chain between two held views is gone: Delta must still answer,
+// via the full scan.
+func TestViewDeltaEvictedChainFallsBack(t *testing.T) {
+	eng, step := viewEngine(t, WithHistory(2))
+	before, err := eng.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ { // far beyond retention of 2
+		step(int64(300+i), 8)
+	}
+	after, err := eng.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := after.Delta(before)
+	want := deltaScan(before, after, 0)
+	if len(got) != len(want) {
+		t.Fatalf("fallback delta found %d movements, scan %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("movement %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestNoOpRankCarriesLatestView pins the Result.View contract: a Rank that
+// advances nothing still carries the already-published view, so successful
+// results never have a nil view.
+func TestNoOpRankCarriesLatestView(t *testing.T) {
+	eng, step := viewEngine(t)
+	res, err := eng.Rank(context.Background()) // engine already current
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Advanced != 0 {
+		t.Fatalf("advanced=%d on an idle rank", res.Advanced)
+	}
+	latest, err := eng.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.View != latest {
+		t.Fatalf("idle Rank view %p != latest published %p", res.View, latest)
+	}
+	step(9, 6)
+	if res2, err := eng.Rank(context.Background()); err != nil || res2.View == nil || res2.Advanced != 0 {
+		t.Fatalf("second idle rank: view=%v advanced=%d err=%v", res2.View, res2.Advanced, err)
+	}
+}
+
+// TestViewDeltaChainPinnedAcrossStoreTrim covers the case the chain pins
+// exist for: graph versions advance faster than published rank versions
+// (several Applies per Rank), so the store's retention ring trims past the
+// batch chains of still-retained views. The pins taken at publication must
+// keep those links resolvable — asserted via store.Get — and Delta across
+// the whole span must still match the scan.
+func TestViewDeltaChainPinnedAcrossStoreTrim(t *testing.T) {
+	ctx := context.Background()
+	n, edges, mirror := testGraph(t, 9, 44)
+	tol := 1e-3 / float64(n)
+	eng, err := New(n, edges, WithThreads(2), WithTolerance(tol), WithFrontierTolerance(tol), WithHistory(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Rank(ctx); err != nil {
+		t.Fatal(err)
+	}
+	v0, err := eng.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 rounds of (3 applies, 1 rank): 15 graph versions, 6 published views
+	// (0,3,…,15) — all inside the view ring of 8, while the store ring of 8
+	// trims its own history to [8..15].
+	for round := 0; round < 5; round++ {
+		for j := 0; j < 3; j++ {
+			up := batch.Random(mirror, 6, int64(800+round*3+j))
+			mirror.Apply(up.Del, up.Ins)
+			if _, err := eng.Apply(ctx, toPublic(up.Del), toPublic(up.Ins)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := eng.Rank(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for seq := uint64(1); seq <= 15; seq++ {
+		if _, ok := eng.store.Get(seq); !ok {
+			t.Fatalf("chain link %d unresolvable: publication pins did not survive the store trim", seq)
+		}
+	}
+	latest, err := eng.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.Seq() != 15 {
+		t.Fatalf("latest at %d, want 15", latest.Seq())
+	}
+	got := latest.Delta(v0)
+	want := deltaScan(v0, latest, 0)
+	if len(got) != len(want) {
+		t.Fatalf("pinned-chain delta found %d movements, scan %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("movement %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestResultAndUpdateShims pins the deprecated copy-based surface to the
+// view it wraps.
+func TestResultAndUpdateShims(t *testing.T) {
+	eng, step := viewEngine(t)
+	sub := eng.Subscribe()
+	defer sub.Close()
+	step(5, 10)
+	u := <-sub.Updates()
+	v := u.View
+	if v == nil {
+		t.Fatal("update without view")
+	}
+	ranks := u.Ranks()
+	if len(ranks) != v.N() {
+		t.Fatalf("shim Ranks length %d, want %d", len(ranks), v.N())
+	}
+	ranks[0] = 42 // the shim hands out a copy, never shared storage
+	if s, _ := v.ScoreOf(0); s == 42 {
+		t.Error("Update.Ranks exposed shared storage")
+	}
+	snap := eng.Snapshot()
+	snap.Ranks[0] = 42
+	if s, _ := v.ScoreOf(0); s == 42 {
+		t.Error("Snapshot exposed shared storage")
+	}
+}
