@@ -1,18 +1,24 @@
 // Command prserve serves PageRanks of a dynamic graph over HTTP: a
 // dfpr.Engine behind the serve package's /v1 query surface. Point lookups,
 // top-k leaderboards and version deltas are answered from zero-copy views;
-// edge batches POSTed to /v1/apply feed the engine and trigger an
-// incremental Dynamic Frontier refresh. SIGINT/SIGTERM drains in-flight
-// requests before exiting.
+// edge batches POSTed to /v1/apply flow through the engine's ingest
+// pipeline — coalesced off the request path, ranked per -rank-policy — and
+// come back 202 with the assigned version (append ?wait=ranked for
+// read-your-ranks). SIGINT/SIGTERM drains in-flight requests and flushes
+// the ingest queue before exiting.
 //
 // Usage:
 //
 //	prserve -in graph.el -addr :8080
 //	prserve -gen web -n 65536 -deg 12        # synthetic graph, no file needed
+//	prserve -gen web -rank-policy debounce -rank-max-latency 50ms
 //
 //	curl localhost:8080/v1/rank/42
 //	curl 'localhost:8080/v1/topk?k=5'
 //	curl -X POST -d '{"ins":[{"u":1,"v":2}]}' localhost:8080/v1/apply
+//	curl -X POST -d '{"ins":[{"u":3,"v":4}]}' 'localhost:8080/v1/apply?wait=ranked'
+//	curl localhost:8080/v1/wait/2            # block until ranks cover version 2
+//	curl localhost:8080/v1/healthz
 //	curl 'localhost:8080/v1/delta?from=0'
 //	curl localhost:8080/v1/stats
 package main
@@ -49,10 +55,20 @@ func main() {
 		history  = flag.Int("history", dfpr.DefaultHistory, "retained versions (ViewAt / delta window)")
 		topk     = flag.Int("topk", 10, "default k for /v1/topk")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		policy   = flag.String("rank-policy", "immediate", "ingest rank scheduling: immediate|debounce|every")
+		quiet    = flag.Duration("rank-quiet", 5*time.Millisecond, "debounce: quiet gap before ranking")
+		maxLat   = flag.Duration("rank-max-latency", 100*time.Millisecond, "debounce: hard freshness deadline")
+		everyN   = flag.Int("rank-every", 4096, "every: edits between refreshes")
+		queue    = flag.Int("queue", dfpr.DefaultIngestQueue, "ingest queue bound in edits (backpressure above)")
+		syncW    = flag.Bool("sync-apply", false, "serve /v1/apply synchronously (apply+rank per request; baseline mode)")
 	)
 	flag.Parse()
 
 	algo, err := dfpr.ParseAlgorithm(*algoName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rp, err := parsePolicy(*policy, *quiet, *maxLat, *everyN)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -66,6 +82,8 @@ func main() {
 		dfpr.WithTolerance(*tol),
 		dfpr.WithThreads(*threads),
 		dfpr.WithHistory(*history),
+		dfpr.WithRankPolicy(rp),
+		dfpr.WithIngestQueue(*queue),
 	)
 	if err != nil {
 		fatalf("%v", err)
@@ -82,13 +100,17 @@ func main() {
 	}
 	log.Printf("prserve: version %d ready (%d iterations, %v)", res.Seq, res.Iterations, res.Elapsed)
 
-	srv, err := serve.New(eng, serve.WithDefaultTopK(*topk))
+	srv, err := serve.New(eng, serve.WithDefaultTopK(*topk), serve.WithSyncApply(*syncW))
 	if err != nil {
 		fatalf("%v", err)
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()
-	log.Printf("prserve: serving /v1 on %s", *addr)
+	mode := "async apply, policy " + rp.String()
+	if *syncW {
+		mode = "sync apply"
+	}
+	log.Printf("prserve: serving /v1 on %s (%s)", *addr, mode)
 
 	select {
 	case err := <-errc:
@@ -102,6 +124,20 @@ func main() {
 		log.Printf("prserve: drain incomplete: %v", err)
 	}
 	log.Printf("prserve: bye")
+}
+
+// parsePolicy resolves the -rank-policy flags into a dfpr.RankPolicy.
+func parsePolicy(name string, quiet, maxLat time.Duration, everyN int) (dfpr.RankPolicy, error) {
+	switch strings.ToLower(name) {
+	case "immediate":
+		return dfpr.RankImmediate(), nil
+	case "debounce":
+		return dfpr.RankDebounce(quiet, maxLat), nil
+	case "every":
+		return dfpr.RankEveryN(everyN), nil
+	default:
+		return dfpr.RankPolicy{}, fmt.Errorf("prserve: unknown -rank-policy %q (immediate|debounce|every)", name)
+	}
 }
 
 // loadOrGenerate resolves the serving graph: a file via -in, or a synthetic

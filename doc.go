@@ -16,6 +16,24 @@
 //	seq, err := eng.Apply(ctx, del, ins) // publish a batch update
 //	res, err = eng.Rank(ctx)             // incremental, frontier-sized refresh
 //
+// Writes scale through the ingest pipeline: Submit enqueues a batch and
+// returns a Ticket immediately, a background loop coalesces everything
+// queued into one merged batch per round, and a pluggable rank scheduler
+// (WithRankPolicy: RankImmediate, RankDebounce, RankEveryN) refreshes ranks
+// off the write path — so the refresh cost is amortised over however many
+// submissions arrived meanwhile, and the delta-merge snapshot cost scales
+// with the merged batch rather than the call count:
+//
+//	t, err := eng.Submit(ctx, del, ins)  // enqueue; returns immediately
+//	seq, err := t.Wait(ctx)              // version the edits landed in
+//	err = eng.WaitRanked(ctx, seq)       // ranks at least that fresh
+//	err = eng.Flush(ctx)                 // drain: applied AND ranked
+//
+// WithIngestQueue bounds the queue (Submit reports ErrQueueFull —
+// backpressure, not an outage), and a Rank catching up across several
+// pending versions replays them as one merged incremental run
+// (WithSpanCoalescing, on by default).
+//
 // Reads go through Views — immutable, zero-copy handles pinned to one
 // published version, shared by every reader of that version:
 //
@@ -32,14 +50,14 @@
 // channel sized for live serving; WithFaultPlan/SetFaultPlan inject the
 // paper's thread-delay and crash-stop faults for chaos drills; RankTrace
 // exposes the per-pass frontier sizes that explain where the Dynamic
-// Frontier saving comes from. The copy-based readers (Engine.Snapshot,
-// Result.Ranks, Update.Ranks) remain as deprecated O(|V|)-per-call shims
-// for one release.
+// Frontier saving comes from.
 //
 // The serve package exposes an Engine over HTTP/JSON (GET /v1/rank/{u},
-// /v1/topk, /v1/delta, POST /v1/apply, /v1/stats, with per-request version
-// pinning via the X-DFPR-Version header and graceful drain); cmd/prserve
-// is its ready-made binary.
+// /v1/topk, /v1/delta, /v1/wait/{seq}, /v1/healthz, /v1/stats, and a
+// non-blocking POST /v1/apply that answers 202 with the assigned version —
+// ?wait=ranked for read-your-ranks — with per-request version pinning via
+// the X-DFPR-Version header and a graceful drain that flushes the ingest
+// queue); cmd/prserve is its ready-made binary.
 //
 // The paper's contribution — the Dynamic Frontier approach for updating
 // PageRank after batch edge updates, and its lock-free fault-tolerant
@@ -71,13 +89,16 @@
 // power-law hub rows do not serialise a pass behind one worker. The read
 // path adds per-version views: one shared immutable vector and one shared
 // top-k selection per version, so point lookups allocate nothing and
-// leaderboards allocate O(k) (measured in BENCH_PR3.json).
+// leaderboards allocate O(k) (measured in BENCH_PR3.json). The write path
+// adds the coalescing ingest pipeline measured in BENCH_PR4.json: sustained
+// asynchronous applies per second against the synchronous apply+rank
+// baseline at an equal ranked-freshness deadline.
 //
 // Binaries (all built on the public API): cmd/prbench regenerates every
-// table and figure (and, with -benchjson, records kernel, snapshot and
-// view-query micro-benchmarks machine-readably, e.g. BENCH_PR3.json),
-// cmd/prgen emits datasets as edge lists, cmd/prrank ranks an edge list
-// with any variant, cmd/prserve serves ranks over HTTP.
+// table and figure (and, with -benchjson, records kernel, snapshot,
+// view-query and ingest micro-benchmarks machine-readably, e.g.
+// BENCH_PR4.json), cmd/prgen emits datasets as edge lists, cmd/prrank
+// ranks an edge list with any variant, cmd/prserve serves ranks over HTTP.
 // Runnable examples live under examples/. The benchmarks in this root
 // package (bench_test.go) run trimmed versions of every experiment under
 // `go test -bench`.

@@ -20,22 +20,25 @@ type Edge struct {
 // a versioned snapshot store, plus a PageRank vector kept current with the
 // configured algorithm (lock-free Dynamic Frontier by default).
 //
-// The intended loop of a live-serving deployment:
+// The intended loop of a live-serving deployment runs through the ingest
+// pipeline — callers never pick batch boundaries or block on a refresh:
 //
-//	eng, _ := dfpr.New(n, edges)
-//	eng.Rank(ctx)                  // initial convergence
+//	eng, _ := dfpr.New(n, edges, dfpr.WithRankPolicy(dfpr.RankDebounce(5*time.Millisecond, 50*time.Millisecond)))
+//	eng.Rank(ctx)                   // initial convergence
 //	...
-//	eng.Apply(ctx, del, ins)       // updates arrive in batches
-//	eng.Rank(ctx)                  // incremental refresh, frontier-sized work
+//	t, _ := eng.Submit(ctx, del, ins) // enqueue; coalesced off the caller's path
+//	seq, _ := t.Wait(ctx)             // version the edits landed in
+//	eng.WaitRanked(ctx, seq)          // ranks at least that fresh (optional)
 //
-// Apply is safe for concurrent use and never blocks readers; Rank calls are
-// serialised with each other. Readers use View (or ViewAt for retained
-// history) for zero-copy access to the latest computed ranks without
-// blocking behind a refresh, or Subscribe for a push stream of versioned
-// rank updates carrying views. Every Rank honours its context: cancellation
-// aborts a converging run promptly, with all worker goroutines joined
-// before Rank returns ErrCanceled, and leaves the engine's ranks at the
-// last completed version.
+// The manual path remains: Apply publishes one version per call and the
+// caller drives Rank itself. Apply and Submit are safe for concurrent use
+// and never block readers; Rank calls are serialised with each other.
+// Readers use View (or ViewAt for retained history) for zero-copy access to
+// the latest computed ranks without blocking behind a refresh, or Subscribe
+// for a push stream of versioned rank updates carrying views. Every Rank
+// honours its context: cancellation aborts a converging run promptly, with
+// all worker goroutines joined before Rank returns ErrCanceled, and leaves
+// the engine's ranks at the last completed version.
 type Engine struct {
 	opts  settings
 	store *snapshot.Store
@@ -51,9 +54,10 @@ type Engine struct {
 	closeMu  sync.RWMutex
 	applyble bool // false once closed; guarded by closeMu
 
-	// latest is the most recently published view, read lock-free by View,
-	// Snapshot and Behind; refreshes/rebuilds mirror the ranker's counters
-	// for lock-free Stats.
+	// latest is the most recently published view, read lock-free by View
+	// and Behind; refreshes/rebuilds mirror the ranker's counters so Stats
+	// never waits behind an in-flight Rank (it briefly takes ingestMu for
+	// the queue gauge, which no slow operation ever holds).
 	latest    atomic.Pointer[View]
 	refreshes atomic.Int64
 	rebuilds  atomic.Int64
@@ -70,6 +74,32 @@ type Engine struct {
 	subs      map[uint64]*Subscription
 	nextSub   uint64
 	subClosed bool
+
+	// The ingest pipeline (ingest.go): a bounded queue drained by one
+	// background loop that coalesces submissions into one merged batch per
+	// round and schedules Rank per the configured policy. ingestMu guards
+	// the queue and lifecycle flags and is never held across an apply or a
+	// rank. Lock order: ingestMu is independent of mu (the loop takes mu via
+	// Rank only after releasing ingestMu).
+	ingestMu     sync.Mutex
+	ingestQ      []pendingSubmit
+	flushQ       []*flushReq
+	ingestEdits  int  // queued, not yet drained (backpressure unit)
+	ingestOn     bool // loop started (lazily, on first Submit/Flush)
+	ingestClosed bool
+	ingestWake   chan struct{}
+	ingestStop   chan struct{}
+	ingestDone   chan struct{}
+	ingestCtx    context.Context
+	ingestHalt   context.CancelFunc
+
+	ingestRounds    atomic.Int64 // coalesced rounds applied
+	ingestCoalesced atomic.Int64 // edits applied through the pipeline
+
+	// Watermarks for the completion APIs: verWM tracks published graph
+	// versions (Apply and ingest rounds), rankWM published rank versions.
+	verWM  watermark
+	rankWM watermark
 }
 
 // New builds an engine over a directed graph with vertices 0..n-1 and the
@@ -94,12 +124,14 @@ func New(n int, edges []Edge, opts ...Option) (*Engine, error) {
 	for _, e := range ges {
 		d.AddEdge(e.U, e.V)
 	}
-	return &Engine{
+	e := &Engine{
 		opts:     st,
 		store:    snapshot.NewStore(d, st.history),
 		subs:     make(map[uint64]*Subscription),
 		applyble: true,
-	}, nil
+	}
+	e.verWM.init(0) // version 0 exists from construction
+	return e, nil
 }
 
 // Apply applies one batch update — del edges removed, ins edges added — and
@@ -130,6 +162,7 @@ func (e *Engine) Apply(ctx context.Context, del, ins []Edge) (uint64, error) {
 		return 0, ErrClosed
 	}
 	_, next := e.store.ApplyEdges(gdel, gins)
+	e.verWM.advance(next.Seq)
 	return next.Seq, nil
 }
 
@@ -175,6 +208,7 @@ func (e *Engine) Rank(ctx context.Context) (*Result, error) {
 			return failedResultOf(res, 0), err
 		}
 		rk.DisableFallback = e.opts.noFallback
+		rk.CoalesceSpans = !e.opts.uncoalesced
 		e.ranker = rk
 		// The initial convergence covers every version up to the current
 		// one, matching what Behind() reported before the call.
@@ -300,29 +334,6 @@ func (e *Engine) ViewAt(seq uint64) (*View, error) {
 	return nil, fmt.Errorf("dfpr: rank version %d: %w", seq, ErrVersionEvicted)
 }
 
-// Snapshot returns the engine's current state without blocking behind an
-// in-flight Rank: the latest published graph version, and a copy of the
-// latest computed ranks (which may lag the graph; compare Seq and RankSeq).
-//
-// Deprecated: Snapshot copies the full O(|V|) rank vector on every call.
-// Use View (and Engine.Version for the graph sequence) — a View serves
-// point lookups and top-k from shared immutable state. Snapshot remains as
-// a copy-based shim for one release.
-func (e *Engine) Snapshot() Snapshot {
-	// Load the view before the store: published ranks trail the store
-	// monotonically, so this order keeps RankSeq ≤ Seq even when an
-	// Apply+Rank lands between the two loads (the reverse order could
-	// observe a rank version newer than the graph version it reported).
-	p := e.latest.Load()
-	v := e.store.Current()
-	s := Snapshot{Seq: v.Seq, N: v.G.N(), M: v.G.M()}
-	if p != nil {
-		s.RankSeq = p.seq
-		s.Ranks = p.RanksCopy()
-	}
-	return s
-}
-
 // Version returns the latest published graph version.
 func (e *Engine) Version() uint64 { return e.store.Current().Seq }
 
@@ -330,8 +341,9 @@ func (e *Engine) Version() uint64 { return e.store.Current().Seq }
 // the graph. Before the first Rank it counts every version including the
 // initial one.
 func (e *Engine) Behind() uint64 {
-	// view before store, as in Snapshot: the reverse order could underflow
-	// when a concurrent Apply+Rank advances both between the loads.
+	// View before store: published ranks trail the store monotonically, so
+	// this order can never underflow when a concurrent Apply+Rank advances
+	// both between the loads.
 	p := e.latest.Load()
 	seq := e.store.Current().Seq
 	if p == nil {
@@ -340,13 +352,19 @@ func (e *Engine) Behind() uint64 {
 	return seq - p.seq
 }
 
-// Stats reports how the engine has kept its ranks fresh so far. Like
-// Snapshot, it never blocks behind an in-flight Rank; counters reflect the
-// most recently finished call.
+// Stats reports how the engine has kept its ranks fresh so far, and what
+// the ingest pipeline has coalesced. It never blocks behind an in-flight
+// Rank; counters reflect the most recently finished call.
 func (e *Engine) Stats() Stats {
+	e.ingestMu.Lock()
+	queued := e.ingestEdits
+	e.ingestMu.Unlock()
 	return Stats{
-		Refreshes: int(e.refreshes.Load()),
-		Rebuilds:  int(e.rebuilds.Load()),
+		Refreshes:      int(e.refreshes.Load()),
+		Rebuilds:       int(e.rebuilds.Load()),
+		QueuedEdits:    queued,
+		IngestRounds:   e.ingestRounds.Load(),
+		CoalescedEdits: e.ingestCoalesced.Load(),
 	}
 }
 
@@ -374,10 +392,17 @@ func (e *Engine) SetFaultPlan(p FaultPlan) error {
 	return nil
 }
 
-// Close marks the engine closed and closes every subscription's channel.
-// In-flight Rank calls finish first (cancel their contexts to hurry them).
-// Close is idempotent; subsequent Rank and Apply calls return ErrClosed.
+// Close shuts the engine down: the ingest pipeline stops (an in-flight
+// scheduled Rank is canceled; submissions still queued fail their tickets
+// with ErrClosed — Flush first to make them durable), WaitVersion/WaitRanked
+// callers are released with ErrClosed, and every subscription's channel
+// closes. In-flight Rank calls finish first (cancel their contexts to hurry
+// them). Close is idempotent; subsequent Rank, Apply and Submit calls return
+// ErrClosed.
 func (e *Engine) Close() error {
+	// The ingest loop is stopped before mu is taken: the loop's scheduled
+	// Rank holds mu, so stopping it afterwards would deadlock.
+	e.stopIngest()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -387,6 +412,8 @@ func (e *Engine) Close() error {
 	e.closeMu.Lock()
 	e.applyble = false
 	e.closeMu.Unlock()
+	e.verWM.close()
+	e.rankWM.close()
 	e.subMu.Lock()
 	e.subClosed = true
 	for id, sub := range e.subs {

@@ -38,6 +38,20 @@ func toPublic(edges []graph.Edge) []Edge {
 	return out
 }
 
+// ranksOf materialises a view's vector for comparisons against internal
+// reference runs (tests only; the public API deliberately has no bulk copy).
+func ranksOf(v *View) []float64 {
+	if v == nil {
+		return nil
+	}
+	out := make([]float64, 0, v.N())
+	v.Range(func(_ uint32, s float64) bool {
+		out = append(out, s)
+		return true
+	})
+	return out
+}
+
 // TestEngineRankMatchesCoreRun pins the public API to the internal engine
 // room: an Engine's initial Rank must equal core.StaticBB bit-for-bit
 // tolerance-wise, and its incremental Rank after one Apply must equal
@@ -114,10 +128,10 @@ func TestEngineRankMatchesCoreRun(t *testing.T) {
 			if !tc.exact {
 				bound = 20 * tol // LF runs are asynchronous; same fixpoint, looser pin
 			}
-			if e := metrics.LInf(initial.Ranks(), pre.Ranks); tc.exact && e > 1e-12 {
+			if e := metrics.LInf(ranksOf(initial.View), pre.Ranks); tc.exact && e > 1e-12 {
 				t.Errorf("initial ranks deviate from StaticBB by %g", e)
 			}
-			if e := metrics.LInf(res.Ranks(), want.Ranks); e > bound {
+			if e := metrics.LInf(ranksOf(res.View), want.Ranks); e > bound {
 				t.Errorf("refresh ranks deviate from core.Run by %g (bound %g)", e, bound)
 			}
 			if tc.exact && res.Iterations != want.Iterations {
@@ -330,7 +344,7 @@ func TestSubscribeSlowConsumerMonotoneViews(t *testing.T) {
 	}
 }
 
-func TestEngineSnapshotAndVersioning(t *testing.T) {
+func TestEngineVersioning(t *testing.T) {
 	ctx := context.Background()
 	n, edges, mirror := testGraph(t, 9, 8)
 	eng, err := New(n, edges, WithThreads(2), WithTolerance(1e-6))
@@ -340,8 +354,8 @@ func TestEngineSnapshotAndVersioning(t *testing.T) {
 	if got := eng.Behind(); got != 1 {
 		t.Errorf("Behind before first Rank = %d, want 1 (version 0 unranked)", got)
 	}
-	if s := eng.Snapshot(); s.Ranks != nil || s.Seq != 0 {
-		t.Errorf("pre-Rank snapshot: seq=%d ranks=%v", s.Seq, s.Ranks != nil)
+	if _, err := eng.View(); !errors.Is(err, ErrNoRanks) {
+		t.Errorf("pre-Rank View: %v, want ErrNoRanks", err)
 	}
 	if _, err := eng.Rank(ctx); err != nil {
 		t.Fatal(err)
@@ -354,14 +368,11 @@ func TestEngineSnapshotAndVersioning(t *testing.T) {
 	if eng.Version() != 1 || eng.Behind() != 1 {
 		t.Errorf("version=%d behind=%d after apply", eng.Version(), eng.Behind())
 	}
-	s := eng.Snapshot()
-	if s.Seq != 1 || s.RankSeq != 0 || len(s.Ranks) != n {
-		t.Errorf("snapshot lagging wrong: seq=%d rankSeq=%d len=%d", s.Seq, s.RankSeq, len(s.Ranks))
-	}
-	// Snapshot ranks are a defensive copy.
-	s.Ranks[0] = 42
-	if eng.Snapshot().Ranks[0] == 42 {
-		t.Error("Snapshot exposed internal rank storage")
+	// The published view still answers for the ranked version, lagging the
+	// graph until the next Rank.
+	v, err := eng.View()
+	if err != nil || v.Seq() != 0 || v.N() != n {
+		t.Fatalf("lagging view: seq=%d n=%d err=%v", v.Seq(), v.N(), err)
 	}
 	if _, err := eng.Rank(ctx); err != nil {
 		t.Fatal(err)
@@ -443,8 +454,8 @@ func TestEngineFaultDrillWithoutFallback(t *testing.T) {
 	if res == nil || res.CrashedWorkers != 4 {
 		t.Fatalf("failed Result lacks diagnostics: %+v", res)
 	}
-	if s := eng.Snapshot(); s.RankSeq != 0 {
-		t.Errorf("failed refresh advanced RankSeq to %d", s.RankSeq)
+	if v, err := eng.View(); err != nil || v.Seq() != 0 {
+		t.Errorf("failed refresh advanced the published rank version to %d (err=%v)", v.Seq(), err)
 	}
 	if eng.Stats().Rebuilds != 0 {
 		t.Error("fallback ran despite WithStaticFallback(false)")

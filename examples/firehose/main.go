@@ -1,0 +1,121 @@
+// Firehose: a writer streaming edit batches through the ingest pipeline as
+// fast as it can, while a live leaderboard reads fresh views — the write
+// side of the serving story, the way a production deployment runs it.
+//
+// The writer never picks batch boundaries and never waits for a rank: it
+// Submits, the engine coalesces everything queued into one merged batch per
+// round, and a debounce rank policy refreshes ranks at a bounded freshness
+// deadline — so the refresh cost is amortised over however many submissions
+// arrived meanwhile (the paper's claim that DF work scales with the
+// movement set, exploited end to end). A full queue would surface as
+// ErrQueueFull backpressure. The reader consumes the conflating Subscribe
+// stream and prints the top of the board per published rank version.
+//
+// Run with:
+//
+//	go run ./examples/firehose
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dfpr"
+	"dfpr/internal/batch"
+	"dfpr/internal/exutil"
+	"dfpr/internal/gen"
+)
+
+const (
+	users       = 1 << 13
+	submissions = 600
+	batchSize   = 16
+	topK        = 5
+)
+
+func main() {
+	ctx := context.Background()
+	d := gen.Spec{Name: "web", Class: gen.Web, N: users, Deg: 10, Seed: 7}.Build()
+	n, edges := exutil.Flatten(d)
+	tol := 1e-3 / float64(n)
+
+	eng, err := dfpr.New(n, edges,
+		dfpr.WithThreads(4),
+		dfpr.WithTolerance(tol),
+		dfpr.WithFrontierTolerance(tol),
+		// Ranks start within 40ms of the oldest unranked round — the
+		// freshness promise — or after 5ms of quiet, whichever comes first.
+		dfpr.WithRankPolicy(dfpr.RankDebounce(5*time.Millisecond, 40*time.Millisecond)),
+		dfpr.WithIngestQueue(1<<16),
+	)
+	if err != nil {
+		panic(err)
+	}
+	sub := eng.Subscribe()
+	if _, err := eng.Rank(ctx); err != nil {
+		panic(err)
+	}
+
+	// Reader: one line per published rank version, straight off the shared
+	// view — O(k) per frame no matter how many edits landed in between.
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		top := make([]dfpr.Ranked, 0, topK)
+		for u := range sub.Updates() {
+			top = u.View.AppendTopK(top[:0], topK)
+			fmt.Printf("ranked v%-4d board:", u.Seq)
+			for _, e := range top {
+				fmt.Printf("  %d %.2e", e.V, e.Score)
+			}
+			fmt.Println()
+		}
+	}()
+
+	// Writer: the firehose. Submit returns as soon as the batch is queued;
+	// tickets are collected and settled in bulk at the end.
+	start := time.Now()
+	tickets := make([]*dfpr.Ticket, 0, submissions)
+	for i := 0; i < submissions; i++ {
+		up := batch.Random(d, batchSize, int64(100+i))
+		tk, err := eng.Submit(ctx, exutil.Convert(up.Del), exutil.Convert(up.Ins))
+		if errors.Is(err, dfpr.ErrQueueFull) {
+			time.Sleep(time.Millisecond) // backpressure: yield and retry
+			i--
+			continue
+		}
+		if err != nil {
+			panic(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	submitted := time.Since(start)
+
+	// Drain: everything applied and ranked, then close (which ends the
+	// reader's stream).
+	if err := eng.Flush(ctx); err != nil {
+		panic(err)
+	}
+	drained := time.Since(start)
+	last, err := tickets[len(tickets)-1].Wait(ctx)
+	if err != nil {
+		panic(err)
+	}
+	if err := eng.WaitRanked(ctx, last); err != nil {
+		panic(err)
+	}
+	st := eng.Stats()
+	eng.Close()
+	reader.Wait()
+
+	fmt.Printf("\nfirehose: %d submissions of %d edits in %s (%.0f applies/s), fully ranked in %s\n",
+		submissions, batchSize, submitted.Round(time.Millisecond),
+		float64(submissions)/submitted.Seconds(), drained.Round(time.Millisecond))
+	fmt.Printf("coalesced into %d rounds (%.1f submissions/round), %d rank refreshes for %d store versions\n",
+		st.IngestRounds, float64(submissions)/float64(st.IngestRounds),
+		st.Refreshes, last)
+}

@@ -35,6 +35,55 @@ func (u Update) Inverse() Update {
 	return Update{Del: u.Ins, Ins: u.Del}
 }
 
+// Merge folds a sequence of updates — applied in order, each update's
+// deletions before its insertions — into one equivalent update: for every
+// touched edge the last operation wins, so the merged batch leaves the edge
+// set exactly where the sequence would have. Duplicates and del/ins churn on
+// the same edge collapse to a single entry, which is what makes coalesced
+// ingest cheap: the delta-merge snapshot cost scales with the merged batch,
+// not with the number of submissions that produced it.
+//
+// Edges keep their first-touch order, so merging is deterministic for a
+// deterministic input sequence. The merged Del list may name edges absent
+// from the pre-batch graph (inserted then deleted within the span) and the
+// Ins list edges already present; both are no-ops for the set-semantics
+// Dynamic store, and for the Dynamic Frontier marking they only widen the
+// initially affected set, never narrow it.
+func Merge(ups ...Update) Update {
+	total := 0
+	for _, up := range ups {
+		total += up.Size()
+	}
+	if total == 0 {
+		return Update{}
+	}
+	lastDel := make(map[graph.Edge]bool, total)
+	order := make([]graph.Edge, 0, total)
+	note := func(e graph.Edge, del bool) {
+		if _, seen := lastDel[e]; !seen {
+			order = append(order, e)
+		}
+		lastDel[e] = del
+	}
+	for _, up := range ups {
+		for _, e := range up.Del {
+			note(e, true)
+		}
+		for _, e := range up.Ins {
+			note(e, false)
+		}
+	}
+	var out Update
+	for _, e := range order {
+		if lastDel[e] {
+			out.Del = append(out.Del, e)
+		} else {
+			out.Ins = append(out.Ins, e)
+		}
+	}
+	return out
+}
+
 // Random generates a mixed batch of the given total size on d: size/2
 // deletions of existing (non-self-loop) edges chosen uniformly, and
 // size - size/2 insertions of currently non-connected pairs chosen

@@ -75,6 +75,76 @@ func TestInverse(t *testing.T) {
 	}
 }
 
+func TestMergeLastOpWins(t *testing.T) {
+	e := func(u, v uint32) graph.Edge { return graph.Edge{U: u, V: v} }
+	got := Merge(
+		Update{Del: []graph.Edge{e(0, 1)}, Ins: []graph.Edge{e(2, 3), e(4, 5)}},
+		Update{Del: []graph.Edge{e(4, 5), e(6, 7)}, Ins: []graph.Edge{e(0, 1)}},
+		Update{Ins: []graph.Edge{e(6, 7), e(2, 3)}}, // duplicate ins collapses
+	)
+	wantDel := []graph.Edge{e(4, 5)}
+	wantIns := []graph.Edge{e(0, 1), e(2, 3), e(6, 7)}
+	sortEdges := func(s []graph.Edge) {
+		for i := range s {
+			for j := i + 1; j < len(s); j++ {
+				if s[j].U < s[i].U || (s[j].U == s[i].U && s[j].V < s[i].V) {
+					s[i], s[j] = s[j], s[i]
+				}
+			}
+		}
+	}
+	sortEdges(got.Del)
+	sortEdges(got.Ins)
+	sortEdges(wantIns)
+	if !reflect.DeepEqual(got.Del, wantDel) || !reflect.DeepEqual(got.Ins, wantIns) {
+		t.Errorf("Merge = del %v ins %v, want del %v ins %v", got.Del, got.Ins, wantDel, wantIns)
+	}
+	// A del/ins of the same edge inside one update means present (del runs
+	// first), and churn across updates keeps only the final op.
+	churn := Merge(Update{Del: []graph.Edge{e(1, 2)}, Ins: []graph.Edge{e(1, 2)}})
+	if len(churn.Del) != 0 || !reflect.DeepEqual(churn.Ins, []graph.Edge{e(1, 2)}) {
+		t.Errorf("same-update del+ins: %+v", churn)
+	}
+	if empty := Merge(); empty.Size() != 0 {
+		t.Errorf("empty merge: %+v", empty)
+	}
+}
+
+// TestMergeEquivalentToSequentialApplication is the contract the coalescing
+// ingest pipeline rests on: applying Merge(u1..uk) as one batch leaves the
+// edge set exactly where applying u1..uk one after another would (self-loop
+// re-ensuring excepted — coalesced application never materialises the
+// intermediate dead-ends, which is the documented semantics of one merged
+// batch).
+func TestMergeEquivalentToSequentialApplication(t *testing.T) {
+	f := func(seed int64) bool {
+		seq := testGraph(seed)
+		merged := seq.Clone()
+		var ups []Update
+		for i := 0; i < 4; i++ {
+			up := Random(seq, 16, seed+int64(100*i))
+			ups = append(ups, up)
+			seq.Apply(up.Del, up.Ins) // no EnsureSelfLoops: pure set semantics
+		}
+		m := Merge(ups...)
+		merged.Apply(m.Del, m.Ins)
+		return reflect.DeepEqual(seq.Snapshot().Edges(nil), merged.Snapshot().Edges(nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeDeterministicOrder(t *testing.T) {
+	d := testGraph(9)
+	ups := []Update{Random(d, 20, 1), Random(d, 20, 2), Random(d, 20, 3)}
+	a := Merge(ups...)
+	b := Merge(ups...)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Merge of the same sequence differs between calls")
+	}
+}
+
 func TestTransitionSnapshotsAndSelfLoops(t *testing.T) {
 	d := testGraph(4)
 	mBefore := d.M()

@@ -33,6 +33,35 @@ type BenchReport struct {
 	// the section is filled by an extra passed to RunBenchJSON — cmd/prbench
 	// provides it.
 	Queries []QueryResult `json:"queries,omitempty"`
+	// Ingest holds write-path throughput comparisons: the synchronous
+	// apply+rank-per-call path against the coalescing ingest pipeline at an
+	// equal ranked-freshness deadline. Filled by a cmd/prbench extra, like
+	// Queries.
+	Ingest []IngestResult `json:"ingest,omitempty"`
+}
+
+// IngestResult reports one write-path mode on one graph: how many applies
+// per second it sustains and the publish→ranked latency its readers see.
+// The sync mode's per-call latency doubles as the freshness deadline the
+// async mode is configured to honour (its debounce max-latency), so the
+// applies/sec ratio is an apples-to-apples amortisation factor — the PR 4
+// acceptance number.
+type IngestResult struct {
+	Graph      string  `json:"graph"`
+	Vertices   int     `json:"vertices"`
+	Edges      int     `json:"edges"`
+	Mode       string  `json:"mode"`   // "sync" or "async"
+	Policy     string  `json:"policy"` // rank policy driving the refreshes
+	BatchEdges int     `json:"batch_edges"`
+	Applies    int     `json:"applies"`
+	Rounds     int64   `json:"rounds"` // coalesced rounds (async) or applies (sync)
+	Refreshes  int     `json:"refreshes"`
+	AppliesSec float64 `json:"applies_per_sec"`
+	P50Ms      float64 `json:"publish_to_ranked_p50_ms"`
+	P99Ms      float64 `json:"publish_to_ranked_p99_ms"`
+	// SpeedupVsSync is applies/sec over the sync row of the same graph
+	// (1.0 on the sync row itself).
+	SpeedupVsSync float64 `json:"speedup_vs_sync"`
 }
 
 // QueryResult reports the view-query costs on one graph: per-call time and

@@ -216,6 +216,19 @@ type Ranker struct {
 	// failure surfaces as itself rather than as a rebuild that would be
 	// subjected to the same faults.
 	DisableFallback bool
+
+	// CoalesceSpans makes Refresh replay a multi-version pending chain as
+	// ONE incremental run: the chain's batches are merged (last op per edge
+	// wins, batch.Merge) and the dynamic algorithm runs once from the
+	// ranker's graph to the chain's final graph. This is the paper's cost
+	// model taken seriously — DF work scales with the movement set, so k
+	// pending batches cost one frontier expansion over their union instead
+	// of k expansions over overlapping frontiers. The merged del/ins lists
+	// may be a superset of the true edge diff (churn cancelled within the
+	// span); that only widens the initially affected set, never narrows it,
+	// because marking walks out(u) of every batch-edge source in both
+	// snapshots. Single-version chains are unaffected.
+	CoalesceSpans bool
 }
 
 // NewRanker converges ranks on the store's current version and returns a
@@ -298,6 +311,9 @@ func (r *Ranker) Refresh(ctx context.Context) (core.Result, int, error) {
 		return r.rebuild(ctx)
 	}
 	prevG := parent.G
+	if r.CoalesceSpans && len(chain) > 1 {
+		return r.refreshSpan(ctx, prevG, chain)
+	}
 	for _, v := range chain {
 		in := core.Input{
 			GOld: prevG, GNew: v.G,
@@ -324,6 +340,42 @@ func (r *Ranker) Refresh(ctx context.Context) (core.Result, int, error) {
 		advanced++
 	}
 	return last, advanced, nil
+}
+
+// refreshSpan replays a multi-version pending chain as one incremental run
+// over the merged batch (see CoalesceSpans). prevG is the graph the current
+// ranks were converged on; the run lands directly on the chain's final
+// version. Error handling mirrors the per-version path: cancellation
+// surfaces as-is (advanced 0, ranks untouched), a failed run rebuilds
+// statically unless DisableFallback holds it back.
+func (r *Ranker) refreshSpan(ctx context.Context, prevG *graph.CSR, chain []*Version) (core.Result, int, error) {
+	ups := make([]batch.Update, len(chain))
+	for i, v := range chain {
+		ups[i] = v.Update
+	}
+	merged := batch.Merge(ups...)
+	last := chain[len(chain)-1]
+	in := core.Input{
+		GOld: prevG, GNew: last.G,
+		Del: merged.Del, Ins: merged.Ins,
+		Prev: r.ranks,
+	}
+	res := core.RunCtx(ctx, r.algo, in, r.cfg)
+	if res.Err != nil {
+		if errors.Is(res.Err, core.ErrCanceled) {
+			return res, 0, fmt.Errorf("snapshot: coalesced refresh aborted at version %d: %w", last.Seq, res.Err)
+		}
+		if r.DisableFallback {
+			return res, 0, fmt.Errorf("snapshot: coalesced incremental refresh failed at version %d: %w", last.Seq, res.Err)
+		}
+		return r.rebuild(ctx)
+	}
+	advanced := int(last.Seq - r.seq)
+	r.ranks = res.Ranks
+	r.seq = last.Seq
+	r.cur = last
+	r.Refreshes++ // one run covered the whole span
+	return res, advanced, nil
 }
 
 // RefreshTrace is Refresh with frontier observability: each pending version

@@ -141,6 +141,93 @@ func TestRankerCatchesUpMultipleVersions(t *testing.T) {
 	}
 }
 
+// TestRankerCoalescedSpanMatchesPerVersionReplay pins the span-coalescing
+// refresh: a ranker replaying a 5-version chain as one merged run must land
+// on the same fixpoint as a per-version twin (both within tolerance of the
+// reference), count ONE refresh for the whole span, and report the full
+// advance.
+func TestRankerCoalescedSpanMatchesPerVersionReplay(t *testing.T) {
+	s := testStore(t, 0)
+	n := s.Current().G.N()
+	cfg := testCfg(n)
+	co, _, err := NewRanker(context.Background(), s, core.AlgoDFLF, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co.CoalesceSpans = true
+	pv, _, err := NewRanker(context.Background(), s, core.AlgoDFLF, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		up := batch.Random(graph.DynamicFromCSR(s.Current().G), 10, int64(900+i))
+		s.Apply(up)
+	}
+	_, coAdv, err := co.Refresh(context.Background())
+	if err != nil || coAdv != 5 {
+		t.Fatalf("coalesced refresh: advanced=%d err=%v", coAdv, err)
+	}
+	if co.Refreshes != 1 || co.Rebuilds != 0 {
+		t.Errorf("coalesced span counted refreshes=%d rebuilds=%d, want one refresh", co.Refreshes, co.Rebuilds)
+	}
+	if co.Seq() != 5 || co.Version() != s.Current() {
+		t.Errorf("coalesced ranker at seq=%d version=%p, want the store's current", co.Seq(), co.Version())
+	}
+	if _, pvAdv, err := pv.Refresh(context.Background()); err != nil || pvAdv != 5 {
+		t.Fatalf("per-version refresh: advanced=%d err=%v", pvAdv, err)
+	}
+	ref := core.Reference(s.Current().G, core.Config{})
+	if e := metrics.LInf(co.Ranks(), ref); e > 20*cfg.Tol {
+		t.Errorf("coalesced span error %g beyond 20τ", e)
+	}
+	if e := metrics.LInf(co.Ranks(), pv.Ranks()); e > 40*cfg.Tol {
+		t.Errorf("coalesced vs per-version divergence %g", e)
+	}
+	// A single-version chain takes the ordinary path (one more refresh).
+	up := batch.Random(graph.DynamicFromCSR(s.Current().G), 6, 999)
+	s.Apply(up)
+	if _, adv, err := co.Refresh(context.Background()); err != nil || adv != 1 || co.Refreshes != 2 {
+		t.Fatalf("single-version step after span: advanced=%d refreshes=%d err=%v", adv, co.Refreshes, err)
+	}
+}
+
+// TestRankerCoalescedSpanCancelAndFailure drives the span path's error
+// handling: cancellation leaves the ranker untouched without a rebuild, a
+// crash with DisableFallback surfaces as itself, and clearing the fault
+// lets the span replay recover.
+func TestRankerCoalescedSpanCancelAndFailure(t *testing.T) {
+	s := testStore(t, 0)
+	n := s.Current().G.N()
+	cfg := testCfg(n)
+	r, _, err := NewRanker(context.Background(), s, core.AlgoDFLF, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.CoalesceSpans = true
+	r.DisableFallback = true
+	for i := 0; i < 3; i++ {
+		up := batch.Random(graph.DynamicFromCSR(s.Current().G), 8, int64(700+i))
+		s.Apply(up)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, adv, err := r.Refresh(ctx); !errors.Is(err, core.ErrCanceled) || adv != 0 || r.Seq() != 0 {
+		t.Fatalf("canceled span refresh: advanced=%d seq=%d err=%v", adv, r.Seq(), err)
+	}
+	r.SetFault(fault.Plan{CrashWorkers: fault.CrashSet(cfg.Threads, cfg.Threads), Seed: 9})
+	if _, adv, err := r.Refresh(context.Background()); !errors.Is(err, core.ErrAllCrashed) || adv != 0 || r.Rebuilds != 0 || r.Seq() != 0 {
+		t.Fatalf("crashed span refresh with fallback off: advanced=%d rebuilds=%d seq=%d err=%v", adv, r.Rebuilds, r.Seq(), err)
+	}
+	r.SetFault(fault.Plan{})
+	if _, adv, err := r.Refresh(context.Background()); err != nil || adv != 3 || r.Refreshes != 1 {
+		t.Fatalf("recovery span refresh: advanced=%d refreshes=%d err=%v", adv, r.Refreshes, err)
+	}
+	ref := core.Reference(s.Current().G, core.Config{})
+	if e := metrics.LInf(r.Ranks(), ref); e > 20*cfg.Tol {
+		t.Errorf("error after span recovery: %g", e)
+	}
+}
+
 func TestRankerRebuildsWhenEvicted(t *testing.T) {
 	s := testStore(t, 2)
 	n := s.Current().G.N()

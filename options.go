@@ -128,18 +128,24 @@ const (
 	DefaultMaxIter = core.DefaultMaxIter
 	// DefaultHistory is the default number of retained graph versions.
 	DefaultHistory = snapshot.DefaultHistory
+	// DefaultIngestQueue is the default bound on edits queued in the ingest
+	// pipeline before Submit reports ErrQueueFull.
+	DefaultIngestQueue = 1 << 20
 )
 
 // settings is the resolved configuration an Engine is built with.
 type settings struct {
-	cfg        core.Config
-	algo       core.Algo
-	history    int
-	noFallback bool
+	cfg         core.Config
+	algo        core.Algo
+	history     int
+	noFallback  bool
+	policy      RankPolicy
+	queue       int
+	uncoalesced bool
 }
 
 func defaultSettings() settings {
-	return settings{algo: core.AlgoDFLF, history: snapshot.DefaultHistory}
+	return settings{algo: core.AlgoDFLF, history: snapshot.DefaultHistory, queue: DefaultIngestQueue}
 }
 
 // Option configures an Engine at construction. Options validate eagerly:
@@ -271,6 +277,46 @@ func WithHistory(keep int) Option {
 			return fmt.Errorf("dfpr: history %d must be positive", keep)
 		}
 		s.history = keep
+		return nil
+	}
+}
+
+// WithRankPolicy selects when the ingest pipeline refreshes ranks after
+// coalescing rounds (default RankImmediate — every round). The policy only
+// governs the background loop behind Submit; manual Rank calls are always
+// honoured immediately.
+func WithRankPolicy(p RankPolicy) Option {
+	return func(s *settings) error {
+		if err := p.validate(); err != nil {
+			return err
+		}
+		s.policy = p
+		return nil
+	}
+}
+
+// WithIngestQueue bounds how many edits (deleted plus inserted edges) may
+// sit in the ingest queue before Submit rejects batches with ErrQueueFull
+// (default DefaultIngestQueue). The bound is what turns a writer firehose
+// into backpressure instead of unbounded memory growth.
+func WithIngestQueue(maxEdits int) Option {
+	return func(s *settings) error {
+		if maxEdits <= 0 {
+			return fmt.Errorf("dfpr: ingest queue bound %d must be positive", maxEdits)
+		}
+		s.queue = maxEdits
+		return nil
+	}
+}
+
+// WithSpanCoalescing controls whether a Rank that catches up across several
+// pending versions replays them as ONE merged incremental run instead of
+// one run per version (default true). The merged run's cost scales with the
+// union movement set — the paper's cost model — so disabling this is mainly
+// for measuring the per-version replay it replaces.
+func WithSpanCoalescing(enabled bool) Option {
+	return func(s *settings) error {
+		s.uncoalesced = !enabled
 		return nil
 	}
 }

@@ -27,6 +27,16 @@ var ErrNoRanks = errors.New("dfpr: no ranks published yet")
 // through the wrapping that names the missing version.
 var ErrVersionEvicted = errors.New("dfpr: rank version no longer retained")
 
+// ErrQueueFull is returned by Engine.Submit when accepting the batch would
+// push the ingest queue past its WithIngestQueue bound — the backpressure
+// signal to retry later (or shed the write). errors.Is identifies it
+// through the wrapping that reports the queue state.
+var ErrQueueFull = errors.New("dfpr: ingest queue full")
+
+// ErrPending is returned by Ticket.Version while the submission is still
+// queued or being coalesced — before Ticket.Done has closed.
+var ErrPending = errors.New("dfpr: submission not applied yet")
+
 // Result reports the outcome of one Rank call.
 type Result struct {
 	// Seq is the store version the ranks correspond to.
@@ -61,60 +71,20 @@ type Result struct {
 	BarrierWait time.Duration
 }
 
-// Ranks returns a fresh copy of the PageRank vector, or nil for a failed
-// call.
-//
-// Deprecated: the copy is O(|V|) per call. Read through View (ScoreOf,
-// TopK, Scores) instead; Ranks remains as a copy-based shim for one
-// release.
-func (r *Result) Ranks() []float64 {
-	if r.View == nil {
-		return nil
-	}
-	return r.View.RanksCopy()
-}
-
-// TopK returns the indices of the k highest-ranked vertices, highest first,
-// or nil for a failed call.
-//
-// Deprecated: use View.TopK, which returns scores alongside vertices and
-// shares one cached ordering across all readers of the version.
-func (r *Result) TopK(k int) []int {
-	if r.View == nil {
-		return nil
-	}
-	top := r.View.TopK(k)
-	out := make([]int, len(top))
-	for i, e := range top {
-		out[i] = int(e.V)
-	}
-	return out
-}
-
-// Snapshot is a point-in-time view of an engine: the latest published graph
-// version and the latest computed ranks, which may lag it.
-//
-// Deprecated: Snapshot carries an O(|V|) copy of the rank vector. Use
-// Engine.View for reads and Engine.Version/Behind for versioning; the type
-// remains as a copy-based shim for one release.
-type Snapshot struct {
-	// Seq is the latest published graph version.
-	Seq uint64
-	// RankSeq is the version the Ranks correspond to (≤ Seq; meaningful
-	// only once Ranks is non-nil).
-	RankSeq uint64
-	// N and M are the vertex and edge counts of the latest graph version.
-	N, M int
-	// Ranks is a copy of the latest computed rank vector, or nil if Rank
-	// has not completed yet.
-	Ranks []float64
-}
-
-// Stats counts how an engine has kept its ranks fresh: Refreshes are
-// incremental (or static-algorithm) refreshes, Rebuilds are static
-// fallbacks after eviction or failure.
+// Stats counts how an engine has kept its ranks fresh and what its ingest
+// pipeline has absorbed: Refreshes are incremental (or static-algorithm)
+// refreshes, Rebuilds are static fallbacks after eviction or failure.
 type Stats struct {
 	Refreshes, Rebuilds int
+	// QueuedEdits is the number of edits sitting in the ingest queue right
+	// now — accepted by Submit, not yet drained into a round. The
+	// backpressure gauge a load balancer watches.
+	QueuedEdits int
+	// IngestRounds counts coalescing rounds the pipeline has applied;
+	// CoalescedEdits the edits those rounds carried (after merge). Their
+	// ratio against writes submitted is the amortisation the pipeline won.
+	IngestRounds   int64
+	CoalescedEdits int64
 }
 
 // FrontierStats describes the Dynamic Frontier affected set after one pass

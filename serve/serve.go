@@ -1,23 +1,35 @@
 // Package serve exposes a dfpr.Engine as an HTTP/JSON service shaped for
-// read-heavy traffic: point rank lookups, top-k leaderboards and version
+// heavy mixed traffic: point rank lookups, top-k leaderboards and version
 // deltas are answered from zero-copy Views (no O(|V|) work per request),
-// while edge batches POSTed to the write endpoint feed Engine.Apply and a
-// rank refresh. Every response names the rank version it was served from in
-// the X-DFPR-Version header, and a request may pin itself to a retained
-// version by sending the same header.
+// while edge batches POSTed to the write endpoint flow through the engine's
+// ingest pipeline — the request never blocks on a rank refresh. Every
+// response names the rank version it was served from in the X-DFPR-Version
+// header, and a request may pin itself to a retained version by sending the
+// same header.
 //
 // Endpoints (all JSON):
 //
 //	GET  /v1/rank/{u}            {"vertex":u,"score":s,"version":v}
 //	GET  /v1/topk?k=10           {"version":v,"entries":[{"vertex":u,"score":s},…]}
 //	GET  /v1/delta?from=&to=     {"from":a,"to":b,"movements":[{"vertex":u,"from":x,"to":y},…]}
-//	POST /v1/apply               {"del":[{"u":..,"v":..}],"ins":[…]} → {"version":..,"rank_version":..,…}
-//	GET  /v1/stats               engine + serving counters
+//	POST /v1/apply               {"del":[{"u":..,"v":..}],"ins":[…]} → 202 {"version":..,"rank_version":..,"ranked":false}
+//	POST /v1/apply?wait=ranked   same, but 200 once ranks cover the new version
+//	GET  /v1/wait/{seq}          block until ranks (or ?for=applied: the graph) reach seq
+//	GET  /v1/healthz             liveness: {"status":"ok","ready":bool}
+//	GET  /v1/stats               engine + ingest + serving counters
+//
+// Writes are asynchronous by default: the batch is coalesced with whatever
+// else is in flight, 202 Accepted names the version it landed in, and the
+// rank refresh runs behind the engine's RankPolicy. `?wait=ranked` turns a
+// request into read-your-ranks; WithSyncApply restores the old synchronous
+// apply+rank behaviour for comparison. A full ingest queue surfaces as 429.
 //
 // Errors are JSON too: {"error":"…"} with 400 (malformed request), 404
-// (unknown vertex/route), 410 (version evicted from retention), 503 (no
-// ranks yet / engine closed). Shutdown drains in-flight requests
-// gracefully.
+// (unknown vertex/route), 410 (version evicted from retention), 429 (ingest
+// backpressure), 503 (no ranks yet / engine closed), 504 (wait deadline).
+// Shutdown drains in-flight requests gracefully and then flushes the ingest
+// queue so every accepted write is applied and ranked before the process
+// exits.
 package serve
 
 import (
@@ -30,6 +42,7 @@ import (
 	"sort"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"dfpr"
 )
@@ -53,10 +66,11 @@ type Server struct {
 }
 
 type options struct {
-	defaultK int
-	maxK     int
-	maxBatch int
-	refresh  bool
+	defaultK  int
+	maxK      int
+	maxBatch  int
+	syncApply bool
+	maxWait   time.Duration
 }
 
 // Option configures a Server at construction.
@@ -98,21 +112,35 @@ func WithMaxBatch(n int) Option {
 	}
 }
 
-// WithRefreshOnApply controls whether /v1/apply triggers a synchronous
-// Rank after publishing the batch (default true). With it off, applies
-// only publish graph versions and ranks move when the embedding program
-// calls Rank itself.
-func WithRefreshOnApply(refresh bool) Option {
+// WithSyncApply restores the synchronous write path: /v1/apply publishes
+// the batch with Engine.Apply and runs a full Rank before responding
+// (default off — writes flow through the ingest pipeline and return 202).
+// Mainly a baseline for measuring what the asynchronous path buys.
+func WithSyncApply(sync bool) Option {
 	return func(o *options) error {
-		o.refresh = refresh
+		o.syncApply = sync
+		return nil
+	}
+}
+
+// WithMaxWait caps how long /v1/wait and /v1/apply?wait=ranked may block
+// server-side before answering 504 (default 30s). The request context still
+// bounds every wait from the client side.
+func WithMaxWait(d time.Duration) Option {
+	return func(o *options) error {
+		if d <= 0 {
+			return fmt.Errorf("serve: max wait %v must be positive", d)
+		}
+		o.maxWait = d
 		return nil
 	}
 }
 
 // New wraps the engine. The engine stays owned by the caller: Shutdown
-// drains the HTTP side but does not Close the engine.
+// drains the HTTP side (and flushes the ingest queue) but does not Close
+// the engine.
 func New(eng *dfpr.Engine, opts ...Option) (*Server, error) {
-	o := options{defaultK: 10, maxK: 1000, maxBatch: 100000, refresh: true}
+	o := options{defaultK: 10, maxK: 1000, maxBatch: 100000, maxWait: 30 * time.Second}
 	for _, opt := range opts {
 		if err := opt(&o); err != nil {
 			return nil, err
@@ -123,6 +151,8 @@ func New(eng *dfpr.Engine, opts ...Option) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
 	s.mux.HandleFunc("GET /v1/delta", s.handleDelta)
 	s.mux.HandleFunc("POST /v1/apply", s.handleApply)
+	s.mux.HandleFunc("GET /v1/wait/{seq}", s.handleWait)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s, nil
 }
@@ -148,14 +178,29 @@ func (s *Server) Serve(l net.Listener) error {
 }
 
 // Shutdown gracefully drains the server: the listener closes immediately,
-// in-flight requests run to completion (bounded by ctx), and only then does
-// Shutdown return — the drain a rolling deploy needs. Calling it without a
-// running listener is a no-op.
+// in-flight requests run to completion (bounded by ctx), and the engine's
+// ingest queue is then flushed — every write accepted with a 202 is applied
+// and ranked before Shutdown returns, the drain a rolling deploy needs.
+// Calling it without a running listener still flushes the queue.
 func (s *Server) Shutdown(ctx context.Context) error {
-	if s.hs == nil {
-		return nil
+	var err error
+	if s.hs != nil {
+		err = s.hs.Shutdown(ctx)
 	}
-	return s.hs.Shutdown(ctx)
+	// The handlers are gone, so the ingest queue is stable. Flush when the
+	// PIPELINE has outstanding work — edits still queued (even ones whose
+	// handler timed out before acknowledging: they were accepted and must
+	// not be dropped at engine Close), or applied rounds the ranks have not
+	// covered yet. An idle, sync-mode, or never-written engine skips the
+	// flush, so teardown never hands surprise work to an engine that saw no
+	// pipeline traffic.
+	st := s.eng.Stats()
+	if st.QueuedEdits > 0 || (st.IngestRounds > 0 && s.eng.Behind() > 0) {
+		if ferr := s.eng.Flush(ctx); ferr != nil && !errors.Is(ferr, dfpr.ErrClosed) && err == nil {
+			err = ferr
+		}
+	}
+	return err
 }
 
 // viewFor resolves the view a read request is served from: the version
@@ -325,8 +370,9 @@ type applyRequest struct {
 type applyResponse struct {
 	Version     uint64 `json:"version"`
 	RankVersion uint64 `json:"rank_version"`
-	Advanced    int    `json:"advanced"`
-	Rebuilt     bool   `json:"rebuilt"`
+	Ranked      bool   `json:"ranked"`
+	Advanced    int    `json:"advanced,omitempty"`
+	Rebuilt     bool   `json:"rebuilt,omitempty"`
 }
 
 func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
@@ -344,6 +390,57 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "batch of %d edges exceeds the server cap %d", n, s.opts.maxBatch)
 		return
 	}
+	if s.opts.syncApply {
+		s.applySync(w, r, req)
+		return
+	}
+
+	// Default path: enqueue onto the ingest pipeline. The only wait on the
+	// request path is for the coalescing round that assigns the version —
+	// the rank refresh runs behind the engine's policy, never here. Both
+	// waits are bounded server-side by maxWait so a stalled pipeline (or a
+	// client with no timeout) cannot park handler goroutines indefinitely.
+	tk, err := s.eng.Submit(r.Context(), toEdges(req.Del), toEdges(req.Ins))
+	if err != nil {
+		writeErr(w, statusOf(err), "%v", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.maxWait)
+	defer cancel()
+	seq, err := tk.Wait(ctx)
+	if err != nil {
+		writeErr(w, waitStatusOf(r.Context(), err), "batch queued but not observed applied: %v", err)
+		return
+	}
+	s.writes.Add(1)
+	resp := applyResponse{Version: seq}
+	if r.URL.Query().Get("wait") == "ranked" {
+		if err := s.eng.WaitRanked(ctx, seq); err != nil {
+			writeErr(w, waitStatusOf(r.Context(), err),
+				"batch published as version %d but ranks did not catch up: %v", seq, err)
+			return
+		}
+	}
+	if v, err := s.eng.View(); err == nil {
+		resp.RankVersion = v.Seq()
+		resp.Ranked = resp.RankVersion >= seq
+	}
+	code := http.StatusAccepted
+	if resp.Ranked {
+		code = http.StatusOK
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(VersionHeader, strconv.FormatUint(resp.RankVersion, 10))
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// applySync is the synchronous baseline behind WithSyncApply: publish with
+// Apply, then run a full Rank before responding. The triggered Rank runs on
+// a context detached from the request: the batch is already published, so a
+// client disconnect mid-refresh must not abort a rank whose version readers
+// are waiting on (it would leave Behind() > 0 until the next write).
+func (s *Server) applySync(w http.ResponseWriter, r *http.Request, req applyRequest) {
 	seq, err := s.eng.Apply(r.Context(), toEdges(req.Del), toEdges(req.Ins))
 	if err != nil {
 		writeErr(w, statusOf(err), "%v", err)
@@ -353,45 +450,114 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 	// the refresh below fails, so stats reconcile against Version().
 	s.writes.Add(1)
 	resp := applyResponse{Version: seq}
-	if s.opts.refresh {
-		res, err := s.eng.Rank(r.Context())
-		if err != nil {
-			// The client's request was valid and is already applied; a
-			// failing refresh is a server-side condition, not a 4xx.
-			writeErr(w, refreshStatusOf(err), "batch published as version %d but refresh failed: %v", seq, err)
-			return
-		}
-		resp.RankVersion, resp.Advanced, resp.Rebuilt = res.Seq, res.Advanced, res.Rebuilt
-	} else if v, err := s.eng.View(); err == nil {
+	res, err := s.eng.Rank(context.WithoutCancel(r.Context()))
+	if err != nil {
+		// The client's request was valid and is already applied; a failing
+		// refresh is a server-side condition, not a 4xx.
+		writeErr(w, refreshStatusOf(err), "batch published as version %d but refresh failed: %v", seq, err)
+		return
+	}
+	resp.RankVersion, resp.Advanced, resp.Rebuilt = res.Seq, res.Advanced, res.Rebuilt
+	resp.Ranked = resp.RankVersion >= seq
+	writeJSON(w, resp.RankVersion, resp)
+}
+
+type waitResponse struct {
+	Seq         uint64 `json:"seq"`
+	For         string `json:"for"`
+	Version     uint64 `json:"version"`
+	RankVersion uint64 `json:"rank_version"`
+	Behind      uint64 `json:"behind"`
+}
+
+// handleWait parks the request until the graph (?for=applied) or the ranks
+// (default) reach the path's sequence number — the watermark primitive that
+// lets a writer's reader read its own writes from another connection.
+func (s *Server) handleWait(w http.ResponseWriter, r *http.Request) {
+	seq, err := strconv.ParseUint(r.PathValue("seq"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "malformed sequence %q", r.PathValue("seq"))
+		return
+	}
+	target := r.URL.Query().Get("for")
+	if target == "" {
+		target = "ranked"
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.maxWait)
+	defer cancel()
+	switch target {
+	case "ranked":
+		err = s.eng.WaitRanked(ctx, seq)
+	case "applied":
+		err = s.eng.WaitVersion(ctx, seq)
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown wait target %q (ranked|applied)", target)
+		return
+	}
+	if err != nil {
+		writeErr(w, waitStatusOf(r.Context(), err), "wait for %s %d: %v", target, seq, err)
+		return
+	}
+	resp := waitResponse{Seq: seq, For: target, Version: s.eng.Version(), Behind: s.eng.Behind()}
+	if v, err := s.eng.View(); err == nil {
 		resp.RankVersion = v.Seq()
 	}
 	writeJSON(w, resp.RankVersion, resp)
 }
 
+type healthzResponse struct {
+	Status string `json:"status"`
+	Ready  bool   `json:"ready"`
+}
+
+// handleHealthz is the liveness probe: 200 whenever the process serves.
+// Ready reports whether a rank version has been published — the signal a
+// load balancer gates traffic on (also visible in /v1/stats).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := healthzResponse{Status: "ok"}
+	if v, err := s.eng.View(); err == nil {
+		resp.Ready = true
+		writeJSON(w, v.Seq(), resp)
+		return
+	}
+	writeJSON(w, 0, resp)
+}
+
 type statsResponse struct {
-	Version     uint64 `json:"version"`
-	RankVersion uint64 `json:"rank_version"`
-	Behind      uint64 `json:"behind"`
-	Vertices    int    `json:"vertices"`
-	Edges       int    `json:"edges"`
-	Refreshes   int    `json:"refreshes"`
-	Rebuilds    int    `json:"rebuilds"`
-	Reads       int64  `json:"reads_served"`
-	Writes      int64  `json:"writes_accepted"`
+	Version uint64 `json:"version"`
+	// RankVersion is the last-ranked version — the newest published rank
+	// state reads are served from (0 with ready=false before the first
+	// refresh).
+	RankVersion    uint64 `json:"rank_version"`
+	Behind         uint64 `json:"behind"`
+	Ready          bool   `json:"ready"`
+	Vertices       int    `json:"vertices"`
+	Edges          int    `json:"edges"`
+	Refreshes      int    `json:"refreshes"`
+	Rebuilds       int    `json:"rebuilds"`
+	QueueDepth     int    `json:"ingest_queue_depth"`
+	IngestRounds   int64  `json:"ingest_rounds"`
+	CoalescedEdits int64  `json:"coalesced_edits"`
+	Reads          int64  `json:"reads_served"`
+	Writes         int64  `json:"writes_accepted"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
 	out := statsResponse{
-		Version:   s.eng.Version(),
-		Behind:    s.eng.Behind(),
-		Refreshes: st.Refreshes,
-		Rebuilds:  st.Rebuilds,
-		Reads:     s.reads.Load(),
-		Writes:    s.writes.Load(),
+		Version:        s.eng.Version(),
+		Behind:         s.eng.Behind(),
+		Refreshes:      st.Refreshes,
+		Rebuilds:       st.Rebuilds,
+		QueueDepth:     st.QueuedEdits,
+		IngestRounds:   st.IngestRounds,
+		CoalescedEdits: st.CoalescedEdits,
+		Reads:          s.reads.Load(),
+		Writes:         s.writes.Load(),
 	}
 	if v, err := s.eng.View(); err == nil {
 		out.RankVersion = v.Seq()
+		out.Ready = true
 		out.Vertices = v.N()
 		out.Edges = v.M()
 	}
@@ -416,6 +582,8 @@ func statusOf(err error) int {
 	switch {
 	case errors.Is(err, dfpr.ErrVersionEvicted):
 		return http.StatusGone
+	case errors.Is(err, dfpr.ErrQueueFull):
+		return http.StatusTooManyRequests // ingest backpressure: retry later
 	case errors.Is(err, dfpr.ErrNoRanks), errors.Is(err, dfpr.ErrClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled), errors.Is(err, dfpr.ErrCanceled):
@@ -423,6 +591,19 @@ func statusOf(err error) int {
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// waitStatusOf maps a failed watermark wait: a deadline the SERVER imposed
+// is a 504 (the wait cap elapsed, the write is still in flight), a request
+// context the CLIENT ended is 499, engine states map as usual.
+func waitStatusOf(reqCtx context.Context, err error) int {
+	if errors.Is(err, context.DeadlineExceeded) && reqCtx.Err() == nil {
+		return http.StatusGatewayTimeout
+	}
+	if code := statusOf(err); code != http.StatusBadRequest {
+		return code
+	}
+	return http.StatusInternalServerError
 }
 
 // refreshStatusOf maps a failed post-apply Rank onto HTTP statuses: the

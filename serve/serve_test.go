@@ -159,11 +159,13 @@ func TestServeApplyDeltaAndVersionPinning(t *testing.T) {
 		fmt.Fprintf(&b, `{"u":%d,"v":32}`, u)
 	}
 	b.WriteString(`]}`)
-	code, body, _ := do(t, h, "POST", "/v1/apply", b.String(), nil)
+	// wait=ranked makes the write read-your-ranks: 200 with ranks covering
+	// the assigned version, so the pinned reads below are deterministic.
+	code, body, _ := do(t, h, "POST", "/v1/apply?wait=ranked", b.String(), nil)
 	if code != http.StatusOK {
 		t.Fatalf("apply: %d %v", code, body)
 	}
-	if body["version"].(float64) != 1 || body["rank_version"].(float64) != 1 || body["advanced"].(float64) != 1 {
+	if body["version"].(float64) != 1 || body["rank_version"].(float64) < 1 || body["ranked"].(bool) != true {
 		t.Fatalf("apply body %v", body)
 	}
 
@@ -272,7 +274,7 @@ func TestServeApplyRefreshFailureIs5xx(t *testing.T) {
 	if err := eng.SetFaultPlan(dfpr.FaultPlan{CrashWorkers: dfpr.CrashSet(2, 2), Seed: 5}); err != nil {
 		t.Fatal(err)
 	}
-	s, err := New(eng)
+	s, err := New(eng, WithSyncApply(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,10 +293,142 @@ func TestServeApplyRefreshFailureIs5xx(t *testing.T) {
 
 func TestServeOptionValidation(t *testing.T) {
 	eng := mustEngine(t)
-	for i, opt := range []Option{WithDefaultTopK(0), WithMaxTopK(-1), WithMaxBatch(0)} {
+	for i, opt := range []Option{WithDefaultTopK(0), WithMaxTopK(-1), WithMaxBatch(0), WithMaxWait(0)} {
 		if _, err := New(eng, opt); err == nil {
 			t.Errorf("bad option %d accepted", i)
 		}
+	}
+}
+
+// TestServeAsyncApplyDoesNotBlockOnRank is the acceptance pin for the
+// asynchronous write path: with a rank policy that will not fire for these
+// edits, POST /v1/apply must come back 202 with the assigned version while
+// the engine is still visibly behind — the handler never ran a Rank.
+func TestServeAsyncApplyDoesNotBlockOnRank(t *testing.T) {
+	const n = 64
+	var edges []dfpr.Edge
+	for u := 0; u < n; u++ {
+		edges = append(edges, dfpr.Edge{U: uint32(u), V: uint32((u + 1) % n)})
+	}
+	eng, err := dfpr.New(n, edges,
+		dfpr.WithThreads(2), dfpr.WithTolerance(1e-8),
+		dfpr.WithRankPolicy(dfpr.RankEveryN(1<<20))) // never fires for a handful of edits
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	if _, err := eng.Rank(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body, hdr := do(t, s.Handler(), "POST", "/v1/apply", `{"ins":[{"u":1,"v":5}]}`, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("async apply: %d %v, want 202", code, body)
+	}
+	if body["version"].(float64) != 1 || body["ranked"].(bool) != false || body["rank_version"].(float64) != 0 {
+		t.Fatalf("async apply body %v", body)
+	}
+	if hdr.Get(VersionHeader) != "0" {
+		t.Errorf("async apply served rank version %q, want the still-current 0", hdr.Get(VersionHeader))
+	}
+	if eng.Behind() == 0 {
+		t.Fatal("engine not behind after async apply: the handler must have ranked")
+	}
+	// The wait endpoint observes the applied watermark without a rank…
+	code, wbody, _ := do(t, s.Handler(), "GET", "/v1/wait/1?for=applied", "", nil)
+	if code != http.StatusOK || wbody["version"].(float64) != 1 {
+		t.Fatalf("wait for=applied: %d %v", code, wbody)
+	}
+	// …and stats expose the write-side gauges.
+	_, stats, _ := do(t, s.Handler(), "GET", "/v1/stats", "", nil)
+	if stats["ingest_rounds"].(float64) < 1 || stats["behind"].(float64) != 1 {
+		t.Errorf("stats after async apply: %v", stats)
+	}
+	if _, ok := stats["ingest_queue_depth"]; !ok {
+		t.Error("stats missing ingest_queue_depth")
+	}
+	if stats["rank_version"].(float64) != 0 || stats["ready"].(bool) != true {
+		t.Errorf("stats readiness fields: %v", stats)
+	}
+	// Shutdown (no listener) still flushes the queue: afterwards the engine
+	// is caught up.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown flush: %v", err)
+	}
+	if eng.Behind() != 0 {
+		t.Errorf("behind=%d after drain flush", eng.Behind())
+	}
+}
+
+// TestServeApplyWaitRanked covers the read-your-ranks form on a default
+// engine (immediate policy): 200, ranked true, rank_version ≥ version.
+func TestServeApplyWaitRanked(t *testing.T) {
+	s, eng := testServer(t)
+	code, body, _ := do(t, s.Handler(), "POST", "/v1/apply?wait=ranked", `{"ins":[{"u":2,"v":9}]}`, nil)
+	if code != http.StatusOK {
+		t.Fatalf("apply wait=ranked: %d %v", code, body)
+	}
+	if body["ranked"].(bool) != true || body["rank_version"].(float64) < body["version"].(float64) {
+		t.Fatalf("apply wait=ranked body %v", body)
+	}
+	if eng.Behind() != 0 {
+		t.Errorf("behind=%d after ranked apply", eng.Behind())
+	}
+	// /v1/wait for the ranked watermark answers immediately once covered.
+	code, wbody, _ := do(t, s.Handler(), "GET", "/v1/wait/1", "", nil)
+	if code != http.StatusOK || wbody["for"].(string) != "ranked" || wbody["rank_version"].(float64) < 1 {
+		t.Fatalf("wait ranked: %d %v", code, wbody)
+	}
+	if code, _, _ := do(t, s.Handler(), "GET", "/v1/wait/notanumber", "", nil); code != http.StatusBadRequest {
+		t.Errorf("malformed wait seq: %d", code)
+	}
+	if code, _, _ := do(t, s.Handler(), "GET", "/v1/wait/1?for=nonsense", "", nil); code != http.StatusBadRequest {
+		t.Errorf("unknown wait target: %d", code)
+	}
+}
+
+// TestServeWaitTimeout pins the server-side wait cap: a watermark that will
+// never be reached answers 504 after maxWait, not a hang.
+func TestServeWaitTimeout(t *testing.T) {
+	eng := mustEngine(t)
+	s, err := New(eng, WithMaxWait(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	code, body, _ := do(t, s.Handler(), "GET", "/v1/wait/999", "", nil)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("unreachable wait: %d %v, want 504", code, body)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("wait cap did not bound the request: %v", took)
+	}
+}
+
+func TestServeHealthz(t *testing.T) {
+	// Before ranks exist: alive but not ready.
+	eng, err := dfpr.New(8, []dfpr.Edge{{U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	s, err := New(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body, _ := do(t, s.Handler(), "GET", "/v1/healthz", "", nil)
+	if code != http.StatusOK || body["status"].(string) != "ok" || body["ready"].(bool) != false {
+		t.Fatalf("healthz before ranks: %d %v", code, body)
+	}
+	if _, err := eng.Rank(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	code, body, _ = do(t, s.Handler(), "GET", "/v1/healthz", "", nil)
+	if code != http.StatusOK || body["ready"].(bool) != true {
+		t.Fatalf("healthz after ranks: %d %v", code, body)
 	}
 }
 

@@ -17,19 +17,6 @@ type Update struct {
 	Elapsed time.Duration
 }
 
-// Ranks returns a fresh copy of the update's rank vector.
-//
-// Deprecated: the copy is O(|V|) per call, once per subscriber — the
-// allocation pattern the view-based stream removes. Read through View
-// (ScoreOf, TopK, Scores) instead; Ranks remains as a copy-based shim for
-// one release.
-func (u Update) Ranks() []float64 {
-	if u.View == nil {
-		return nil
-	}
-	return u.View.RanksCopy()
-}
-
 // Subscription is a push stream of rank updates from an Engine, delivered
 // whenever a Rank call advances the rank version.
 //
@@ -113,6 +100,9 @@ func (e *Engine) publishLocked(res *Result) {
 	}
 	e.viewMu.Unlock()
 	e.latest.Store(v)
+	// Watermark after the latest-view store: a WaitRanked(seq) that returns
+	// is guaranteed to observe ranks at least that fresh through View().
+	e.rankWM.advance(res.Seq)
 
 	e.subMu.Lock()
 	defer e.subMu.Unlock()

@@ -176,15 +176,6 @@ func (v *View) Scores() iter.Seq2[uint32, float64] {
 	}
 }
 
-// RanksCopy returns a fresh copy of the full rank vector.
-//
-// Deprecated: the copy is O(|V|) per call — exactly what the view API
-// removes. Use ScoreOf, TopK, Range or Scores; copy only to hand the vector
-// to code that insists on owning a mutable slice.
-func (v *View) RanksCopy() []float64 {
-	return append([]float64(nil), v.ranks...)
-}
-
 // Delta returns every vertex whose rank differs between old and v, as
 // movements From (the older view's score) To (the newer's), sorted by
 // vertex id. The two views may be passed in either order; views of the same

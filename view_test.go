@@ -59,16 +59,21 @@ func TestViewScoreOfAndIteration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	snap := eng.Snapshot() // deprecated shim doubles as the reference copy
-	if v.Seq() != snap.RankSeq || v.N() != snap.N || v.M() != snap.M {
-		t.Fatalf("view (%d,%d,%d) disagrees with snapshot (%d,%d,%d)",
-			v.Seq(), v.N(), v.M(), snap.RankSeq, snap.N, snap.M)
+	if v.Seq() != eng.Version() || v.N() == 0 || v.M() == 0 {
+		t.Fatalf("view (%d,%d,%d) inconsistent with engine version %d",
+			v.Seq(), v.N(), v.M(), eng.Version())
 	}
+	ref := ranksOf(v)
+	var sum float64
 	for u := 0; u < v.N(); u++ {
 		s, ok := v.ScoreOf(uint32(u))
-		if !ok || s != snap.Ranks[u] {
-			t.Fatalf("ScoreOf(%d) = %v,%v want %v", u, s, ok, snap.Ranks[u])
+		if !ok || s != ref[u] {
+			t.Fatalf("ScoreOf(%d) = %v,%v want %v", u, s, ok, ref[u])
 		}
+		sum += s
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("rank vector does not sum to ~1: %v", sum)
 	}
 	if _, ok := v.ScoreOf(uint32(v.N())); ok {
 		t.Error("ScoreOf accepted an out-of-range vertex")
@@ -76,7 +81,7 @@ func TestViewScoreOfAndIteration(t *testing.T) {
 	// Range and Scores visit every vertex in order, with early stop.
 	seen := 0
 	v.Range(func(u uint32, s float64) bool {
-		if int(u) != seen || s != snap.Ranks[u] {
+		if int(u) != seen || s != ref[u] {
 			t.Fatalf("Range visited (%d,%v) at position %d", u, s, seen)
 		}
 		seen++
@@ -104,7 +109,7 @@ func TestViewTopKMatchesSelection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ranks := v.RanksCopy()
+	ranks := ranksOf(v)
 	// Ask for a small k first, then larger ones: the cached prefix must
 	// grow correctly rather than serve a stale short order.
 	for _, k := range []int{1, 3, 17, 64, v.N(), v.N() + 5} {
@@ -386,29 +391,24 @@ func TestViewDeltaChainPinnedAcrossStoreTrim(t *testing.T) {
 	}
 }
 
-// TestResultAndUpdateShims pins the deprecated copy-based surface to the
-// view it wraps.
-func TestResultAndUpdateShims(t *testing.T) {
+// TestUpdateCarriesVersionedView pins the stream payload now that the
+// copy-based shims are gone: every Update's view is the same immutable
+// handle Engine.View serves for that version.
+func TestUpdateCarriesVersionedView(t *testing.T) {
 	eng, step := viewEngine(t)
 	sub := eng.Subscribe()
 	defer sub.Close()
 	step(5, 10)
 	u := <-sub.Updates()
-	v := u.View
-	if v == nil {
+	if u.View == nil {
 		t.Fatal("update without view")
 	}
-	ranks := u.Ranks()
-	if len(ranks) != v.N() {
-		t.Fatalf("shim Ranks length %d, want %d", len(ranks), v.N())
+	latest, err := eng.View()
+	if err != nil {
+		t.Fatal(err)
 	}
-	ranks[0] = 42 // the shim hands out a copy, never shared storage
-	if s, _ := v.ScoreOf(0); s == 42 {
-		t.Error("Update.Ranks exposed shared storage")
-	}
-	snap := eng.Snapshot()
-	snap.Ranks[0] = 42
-	if s, _ := v.ScoreOf(0); s == 42 {
-		t.Error("Snapshot exposed shared storage")
+	if u.View != latest || u.View.Seq() != u.Seq {
+		t.Fatalf("update view %p (seq %d) is not the published view %p (seq %d)",
+			u.View, u.View.Seq(), latest, latest.Seq())
 	}
 }
