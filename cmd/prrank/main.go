@@ -12,6 +12,11 @@
 //	prgen -graph asia_osm -batch 1e-4 > u.batch
 //	prrank -in g.el -algo staticlf -top 5
 //	prrank -in g.el -batch u.batch -algo DFLF -top 5
+//	prrank -keyed -in follows.kel -top 5     # string keys: 'alice bob' lines
+//
+// With -keyed, -in is a keyed edge list whose endpoints are arbitrary
+// string keys; the engine owns the key→id compaction (dfpr.Open) and the
+// top-k report prints keys instead of dense ids.
 package main
 
 import (
@@ -38,6 +43,7 @@ func main() {
 		alpha     = flag.Float64("alpha", dfpr.DefaultAlpha, "damping factor")
 		tol       = flag.Float64("tol", dfpr.DefaultTolerance, "iteration tolerance (L∞)")
 		top       = flag.Int("top", 10, "print the k highest-ranked vertices (0 = all ranks)")
+		keyed     = flag.Bool("keyed", false, "treat -in as a keyed edge list ('fromKey toKey' per line) and report keys")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -53,22 +59,45 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 
-	n, edges, err := exutil.LoadGraph(*in)
-	if err != nil {
-		fatalf("loading %s: %v", *in, err)
-	}
-	eng, err := dfpr.New(n, edges,
+	opts := []dfpr.Option{
 		dfpr.WithAlgorithm(algo),
 		dfpr.WithAlpha(*alpha),
 		dfpr.WithTolerance(*tol),
 		dfpr.WithThreads(*threads),
-	)
-	if err != nil {
-		fatalf("%v", err)
+	}
+	var eng *dfpr.Engine
+	if *keyed {
+		kedges, kerr := exutil.LoadKeyEdges(*in)
+		if kerr != nil {
+			fatalf("loading %s: %v", *in, kerr)
+		}
+		if eng, err = dfpr.Open(opts...); err != nil {
+			fatalf("%v", err)
+		}
+		if _, err = eng.ApplyKeyed(ctx, nil, kedges); err != nil {
+			fatalf("applying %s: %v", *in, err)
+		}
+	} else {
+		n, edges, lerr := exutil.LoadGraph(*in)
+		if lerr != nil {
+			fatalf("loading %s: %v", *in, lerr)
+		}
+		eng, err = dfpr.New(n, edges, opts...)
+		if err != nil {
+			fatalf("%v", err)
+		}
 	}
 
 	var res *dfpr.Result
-	if algo.Dynamic() {
+	if *keyed {
+		if *batchFile != "" {
+			fatalf("-batch carries dense ids; keyed updates arrive as keyed edge lists")
+		}
+		res, err = eng.Rank(ctx)
+		if err != nil {
+			fatalf("%s failed: %v", algo, err)
+		}
+	} else if algo.Dynamic() {
 		pre, err := eng.Rank(ctx)
 		if err != nil {
 			fatalf("baseline ranking failed: %v", err)
@@ -103,11 +132,23 @@ func main() {
 	fmt.Printf("%s: n=%d m=%d iterations=%d converged=%v elapsed=%s\n",
 		algo, view.N(), view.M(), res.Iterations, res.Converged, metrics.FormatDur(res.Elapsed))
 
-	if *top > 0 {
+	switch {
+	case *top > 0 && *keyed:
+		for rank, e := range view.TopKKeys(*top) {
+			fmt.Printf("#%-3d %-24s %.6e\n", rank+1, e.Key, e.Score)
+		}
+	case *top > 0:
 		for rank, e := range view.TopK(*top) {
 			fmt.Printf("#%-3d vertex %-10d %.6e\n", rank+1, e.V, e.Score)
 		}
-	} else {
+	case *keyed:
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		for v, r := range view.Scores() {
+			key, _ := view.KeyOf(v)
+			fmt.Fprintf(w, "%s %.12e\n", key, r)
+		}
+	default:
 		w := bufio.NewWriter(os.Stdout)
 		defer w.Flush()
 		for v, r := range view.Scores() {

@@ -12,7 +12,10 @@
 //	prserve -in graph.el -addr :8080
 //	prserve -gen web -n 65536 -deg 12        # synthetic graph, no file needed
 //	prserve -gen web -rank-policy debounce -rank-max-latency 50ms
+//	prserve -keyed -in follows.kel           # string keys: 'alice bob' per line
+//	prserve -keyed -gen web -n 65536         # synthetic v<id> keys
 //
+//	curl localhost:8080/v1/rank/alice        # keyed server: path is the key
 //	curl localhost:8080/v1/rank/42
 //	curl 'localhost:8080/v1/topk?k=5'
 //	curl -X POST -d '{"ins":[{"u":1,"v":2}]}' localhost:8080/v1/apply
@@ -61,6 +64,7 @@ func main() {
 		everyN   = flag.Int("rank-every", 4096, "every: edits between refreshes")
 		queue    = flag.Int("queue", dfpr.DefaultIngestQueue, "ingest queue bound in edits (backpressure above)")
 		syncW    = flag.Bool("sync-apply", false, "serve /v1/apply synchronously (apply+rank per request; baseline mode)")
+		keyed    = flag.Bool("keyed", false, "serve an open-universe keyed engine: -in is a keyed edge list ('fromKey toKey' per line); with -gen, vertices get synthetic v<id> keys")
 	)
 	flag.Parse()
 
@@ -72,11 +76,7 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	nv, edges, err := loadOrGenerate(*in, *genClass, *n, *deg, *seed)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	eng, err := dfpr.New(nv, edges,
+	opts := []dfpr.Option{
 		dfpr.WithAlgorithm(algo),
 		dfpr.WithAlpha(*alpha),
 		dfpr.WithTolerance(*tol),
@@ -84,7 +84,19 @@ func main() {
 		dfpr.WithHistory(*history),
 		dfpr.WithRankPolicy(rp),
 		dfpr.WithIngestQueue(*queue),
-	)
+	}
+	var eng *dfpr.Engine
+	var nv, ne int
+	if *keyed {
+		eng, nv, ne, err = openKeyed(*in, *genClass, *n, *deg, *seed, opts)
+	} else {
+		var edges []dfpr.Edge
+		nv, edges, err = loadOrGenerate(*in, *genClass, *n, *deg, *seed)
+		ne = len(edges)
+		if err == nil {
+			eng, err = dfpr.New(nv, edges, opts...)
+		}
+	}
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -93,7 +105,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("prserve: converging initial ranks on %d vertices, %d edges…", nv, len(edges))
+	log.Printf("prserve: converging initial ranks on %d vertices, %d edges…", nv, ne)
 	res, err := eng.Rank(ctx)
 	if err != nil {
 		fatalf("initial ranking failed: %v", err)
@@ -138,6 +150,35 @@ func parsePolicy(name string, quiet, maxLat time.Duration, everyN int) (dfpr.Ran
 	default:
 		return dfpr.RankPolicy{}, fmt.Errorf("prserve: unknown -rank-policy %q (immediate|debounce|every)", name)
 	}
+}
+
+// openKeyed builds the -keyed serving engine: an open-universe dfpr.Open
+// engine whose graph arrives entirely through the keyed write path — from a
+// keyed edge-list file, or synthesised v<id> keys over a generated graph.
+// The engine owns the key→id compaction; prserve never sees a dense id.
+func openKeyed(in, genClass string, n, deg int, seed int64, opts []dfpr.Option) (*dfpr.Engine, int, int, error) {
+	var kedges []dfpr.KeyEdge
+	if in != "" {
+		var err error
+		if kedges, err = exutil.LoadKeyEdges(in); err != nil {
+			return nil, 0, 0, err
+		}
+	} else {
+		_, edges, err := loadOrGenerate(in, genClass, n, deg, seed)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		kedges = exutil.KeyEdges(edges, func(u uint32) string { return fmt.Sprintf("v%d", u) })
+	}
+	eng, err := dfpr.Open(opts...)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if _, err := eng.ApplyKeyed(context.Background(), nil, kedges); err != nil {
+		eng.Close()
+		return nil, 0, 0, err
+	}
+	return eng, eng.Keys(), len(kedges), nil
 }
 
 // loadOrGenerate resolves the serving graph: a file via -in, or a synthetic

@@ -6,7 +6,25 @@
 // The public surface is the Engine: a versioned dynamic graph plus a rank
 // vector maintained by the paper's Dynamic Frontier approach (lock-free
 // DFLF by default), constructed with functional options and driven with
-// contexts:
+// contexts. The vertex universe is open and engine-owned: an engine built
+// with Open starts empty and grows as submissions mention entities, with
+// clients addressing vertices by their natural string keys — the key→id
+// compaction lives inside the engine, not in every caller:
+//
+//	eng, err := dfpr.Open(
+//		dfpr.WithAlgorithm(dfpr.DFLF),
+//		dfpr.WithThreads(8))
+//	t, err := eng.SubmitKeyed(ctx, nil, []dfpr.KeyEdge{
+//		{From: "alice", To: "bob"},   // never-seen keys create vertices
+//		{From: "bob", To: "carol"},
+//	})
+//	seq, err := t.Wait(ctx)              // version the edits landed in
+//	err = eng.WaitRanked(ctx, seq)       // ranks at least that fresh
+//	v, err := eng.View()
+//	score, ok := v.ScoreOfKey("bob")     // keyed point lookup, 0 allocs
+//	board := v.TopKKeys(10)              // ranked keys for rendering
+//
+// Dense-ID construction remains for callers that already hold compact ids:
 //
 //	eng, err := dfpr.New(n, edges,
 //		dfpr.WithAlgorithm(dfpr.DFLF),
@@ -15,6 +33,14 @@
 //	res, err := eng.Rank(ctx)            // initial static convergence
 //	seq, err := eng.Apply(ctx, del, ins) // publish a batch update
 //	res, err = eng.Rank(ctx)             // incremental, frontier-sized refresh
+//
+// Apply and Submit are open-universe too: an edge naming a vertex beyond
+// the current count grows the graph (Engine.Grow pre-sizes it), new
+// vertices materialising with their dead-end self-loop. Growth keeps
+// incremental ranking equivalent to a cold build: previous ranks rescale
+// by n₀/n₁ and new vertices seed at 1/n₁ — the closed-form fixed point of
+// the grown graph under self-loop dead-end elimination (the paper's §6
+// future-work rescale, made exact; see DESIGN.md §8).
 //
 // Writes scale through the ingest pipeline: Submit enqueues a batch and
 // returns a Ticket immediately, a background loop coalesces everything
@@ -43,6 +69,12 @@
 //	old, err := eng.ViewAt(s)  // retained history (WithHistory versions)
 //	moved := v.Delta(old)      // movement set, cost scales with the batch
 //
+// Keyed engines add ScoreOfKey/TopKKeys/DeltaKeys and Resolve/KeyOf id
+// translation. A view resolves exactly the keys that existed at its
+// version — the key space is append-only, so "existed at that version" is
+// nothing more than the bounds check the dense read performs — and the
+// keyed hit path is one lock-free interner probe on top of it.
+//
 // Rank honours cancellation: a canceled context aborts a converging run
 // promptly (workers joined, no goroutine leaks) with ErrCanceled, leaving
 // the ranks at the last completed version. Subscribe streams versioned
@@ -57,7 +89,9 @@
 // non-blocking POST /v1/apply that answers 202 with the assigned version —
 // ?wait=ranked for read-your-ranks — with per-request version pinning via
 // the X-DFPR-Version header and a graceful drain that flushes the ingest
-// queue); cmd/prserve is its ready-made binary.
+// queue); on a keyed engine the surface speaks keys (/v1/rank/{key}, keyed
+// top-k/delta entries, keyed apply edges; ?ids=dense opts out).
+// cmd/prserve is its ready-made binary (-keyed for string-keyed serving).
 //
 // The paper's contribution — the Dynamic Frontier approach for updating
 // PageRank after batch edge updates, and its lock-free fault-tolerant
@@ -67,8 +101,9 @@
 // Supporting substrates:
 //
 //	internal/avec      atomic float64 and flag vectors
+//	internal/keymap    append-only string↔id interner (lock-free reads)
 //	internal/graph     CSR snapshots (incremental delta-merge + parallel
-//	                   cold build), dynamic edge store, batch application
+//	                   cold build), growable dynamic edge store, batches
 //	internal/gen       synthetic stand-ins for the paper's datasets
 //	internal/batch     batch-update generation and temporal replay
 //	internal/sched     dynamic chunk scheduling (uniform and edge-balanced),
@@ -92,13 +127,17 @@
 // leaderboards allocate O(k) (measured in BENCH_PR3.json). The write path
 // adds the coalescing ingest pipeline measured in BENCH_PR4.json: sustained
 // asynchronous applies per second against the synchronous apply+rank
-// baseline at an equal ranked-freshness deadline.
+// baseline at an equal ranked-freshness deadline. BENCH_PR5.json adds the
+// keyed-lookup overhead (ScoreOfKey vs the raw dense load, 0 allocs) and
+// growth-heavy ingest (a stream that keeps growing the universe, pinned
+// against a cold rebuild).
 //
 // Binaries (all built on the public API): cmd/prbench regenerates every
 // table and figure (and, with -benchjson, records kernel, snapshot,
-// view-query and ingest micro-benchmarks machine-readably, e.g.
-// BENCH_PR4.json), cmd/prgen emits datasets as edge lists, cmd/prrank
-// ranks an edge list with any variant, cmd/prserve serves ranks over HTTP.
+// view-query, ingest, keyed and growth micro-benchmarks machine-readably,
+// e.g. BENCH_PR5.json), cmd/prgen emits datasets as edge lists, cmd/prrank
+// ranks an edge list with any variant (-keyed for string keys),
+// cmd/prserve serves ranks over HTTP.
 // Runnable examples live under examples/. The benchmarks in this root
 // package (bench_test.go) run trimmed versions of every experiment under
 // `go test -bench`.

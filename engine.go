@@ -6,12 +6,18 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dfpr/internal/batch"
 	"dfpr/internal/core"
 	"dfpr/internal/graph"
+	"dfpr/internal/keymap"
 	"dfpr/internal/snapshot"
 )
 
-// Edge is a directed edge from U to V.
+// Edge is a directed edge from U to V in dense vertex ids. The vertex
+// universe is open: an edge naming a vertex the engine has never seen grows
+// the graph to cover it (see Apply/Submit) instead of erroring. Clients that
+// address entities by natural string keys use KeyEdge and the keyed API
+// (Open, SubmitKeyed) instead of managing dense ids themselves.
 type Edge struct {
 	U, V uint32
 }
@@ -42,6 +48,13 @@ type Edge struct {
 type Engine struct {
 	opts  settings
 	store *snapshot.Store
+
+	// keys is the engine-owned key space (nil for dense-ID engines built
+	// with New): an append-only string↔uint32 interner whose ids double as
+	// vertex ids. Reads are lock-free; version pinning falls out of the
+	// universe being append-only (a view resolves a key iff its id is below
+	// the view's vertex count).
+	keys *keymap.Map
 
 	// mu serialises Rank (and the lazily created ranker it drives).
 	mu     sync.Mutex
@@ -103,9 +116,15 @@ type Engine struct {
 }
 
 // New builds an engine over a directed graph with vertices 0..n-1 and the
-// given initial edges. Self-loops are added to every vertex (the paper's
-// dead-end elimination, §5.1.3) and the result is sealed as version 0.
-// No ranks are computed yet — the first Rank call converges them.
+// given initial edges; edges naming vertices beyond n widen the universe to
+// cover them. Self-loops are added to every vertex (the paper's dead-end
+// elimination, §5.1.3) and the result is sealed as version 0. No ranks are
+// computed yet — the first Rank call converges them.
+//
+// New is the dense-ID constructor for callers that already hold compact
+// vertex ids (a loaded benchmark graph, a generator). Services addressing
+// entities by natural string keys start from Open instead, which owns the
+// key→id compaction and needs no vertex count at all.
 func New(n int, edges []Edge, opts ...Option) (*Engine, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("dfpr: negative vertex count %d", n)
@@ -116,11 +135,12 @@ func New(n int, edges []Edge, opts ...Option) (*Engine, error) {
 			return nil, err
 		}
 	}
-	ges, err := toInternal(edges, n)
-	if err != nil {
-		return nil, err
+	ges := toInternal(edges)
+	universe := batch.Update{Ins: ges}.Universe(n)
+	if universe > st.maxN {
+		return nil, fmt.Errorf("dfpr: %d vertices exceed the bound %d (WithMaxVertices): %w", universe, st.maxN, ErrTooManyVertices)
 	}
-	d := graph.NewDynamic(n)
+	d := graph.NewDynamic(universe)
 	for _, e := range ges {
 		d.AddEdge(e.U, e.V)
 	}
@@ -134,50 +154,107 @@ func New(n int, edges []Edge, opts ...Option) (*Engine, error) {
 	return e, nil
 }
 
+// Open builds an empty open-universe engine with an engine-owned key space:
+// no vertex count, no initial edges — vertices come into existence as
+// submissions mention them, either by string key (SubmitKeyed/ApplyKeyed,
+// interned append-only into dense ids) or by dense id (Submit/Apply, which
+// grow the universe past any id they name). Reads resolve keys through
+// Engine.Resolve / View.ScoreOfKey and translate back with KeyOf; a view
+// pinned to a version only resolves keys that existed at that version.
+func Open(opts ...Option) (*Engine, error) {
+	e, err := New(0, nil, opts...)
+	if err != nil {
+		return nil, err
+	}
+	e.keys = keymap.New()
+	return e, nil
+}
+
 // Apply applies one batch update — del edges removed, ins edges added — and
 // publishes the resulting graph version, returning its sequence number.
-// Batches from concurrent callers are serialised; readers are never
-// blocked. Ranks do not move until the next Rank call. The context is
-// consulted before the (brief, incremental) snapshot construction starts;
-// an already-canceled context applies nothing.
+// The universe is open: an edge naming a vertex beyond the current count
+// grows the graph to cover it (new vertices materialise with only their
+// dead-end self-loop) instead of erroring. Batches from concurrent callers
+// are serialised; readers are never blocked. Ranks do not move until the
+// next Rank call. The context is consulted before the (brief, incremental)
+// snapshot construction starts; an already-canceled context applies nothing.
 func (e *Engine) Apply(ctx context.Context, del, ins []Edge) (uint64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, fmt.Errorf("dfpr: apply aborted: %w", err)
 	}
-	n := e.store.Current().G.N()
-	gdel, err := toInternal(del, n)
-	if err != nil {
+	return e.applyInternal(batch.Update{Del: toInternal(del), Ins: toInternal(ins)})
+}
+
+// Grow publishes a version whose vertex universe covers at least n vertices
+// without touching any edges: the added vertices materialise isolated, each
+// holding only its dead-end self-loop (rank exactly 1/n after the next
+// refresh — the paper's dead-end handling in closed form). Growing to a
+// size the graph already covers still publishes a version, keeping the
+// caller's sequence arithmetic simple. Edge submissions grow implicitly;
+// Grow exists for pre-sizing before a bulk load. On a keyed engine the
+// key space owns the id space, so Grow cannot reach past Keys() — keyed
+// engines pre-size by interning.
+func (e *Engine) Grow(ctx context.Context, n int) (uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("dfpr: grow aborted: %w", err)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("dfpr: negative vertex count %d", n)
+	}
+	return e.applyInternal(batch.Update{N: n})
+}
+
+// applyInternal publishes one converted batch, excluding a concurrent Close
+// without making writers wait behind Rank: the read side keeps concurrent
+// Applies concurrent (the store serialises them itself), so no version can
+// be published after Close returns.
+func (e *Engine) applyInternal(up batch.Update) (uint64, error) {
+	if err := e.checkUniverse(up); err != nil {
 		return 0, err
 	}
-	gins, err := toInternal(ins, n)
-	if err != nil {
-		return 0, err
-	}
-	// The read side keeps concurrent Applies concurrent (the store
-	// serialises them itself) while excluding Close, so no version can be
-	// published after Close returns.
 	e.closeMu.RLock()
 	defer e.closeMu.RUnlock()
 	if !e.applyble {
 		return 0, ErrClosed
 	}
-	_, next := e.store.ApplyEdges(gdel, gins)
+	_, next := e.store.Apply(up)
 	e.verWM.advance(next.Seq)
 	return next.Seq, nil
 }
 
-func toInternal(edges []Edge, n int) ([]graph.Edge, error) {
+// checkUniverse rejects a batch that would grow the vertex universe past
+// the WithMaxVertices bound — the open universe's safety valve: one edge
+// naming a huge dense id must be a client error, never a graph-sized
+// allocation (let alone one detonating inside the background ingest loop).
+//
+// On a keyed engine the universe belongs to the key space: vertex ids are
+// interned in first-mention order, so a DENSE write may only name vertices
+// the key space already covers. Letting it grow past the interner would
+// put unkeyed vertices under ids the interner hands out later — a fresh
+// key would alias an existing vertex's score and resolve on views
+// published before the key existed, breaking the version-pinning contract.
+func (e *Engine) checkUniverse(up batch.Update) error {
+	universe := up.Universe(0)
+	if universe > e.opts.maxN {
+		return fmt.Errorf("dfpr: batch would grow the universe to %d vertices, beyond the bound %d (WithMaxVertices): %w",
+			universe, e.opts.maxN, ErrTooManyVertices)
+	}
+	if e.keys != nil && universe > e.keys.Len() {
+		return fmt.Errorf("dfpr: dense write names vertex %d beyond the key space (%d keys interned): keyed engines grow through keys — use SubmitKeyed/ApplyKeyed, or Resolve ids first: %w",
+			universe-1, e.keys.Len(), ErrTooManyVertices)
+	}
+	return nil
+}
+
+func toInternal(edges []Edge) []graph.Edge {
 	if len(edges) == 0 {
-		return nil, nil
+		return nil
 	}
 	out := make([]graph.Edge, len(edges))
 	for i, e := range edges {
-		if int(e.U) >= n || int(e.V) >= n {
-			return nil, fmt.Errorf("dfpr: edge %d→%d out of range [0, %d)", e.U, e.V, n)
-		}
 		out[i] = graph.Edge{U: e.U, V: e.V}
 	}
-	return out, nil
+	return out
 }
 
 // Rank brings the PageRank vector up to the latest published graph version

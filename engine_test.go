@@ -525,8 +525,11 @@ func TestOptionValidationAndParse(t *testing.T) {
 	if _, err := New(-1, nil); err == nil {
 		t.Error("negative n accepted")
 	}
-	if _, err := New(4, []Edge{{U: 9, V: 0}}); err == nil {
-		t.Error("out-of-range edge accepted")
+	// The universe is open: an edge beyond n widens the graph to cover it.
+	if eng, err := New(4, []Edge{{U: 9, V: 0}}); err != nil {
+		t.Errorf("edge beyond n rejected: %v", err)
+	} else if res, err := eng.Rank(context.Background()); err != nil || res.View.N() != 10 {
+		t.Errorf("edge beyond n: N = %d, err %v (want 10)", res.View.N(), err)
 	}
 
 	a, err := ParseAlgorithm("dflf")
@@ -558,7 +561,21 @@ func TestApplyContextAndValidation(t *testing.T) {
 	if eng.Version() != 0 {
 		t.Error("canceled Apply published a version")
 	}
-	if _, err := eng.Apply(context.Background(), nil, []Edge{{U: uint32(n), V: 0}}); err == nil {
-		t.Error("out-of-range edge accepted by Apply")
+	// An edge past the current universe grows the graph instead of erroring:
+	// the new vertex materialises with its dead-end self-loop and is
+	// rankable immediately.
+	seq, err := eng.Apply(context.Background(), nil, []Edge{{U: uint32(n), V: 0}})
+	if err != nil || seq != 1 {
+		t.Fatalf("growth Apply: seq %d, err %v", seq, err)
+	}
+	res, err := eng.Rank(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.View.N() != n+1 {
+		t.Errorf("grown universe N = %d, want %d", res.View.N(), n+1)
+	}
+	if s, ok := res.View.ScoreOf(uint32(n)); !ok || s <= 0 {
+		t.Errorf("grown vertex score = %v, %v", s, ok)
 	}
 }

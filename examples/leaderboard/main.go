@@ -1,15 +1,15 @@
-// Leaderboard: a live top-k page over a temporal edge stream, consumed the
-// way a serving tier would — through the conflating Subscribe stream and
-// zero-copy views.
+// Leaderboard: a live top-k page over a match stream, keyed by player
+// handle — the client renders names, never dense vertex ids.
 //
-// A writer goroutine replays a temporal interaction stream into a
-// dfpr.Engine in batches, refreshing ranks after each. The reader never
-// touches a rank vector: every Update carries the immutable View of its
-// version, and View.TopK answers from a per-version cached partial
-// selection shared by all readers — the reader's steady-state cost is O(k)
-// per frame, not O(|V|). Movements against the previous frame are shown as
-// ▲/▼/＊ markers, and a recycled AppendTopK buffer keeps the loop
-// allocation-free once warm.
+// A writer goroutine feeds match results ("loser links to winner") into an
+// open-universe engine through the keyed ingest pipeline: players enter the
+// board the first time a match mentions their handle, growing the engine's
+// universe live. The reader never touches a rank vector OR an id table:
+// every Update carries the immutable View of its version, and
+// View.AppendTopKKeys answers keys+scores from the per-version cached
+// selection — O(k) per frame, allocation-free once warm, and each frame's
+// keys resolve against exactly the universe of its own version. Movements
+// against the previous frame are shown as ▲/▼/＊ markers.
 //
 // Run with:
 //
@@ -19,11 +19,9 @@ package main
 import (
 	"context"
 	"fmt"
+	"math/rand"
 
 	"dfpr"
-	"dfpr/internal/batch"
-	"dfpr/internal/exutil"
-	"dfpr/internal/gen"
 	"dfpr/internal/metrics"
 )
 
@@ -32,62 +30,80 @@ const k = 8
 func main() {
 	ctx := context.Background()
 	const (
-		users  = 1 << 13
-		events = 120_000
+		players = 600
+		matches = 30_000
+		rounds  = 12
 	)
-	stream := gen.TemporalStream(users, events, 11)
-	rep := batch.NewReplay(stream, users, 0.9)
-	n, edges := exutil.Flatten(rep.Graph())
-	tol := 1e-3 / float64(n)
-
-	eng, err := dfpr.New(n, edges,
+	handle := func(p int) string {
+		return fmt.Sprintf("%s_%02d", []string{
+			"ada", "bix", "cyn", "dex", "eli", "fae", "gus", "hol", "ivy", "jax",
+			"kit", "lue", "mia", "nox", "oak", "pip", "qin", "rex", "sol", "tao",
+		}[p%20], p/20)
+	}
+	eng, err := dfpr.Open(
 		dfpr.WithAlgorithm(dfpr.DFLF),
 		dfpr.WithThreads(4),
-		dfpr.WithTolerance(tol),
-		dfpr.WithFrontierTolerance(tol),
+		dfpr.WithTolerance(1e-3/players),
+		dfpr.WithFrontierTolerance(1e-3/players),
 	)
 	if err != nil {
 		panic(err)
 	}
 	sub := eng.Subscribe()
 
-	// Writer: replay the final 10% of the stream in batches, refreshing
-	// after each; closing the engine at the end closes the subscription,
-	// which ends the reader loop below.
+	// Writer: stream match results in rounds. The player pool expands as
+	// the tournament runs — later rounds mention handles earlier rounds
+	// never saw, and the engine grows to hold them.
 	go func() {
 		defer eng.Close()
-		if _, err := eng.Rank(ctx); err != nil {
-			panic(err)
-		}
-		for {
-			up, _, _, ok := rep.NextBatch(2000)
-			if !ok {
-				return
+		rng := rand.New(rand.NewSource(11))
+		per := matches / rounds
+		for r := 0; r < rounds; r++ {
+			active := 100 + (players-100)*(r+1)/rounds
+			ins := make([]dfpr.KeyEdge, 0, per)
+			for i := 0; i < per; i++ {
+				a, b := rng.Intn(active), rng.Intn(active)
+				if a == b {
+					continue
+				}
+				winner, loser := a, b
+				if winner > loser { // lower id = stronger seed, usually wins
+					if rng.Intn(4) != 0 {
+						winner, loser = loser, winner
+					}
+				}
+				ins = append(ins, dfpr.KeyEdge{From: handle(loser), To: handle(winner)})
 			}
-			if _, err := eng.Apply(ctx, exutil.Convert(up.Del), exutil.Convert(up.Ins)); err != nil {
+			tk, err := eng.SubmitKeyed(ctx, nil, ins)
+			if err != nil {
 				panic(err)
 			}
-			if _, err := eng.Rank(ctx); err != nil {
+			seq, err := tk.Wait(ctx)
+			if err != nil {
+				panic(err)
+			}
+			if err := eng.WaitRanked(ctx, seq); err != nil {
 				panic(err)
 			}
 		}
 	}()
 
-	fmt.Printf("leaderboard: %d users, %d events, top %d per refresh\n", users, events, k)
-	prevPos := map[uint32]int{} // user → 1-based position in the previous frame
-	top := make([]dfpr.Ranked, 0, k)
+	fmt.Printf("leaderboard: %d players max, %d matches in %d rounds, top %d per frame\n",
+		players, matches, rounds, k)
+	prevPos := map[string]int{} // handle → 1-based position in the previous frame
+	top := make([]dfpr.RankedKey, 0, k)
 	frame := 0
 	for u := range sub.Updates() {
-		top = u.View.AppendTopK(top[:0], k)
+		top = u.View.AppendTopKKeys(top[:0], k)
 		frame++
-		fmt.Printf("\nframe %d — version %d (%d iterations, %s)\n",
-			frame, u.Seq, u.Iterations, metrics.FormatDur(u.Elapsed))
-		next := make(map[uint32]int, k)
+		fmt.Printf("\nframe %d — version %d, %d players (%d iterations, %s)\n",
+			frame, u.Seq, u.View.N(), u.Iterations, metrics.FormatDur(u.Elapsed))
+		next := make(map[string]int, k)
 		for i, e := range top {
 			pos := i + 1
-			next[e.V] = pos
+			next[e.Key] = pos
 			marker := " "
-			switch was, ok := prevPos[e.V]; {
+			switch was, ok := prevPos[e.Key]; {
 			case !ok && frame > 1:
 				marker = "＊" // new entrant
 			case ok && was > pos:
@@ -95,7 +111,7 @@ func main() {
 			case ok && was < pos:
 				marker = "▼"
 			}
-			fmt.Printf("  %s #%-2d user %-8d %.3e\n", marker, pos, e.V, e.Score)
+			fmt.Printf("  %s #%-2d %-8s %.3e\n", marker, pos, e.Key, e.Score)
 		}
 		prevPos = next
 	}

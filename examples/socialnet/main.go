@@ -1,12 +1,18 @@
-// Socialnet: rank influencers on a temporal interaction stream.
+// Socialnet: rank influencers on a social interaction stream addressed by
+// username — no dense vertex ids anywhere in the client.
 //
-// A synthetic stand-in for datasets like sx-stackoverflow: interactions
-// arrive timestamped, with duplicate edges and a few hyper-active users.
-// The first 90% of the stream is preloaded (the paper's setup, §5.1.4),
-// then the rest is replayed in batches. Every batch is fed to three public
-// engines — naive-dynamic (NDLF), dynamic frontier (DFLF), and a full
-// static recompute (StaticLF) — and the example reports timings and
-// agreement, reproducing the Figure 5 comparison as a runnable program.
+// A synthetic stand-in for a live social service: interactions between
+// user handles arrive in batches, *including handles the engine has never
+// seen*. The engine is built with dfpr.Open — no vertex count, no initial
+// graph — and grows its universe as the stream mentions new users, interning
+// each handle into the engine-owned key space. The first 90% of the stream
+// is preloaded (the paper's setup, §5.1.4); the rest is replayed through
+// the coalescing ingest pipeline with the Dynamic Frontier refresh, so each
+// batch costs frontier-sized work even as the universe grows.
+//
+// At the end, the grown engine is pinned against a cold rebuild — a second
+// keyed engine fed the final graph in one batch — demonstrating the growth
+// equivalence the open universe guarantees (L∞ at solver-tolerance scale).
 //
 // Run with:
 //
@@ -16,74 +22,144 @@ package main
 import (
 	"context"
 	"fmt"
+	"math"
+	"math/rand"
+	"time"
 
 	"dfpr"
-	"dfpr/internal/batch"
-	"dfpr/internal/exutil"
-	"dfpr/internal/gen"
 	"dfpr/internal/metrics"
 )
+
+// interaction is one timestamped event between two user handles.
+type interaction struct{ from, to uint32 }
+
+// growingStream synthesises a service whose population expands over time:
+// event i draws its endpoints from the first `active(i)` users, with a mild
+// preference for low ids (early adopters accumulate influence). The tail of
+// the stream therefore keeps mentioning users the preloaded engine has
+// never seen — the open-universe workload.
+func growingStream(users, events int, seed int64) []interaction {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]interaction, events)
+	for i := range out {
+		active := 64 + (users-64)*i/events + 1
+		pick := func() uint32 {
+			a, b := rng.Intn(active), rng.Intn(active)
+			return uint32(min(a, b)) // bias toward early adopters
+		}
+		out[i] = interaction{from: pick(), to: pick()}
+	}
+	return out
+}
 
 func main() {
 	ctx := context.Background()
 	const (
-		users   = 1 << 14
-		events  = 200_000
+		users   = 1 << 12
+		events  = 120_000
 		batches = 6
 	)
-	stream := gen.TemporalStream(users, events, 7)
-	rep := batch.NewReplay(stream, users, 0.9)
-	n, edges := exutil.Flatten(rep.Graph())
+	handle := func(u uint32) string { return fmt.Sprintf("user_%04d", u) }
+	stream := growingStream(users, events, 7)
 	tol := 1e-3 / float64(users)
+	opts := []dfpr.Option{
+		dfpr.WithAlgorithm(dfpr.DFLF),
+		dfpr.WithThreads(8),
+		dfpr.WithTolerance(tol),
+		dfpr.WithFrontierTolerance(tol),
+	}
 
-	newEngine := func(a dfpr.Algorithm) *dfpr.Engine {
-		eng, err := dfpr.New(n, edges,
-			dfpr.WithAlgorithm(a),
-			dfpr.WithThreads(8),
-			dfpr.WithTolerance(tol),
-			dfpr.WithFrontierTolerance(tol),
-		)
+	// Open: no vertex count — users exist once the stream mentions them.
+	eng, err := dfpr.Open(opts...)
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Close()
+
+	// Preload the first 90% as one batch and converge a baseline.
+	cut := len(stream) * 9 / 10
+	preload := make([]dfpr.KeyEdge, 0, cut)
+	for _, ev := range stream[:cut] {
+		preload = append(preload, dfpr.KeyEdge{From: handle(ev.from), To: handle(ev.to)})
+	}
+	if _, err := eng.ApplyKeyed(ctx, nil, preload); err != nil {
+		panic(err)
+	}
+	base, err := eng.Rank(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("socialnet: %d events preloaded, %d users known, converged in %d iterations (%s)\n",
+		cut, eng.Keys(), base.Iterations, metrics.FormatDur(base.Elapsed))
+
+	// Replay the rest through the ingest pipeline in batches. New handles
+	// keep appearing; every batch may grow the universe.
+	rest := stream[cut:]
+	per := (len(rest) + batches - 1) / batches
+	fmt.Printf("%-7s %9s %9s %8s %16s\n", "batch", "events", "users", "grown", "submit→ranked")
+	for i := 0; i < batches; i++ {
+		lo, hi := i*per, min((i+1)*per, len(rest))
+		if lo >= hi {
+			break
+		}
+		ins := make([]dfpr.KeyEdge, 0, hi-lo)
+		for _, ev := range rest[lo:hi] {
+			ins = append(ins, dfpr.KeyEdge{From: handle(ev.from), To: handle(ev.to)})
+		}
+		known := eng.Keys()
+		t0 := time.Now()
+		tk, err := eng.SubmitKeyed(ctx, nil, ins)
 		if err != nil {
 			panic(err)
 		}
-		if _, err := eng.Rank(ctx); err != nil {
+		seq, err := tk.Wait(ctx)
+		if err != nil {
 			panic(err)
 		}
-		return eng
-	}
-	nd, df, st := newEngine(dfpr.NDLF), newEngine(dfpr.DFLF), newEngine(dfpr.StaticLF)
-
-	fmt.Printf("social stream: %d users, %d events (%d static edges after preload)\n",
-		users, events, rep.Graph().M())
-
-	batchSize := events / 10 / batches
-	fmt.Printf("%-7s %12s %12s %12s %14s\n", "batch", "NDLF", "DFLF", "StaticLF", "max |ND-DF|")
-	var ndView, dfView *dfpr.View
-	for i := 1; ; i++ {
-		up, _, _, ok := rep.NextBatch(batchSize)
-		if !ok {
-			break
+		if err := eng.WaitRanked(ctx, seq); err != nil {
+			panic(err)
 		}
-		del, ins := exutil.Convert(up.Del), exutil.Convert(up.Ins)
-		step := func(eng *dfpr.Engine) *dfpr.Result {
-			if _, err := eng.Apply(ctx, del, ins); err != nil {
-				panic(err)
-			}
-			res, err := eng.Rank(ctx)
-			if err != nil {
-				panic(err)
-			}
-			return res
-		}
-		ndRes, dfRes, stRes := step(nd), step(df), step(st)
-		ndView, dfView = ndRes.View, dfRes.View
-		fmt.Printf("%-7d %12s %12s %12s %14.2e\n", i,
-			metrics.FormatDur(ndRes.Elapsed), metrics.FormatDur(dfRes.Elapsed),
-			metrics.FormatDur(stRes.Elapsed), exutil.LInf(ndView, dfView))
+		fmt.Printf("%-7d %9d %9d %8d %16s\n",
+			i+1, hi-lo, eng.Keys(), eng.Keys()-known, metrics.FormatDur(time.Since(t0)))
 	}
 
-	fmt.Println("\ntop influencers (DFLF ranks):")
-	for i, e := range dfView.TopK(5) {
-		fmt.Printf("  #%d user %-8d rank %.3e\n", i+1, e.V, e.Score)
+	grown, err := eng.View()
+	if err != nil {
+		panic(err)
+	}
+
+	// Cold build of the final graph: a fresh keyed engine fed every event at
+	// once. Same first-mention order → same key space → directly comparable.
+	cold, err := dfpr.Open(opts...)
+	if err != nil {
+		panic(err)
+	}
+	defer cold.Close()
+	all := make([]dfpr.KeyEdge, 0, len(stream))
+	for _, ev := range stream {
+		all = append(all, dfpr.KeyEdge{From: handle(ev.from), To: handle(ev.to)})
+	}
+	if _, err := cold.ApplyKeyed(ctx, nil, all); err != nil {
+		panic(err)
+	}
+	coldRes, err := cold.Rank(ctx)
+	if err != nil {
+		panic(err)
+	}
+	var linf float64
+	grown.Range(func(u uint32, s float64) bool {
+		key, _ := grown.KeyOf(u)
+		cs, _ := coldRes.View.ScoreOfKey(key)
+		if d := math.Abs(s - cs); d > linf {
+			linf = d
+		}
+		return true
+	})
+	fmt.Printf("\ngrown engine (%d users) vs cold rebuild: max |Δ| = %.2e (solver-tolerance scale, τ = %.0e)\n",
+		grown.N(), linf, tol)
+
+	fmt.Println("\ntop influencers:")
+	for i, e := range grown.TopKKeys(5) {
+		fmt.Printf("  #%d %-12s rank %.3e\n", i+1, e.Key, e.Score)
 	}
 }

@@ -124,9 +124,16 @@ func (p RankPolicy) validate() error {
 	return nil
 }
 
-// pendingSubmit is one queued Submit awaiting its coalescing round.
+// pendingSubmit is one queued Submit awaiting its coalescing round. n is
+// the universe the submission's insertions require, recorded at submit time
+// so the round's Merge — whose edge fold is last-op-wins — cannot lose
+// growth when an insertion is cancelled by a later deletion in the same
+// round: sequential application would have grown (vertices outlive their
+// edges), so the coalesced round must too, or the teleport term (1-α)/n of
+// every rank would depend on coalescing timing.
 type pendingSubmit struct {
 	del, ins []graph.Edge
+	n        int
 	t        *Ticket
 }
 
@@ -141,7 +148,9 @@ type flushReq struct {
 // loop coalesces every queued submission into one merged batch per round
 // (last operation per edge wins, exactly as if the submissions had been
 // applied in order as a single batch), publishes one version for the round,
-// and refreshes ranks per the engine's RankPolicy. Use Ticket.Wait (or
+// and refreshes ranks per the engine's RankPolicy. Like Apply, Submit is
+// open-universe: edges naming vertices beyond the current count grow the
+// graph when their round applies. Use Ticket.Wait (or
 // Done/Version) for the assigned version and WaitRanked to observe the
 // refresh; Apply remains the synchronous one-version-per-call path.
 //
@@ -150,16 +159,24 @@ type flushReq struct {
 // to retry later. A submission larger than the whole bound can never be
 // accepted.
 func (e *Engine) Submit(ctx context.Context, del, ins []Edge) (*Ticket, error) {
+	return e.submitInternal(ctx, toInternal(del), toInternal(ins))
+}
+
+// submitInternal enqueues one already-converted batch — shared by Submit
+// and SubmitKeyed (whose keys are interned to dense ids before this point).
+// Like Apply, submission is open-universe: edges naming vertices beyond the
+// current count grow the graph when their coalescing round applies.
+func (e *Engine) submitInternal(ctx context.Context, gdel, gins []graph.Edge) (*Ticket, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("dfpr: submit aborted: %w", err)
 	}
-	n := e.store.Current().G.N()
-	gdel, err := toInternal(del, n)
-	if err != nil {
-		return nil, err
-	}
-	gins, err := toInternal(ins, n)
-	if err != nil {
+	// The universe this submission requires is pinned NOW (insertions
+	// only; deletions never grow) and the bound enforced at submission,
+	// where the caller can still be told — a round merging many in-bound
+	// submissions stays in bound (Merge folds N as a max).
+	up := batch.Update{Del: gdel, Ins: gins}
+	up.N = up.Universe(0)
+	if err := e.checkUniverse(up); err != nil {
 		return nil, err
 	}
 	t := &Ticket{done: make(chan struct{})}
@@ -174,7 +191,7 @@ func (e *Engine) Submit(ctx context.Context, del, ins []Edge) (*Ticket, error) {
 		return nil, fmt.Errorf("dfpr: %d edits queued, %d more would exceed the bound %d: %w",
 			e.ingestEdits, size, e.opts.queue, ErrQueueFull)
 	}
-	e.ingestQ = append(e.ingestQ, pendingSubmit{del: gdel, ins: gins, t: t})
+	e.ingestQ = append(e.ingestQ, pendingSubmit{del: gdel, ins: gins, n: up.N, t: t})
 	e.ingestEdits += size
 	e.startIngestLocked()
 	e.ingestMu.Unlock()
@@ -309,15 +326,22 @@ func (e *Engine) ingestLoop() {
 		if len(q) > 0 {
 			ups := make([]batch.Update, len(q))
 			for i, p := range q {
-				ups[i] = batch.Update{Del: p.del, Ins: p.ins}
+				ups[i] = batch.Update{Del: p.del, Ins: p.ins, N: p.n}
 			}
 			merged := batch.Merge(ups...)
-			if merged.Size() == 0 {
+			// A round changes the graph when edges survived the merge OR the
+			// submissions' universe outgrows the store: a vertex whose only
+			// edge was inserted and deleted within the round still exists
+			// afterwards (exactly as sequential application would leave it),
+			// so pure-growth rounds must publish — and count as an edit below,
+			// or no policy would ever rank the rescaled teleport term.
+			grows := merged.N > e.store.Current().G.N()
+			if merged.Size() == 0 && !grows {
 				// Nothing survived the merge (empty submissions, or churn
-				// that cancelled out): the graph would not change, so
-				// publishing a version — which no policy would ever rank,
-				// stranding WaitRanked on it — is wrong. Resolve the
-				// tickets to the current version instead.
+				// that cancelled out) and no growth: the graph would not
+				// change, so publishing a version — which no policy would
+				// ever rank, stranding WaitRanked on it — is wrong. Resolve
+				// the tickets to the current version instead.
 				seq := e.store.Current().Seq
 				for _, p := range q {
 					p.t.seq = seq
@@ -357,7 +381,10 @@ func (e *Engine) ingestLoop() {
 				if pending == 0 {
 					dirtySince = time.Now()
 				}
-				pending += merged.Size()
+				// A pure-growth round carries no edges but still moved every
+				// rank (the teleport term rescaled): count at least one edit
+				// so the rank policies see it.
+				pending += max(merged.Size(), 1)
 				lastRound = time.Now()
 			}
 		}
@@ -384,6 +411,18 @@ func (e *Engine) ingestLoop() {
 				}
 			}
 		}
+		// At a burst's trailing edge — nothing further queued — settle the
+		// key space so a now-idle engine serves its freshest keys lock-free
+		// (gated against trickle-write quadratic copying; see keymap.Settle).
+		if e.keys != nil {
+			e.ingestMu.Lock()
+			idle := len(e.ingestQ) == 0
+			e.ingestMu.Unlock()
+			if idle {
+				e.keys.Settle()
+			}
+		}
+
 		var rankErr error
 		if rankNow {
 			if _, err := e.Rank(e.ingestCtx); err != nil {

@@ -24,6 +24,13 @@ import (
 // Update is one batch update Δt: deletions applied before insertions.
 type Update struct {
 	Del, Ins []graph.Edge
+	// N is the vertex universe the graph must cover after this update: a
+	// batch may mention vertices beyond the current universe, and the store
+	// grows to max(current, N, 1+max mentioned id) before applying the
+	// edges. Zero means "no growth requested" (the pre-PR5 closed-universe
+	// batches). The universe only grows — the paper's model has no vertex
+	// removal, and neither does the key space built on top of it.
+	N int
 }
 
 // Size returns the total number of edge updates in the batch.
@@ -31,8 +38,11 @@ func (u Update) Size() int { return len(u.Del) + len(u.Ins) }
 
 // Inverse returns the update that undoes u (insert what was deleted, delete
 // what was inserted). Applying u then u.Inverse() restores the edge set.
+// Growth is not undone — the universe is append-only — so N carries over:
+// vertices added by u stay, disconnected, exactly as the store would leave
+// them.
 func (u Update) Inverse() Update {
-	return Update{Del: u.Ins, Ins: u.Del}
+	return Update{Del: u.Ins, Ins: u.Del, N: u.N}
 }
 
 // Merge folds a sequence of updates — applied in order, each update's
@@ -50,12 +60,16 @@ func (u Update) Inverse() Update {
 // Dynamic store, and for the Dynamic Frontier marking they only widen the
 // initially affected set, never narrow it.
 func Merge(ups ...Update) Update {
+	var out Update
 	total := 0
 	for _, up := range ups {
 		total += up.Size()
+		if up.N > out.N {
+			out.N = up.N
+		}
 	}
 	if total == 0 {
-		return Update{}
+		return out // pure-growth updates still carry their merged N
 	}
 	lastDel := make(map[graph.Edge]bool, total)
 	order := make([]graph.Edge, 0, total)
@@ -73,7 +87,6 @@ func Merge(ups ...Update) Update {
 			note(e, false)
 		}
 	}
-	var out Update
 	for _, e := range order {
 		if lastDel[e] {
 			out.Del = append(out.Del, e)
@@ -82,6 +95,57 @@ func Merge(ups ...Update) Update {
 		}
 	}
 	return out
+}
+
+// Universe returns the vertex count the graph must have after applying u on
+// a graph of cur vertices: the largest of cur, the requested N, and one past
+// the highest endpoint any INSERTED edge mentions. It is how the
+// open-universe write path sizes growth — an inserted edge naming a
+// never-seen vertex grows the graph instead of erroring. Deletions never
+// grow: an edge touching a vertex beyond the universe cannot exist, so the
+// store drops it (mirroring the keyed path's resolve-and-drop) rather than
+// materialising a vertex range just to not-delete from it.
+func (u Update) Universe(cur int) int {
+	n := cur
+	if u.N > n {
+		n = u.N
+	}
+	for _, e := range u.Ins {
+		n = coverEdge(n, e)
+	}
+	return n
+}
+
+// ClampDel returns the update's deletions restricted to a universe of n
+// vertices — the edges that could possibly exist. The returned slice is u.Del
+// itself when nothing is out of range (the overwhelmingly common case).
+// Store.Apply stores the clamped list in the published Version so the
+// Dynamic Frontier marking, which walks out-rows of every batch-edge source,
+// never indexes past the snapshot.
+func (u Update) ClampDel(n int) []graph.Edge {
+	for i, e := range u.Del {
+		if int(e.U) >= n || int(e.V) >= n {
+			out := make([]graph.Edge, i, len(u.Del))
+			copy(out, u.Del[:i])
+			for _, e := range u.Del[i:] {
+				if int(e.U) < n && int(e.V) < n {
+					out = append(out, e)
+				}
+			}
+			return out
+		}
+	}
+	return u.Del
+}
+
+func coverEdge(n int, e graph.Edge) int {
+	if int(e.U) >= n {
+		n = int(e.U) + 1
+	}
+	if int(e.V) >= n {
+		n = int(e.V) + 1
+	}
+	return n
 }
 
 // Random generates a mixed batch of the given total size on d: size/2
@@ -161,6 +225,7 @@ func sampleInsertions(d *graph.Dynamic, k int, rng *rand.Rand) []graph.Edge {
 // vertices").
 func Transition(d *graph.Dynamic, up Update) (gOld, gNew *graph.CSR) {
 	gOld = d.Snapshot()
+	d.Grow(up.Universe(d.N()))
 	d.Apply(up.Del, up.Ins)
 	d.EnsureSelfLoops()
 	gNew = d.Snapshot()

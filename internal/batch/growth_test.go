@@ -1,0 +1,59 @@
+package batch
+
+import (
+	"testing"
+
+	"dfpr/internal/graph"
+)
+
+// TestMergeCarriesUniverse: the merged batch's N is the max over the span,
+// including pure-growth updates that carry no edges at all.
+func TestMergeCarriesUniverse(t *testing.T) {
+	m := Merge(
+		Update{Ins: []graph.Edge{{U: 0, V: 1}}, N: 4},
+		Update{N: 9}, // pure growth
+		Update{Del: []graph.Edge{{U: 0, V: 1}}, N: 7},
+	)
+	if m.N != 9 {
+		t.Fatalf("merged N = %d, want 9", m.N)
+	}
+	if len(m.Ins) != 0 || len(m.Del) != 1 {
+		t.Fatalf("merged edges = %+v (churn should cancel to one del)", m)
+	}
+	if got := Merge(Update{N: 3}, Update{N: 5}); got.Size() != 0 || got.N != 5 {
+		t.Fatalf("pure-growth merge = %+v, want N 5", got)
+	}
+}
+
+// TestUniverse: requested N, INSERTED endpoints, and the current size bound
+// the required universe; deletions never grow it (an edge beyond the
+// universe cannot exist — ClampDel drops it instead).
+func TestUniverse(t *testing.T) {
+	up := Update{
+		Del: []graph.Edge{{U: 11, V: 2}},
+		Ins: []graph.Edge{{U: 3, V: 7}},
+		N:   6,
+	}
+	if got := up.Universe(4); got != 8 {
+		t.Fatalf("Universe(4) = %d, want 8 (dels don't grow)", got)
+	}
+	if got := (Update{}).Universe(4); got != 4 {
+		t.Fatalf("empty Universe(4) = %d, want 4", got)
+	}
+	if got := (Update{N: 9}).Universe(4); got != 9 {
+		t.Fatalf("growth Universe(4) = %d, want 9", got)
+	}
+	clamped := up.ClampDel(8)
+	if len(clamped) != 0 {
+		t.Fatalf("ClampDel(8) = %v, want empty", clamped)
+	}
+	keep := Update{Del: []graph.Edge{{U: 1, V: 2}, {U: 11, V: 2}, {U: 3, V: 0}}}
+	got := keep.ClampDel(8)
+	if len(got) != 2 || got[0] != (graph.Edge{U: 1, V: 2}) || got[1] != (graph.Edge{U: 3, V: 0}) {
+		t.Fatalf("ClampDel kept %v", got)
+	}
+	// No out-of-range edges → the original slice comes back untouched.
+	if in := keep.ClampDel(12); len(in) != 3 {
+		t.Fatalf("ClampDel(12) = %v", in)
+	}
+}

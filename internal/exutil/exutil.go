@@ -79,3 +79,35 @@ func LoadGraph(path string) (int, []dfpr.Edge, error) {
 	n, edges := Flatten(d)
 	return n, edges, nil
 }
+
+// LoadKeyEdges reads a keyed edge list (gio.ScanKeyedEdges format:
+// whitespace-free string keys, one "fromKey toKey" pair per line, '#'/'%'
+// comments) into the public KeyEdge form, leaving the interning to the
+// engine the edges are submitted to — the key space belongs to the engine,
+// not the loader. Shared by the binaries' -keyed modes.
+func LoadKeyEdges(path string) ([]dfpr.KeyEdge, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []dfpr.KeyEdge
+	err = gio.ScanKeyedEdges(f, func(from, to string) error {
+		out = append(out, dfpr.KeyEdge{From: from, To: to})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// KeyEdges maps dense edges to the keyed form under a naming function —
+// how the binaries synthesise a keyed workload from a generated graph.
+func KeyEdges(edges []dfpr.Edge, name func(uint32) string) []dfpr.KeyEdge {
+	out := make([]dfpr.KeyEdge, len(edges))
+	for i, e := range edges {
+		out[i] = dfpr.KeyEdge{From: name(e.U), To: name(e.V)}
+	}
+	return out
+}

@@ -22,13 +22,27 @@ import (
 
 	"dfpr/internal/gen"
 	"dfpr/internal/graph"
+	"dfpr/internal/keymap"
 )
 
 // ReadMatrixMarket parses a MatrixMarket coordinate stream into a dynamic
 // graph. Only sparse ("coordinate") matrices are supported; array format is
 // rejected. Entries are 1-based per the format and converted to 0-based
-// vertex ids.
+// vertex ids. The declared dimension is capped at DefaultMaxVertices —
+// ReadMatrixMarketCap raises it for genuinely larger matrices.
 func ReadMatrixMarket(r io.Reader) (*graph.Dynamic, error) {
+	return ReadMatrixMarketCap(r, DefaultMaxVertices)
+}
+
+// ReadMatrixMarketCap is ReadMatrixMarket with an explicit cap on the
+// declared dimension (0 or negative means DefaultMaxVertices), the same
+// escape hatch ReadEdgeListCap provides for the edge-list format: a bogus
+// size line must not demand a graph-sized allocation, but a real matrix
+// larger than the default cap must stay loadable.
+func ReadMatrixMarketCap(r io.Reader, maxVertices int) (*graph.Dynamic, error) {
+	if maxVertices <= 0 {
+		maxVertices = DefaultMaxVertices
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	if !sc.Scan() {
@@ -64,6 +78,9 @@ func ReadMatrixMarket(r io.Reader) (*graph.Dynamic, error) {
 	n := rows
 	if cols > n {
 		n = cols
+	}
+	if n > maxVertices {
+		return nil, fmt.Errorf("gio: MatrixMarket declares %d vertices, beyond the cap of %d (raise it with ReadMatrixMarketCap)", n, maxVertices)
 	}
 	d := graph.NewDynamic(n)
 	read := 0
@@ -109,9 +126,38 @@ func WriteMatrixMarket(w io.Writer, d *graph.Dynamic) error {
 	return bw.Flush()
 }
 
+// DefaultMaxVertices caps how many vertices the dense readers will size a
+// graph to (max id + 1 for edge lists, the declared dimension for
+// MatrixMarket). The cap exists because the dense formats treat ids as
+// array indices: a single stray sparse id like "4000000000 1" would demand
+// a multi-gigabyte allocation before a single edge lands. Files with
+// sparse or non-numeric ids belong to ReadKeyedEdgeList, which interns ids
+// as strings and sizes the graph by distinct keys instead.
+//
+// The value deliberately matches the engine-side dfpr.DefaultMaxVertices
+// (the WithMaxVertices default) — the same invariant guarded at the two
+// entry points dense ids come in through; raise both together. They are
+// separate constants only because the import direction (this internal
+// package cannot be imported by the root for its constant, nor vice versa
+// without widening the root's dependencies) keeps them apart.
+const DefaultMaxVertices = 1 << 27
+
 // ReadEdgeList parses a SNAP-style edge list ("u v" per line, '#' or '%'
-// comments). The vertex count is max id + 1.
+// comments). The vertex count is max id + 1, capped at DefaultMaxVertices —
+// use ReadEdgeListCap to raise the cap, or ReadKeyedEdgeList for files
+// whose ids are sparse.
 func ReadEdgeList(r io.Reader) (*graph.Dynamic, error) {
+	return ReadEdgeListCap(r, DefaultMaxVertices)
+}
+
+// ReadEdgeListCap is ReadEdgeList with an explicit vertex cap (0 or
+// negative means DefaultMaxVertices). Ids at or above the cap fail fast —
+// before any graph-sized allocation happens — with an error pointing at the
+// keyed loader.
+func ReadEdgeListCap(r io.Reader, maxVertices int) (*graph.Dynamic, error) {
+	if maxVertices <= 0 {
+		maxVertices = DefaultMaxVertices
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var edges []graph.Edge
@@ -130,6 +176,11 @@ func ReadEdgeList(r io.Reader) (*graph.Dynamic, error) {
 		if err1 != nil || err2 != nil || u < 0 || v < 0 {
 			return nil, fmt.Errorf("gio: bad edge line %q", line)
 		}
+		if u >= maxVertices || v >= maxVertices {
+			return nil, fmt.Errorf(
+				"gio: edge %q names vertex id beyond the cap of %d: dense ids index arrays, so a sparse id would allocate the whole range — raise the cap with ReadEdgeListCap, or load sparse/string ids with ReadKeyedEdgeList",
+				line, maxVertices)
+		}
 		edges = append(edges, graph.Edge{U: uint32(u), V: uint32(v)})
 		if u > maxID {
 			maxID = u
@@ -146,6 +197,70 @@ func ReadEdgeList(r io.Reader) (*graph.Dynamic, error) {
 		d.AddEdge(e.U, e.V)
 	}
 	return d, nil
+}
+
+// ScanKeyedEdges parses an edge list whose endpoints are arbitrary
+// whitespace-free string keys ("alice bob" per line, '#'/'%' comments),
+// calling fn for each pair in file order. It is the single definition of
+// the keyed edge-list format, shared by ReadKeyedEdgeList and the tools'
+// loaders (exutil.LoadKeyEdges) so the format cannot drift between them.
+func ScanKeyedEdges(r io.Reader, fn func(from, to string) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return fmt.Errorf("gio: bad keyed edge line %q (want 'fromKey toKey')", line)
+		}
+		if err := fn(f[0], f[1]); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// ReadKeyedEdgeList reads the keyed edge-list format (see ScanKeyedEdges),
+// interning each key into km (dense first-mention ids) and returning the
+// dense edges. The graph this sizes grows with distinct keys, never with id
+// magnitude — the loader for real-world files whose ids are sparse, hashed,
+// or not numbers at all. Passing the engine's own interner (or replaying
+// the edges through dfpr.SubmitKeyed) keeps file keys and live submissions
+// in one key space.
+func ReadKeyedEdgeList(r io.Reader, km *keymap.Map) ([]graph.Edge, error) {
+	var edges []graph.Edge
+	err := ScanKeyedEdges(r, func(from, to string) error {
+		edges = append(edges, graph.Edge{U: km.Intern(from), V: km.Intern(to)})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	km.Sync() // every loaded key resolves lock-free from here on
+	return edges, nil
+}
+
+// WriteKeyedEdgeList writes one "fromKey toKey" pair per line, resolving
+// ids through km. Ids without a key are written as "~<id>" — a stable
+// round-trippable spelling (it re-interns as that literal key) for vertices
+// that were only ever named densely.
+func WriteKeyedEdgeList(w io.Writer, d *graph.Dynamic, km *keymap.Map) error {
+	bw := bufio.NewWriter(w)
+	name := func(id uint32) string {
+		if k, ok := km.KeyOf(id); ok {
+			return k
+		}
+		return fmt.Sprintf("~%d", id)
+	}
+	for u := uint32(0); int(u) < d.N(); u++ {
+		for _, v := range d.Out(u) {
+			fmt.Fprintf(bw, "%s %s\n", name(u), name(v))
+		}
+	}
+	return bw.Flush()
 }
 
 // WriteEdgeList writes one "u v" pair per line.

@@ -229,8 +229,13 @@ func (d *Dynamic) AddEdge(u, v uint32) bool {
 	return true
 }
 
-// DelEdge removes edge (u,v), reporting whether it was present.
+// DelEdge removes edge (u,v), reporting whether it was present. Endpoints
+// beyond the universe are a no-op, not a panic: the open-universe write
+// path drops such deletions (the edge cannot exist) instead of growing.
 func (d *Dynamic) DelEdge(u, v uint32) bool {
+	if int(u) >= d.n || int(v) >= d.n {
+		return false
+	}
 	row := d.adj[u]
 	i := sort.Search(len(row), func(i int) bool { return row[i] >= v })
 	if i >= len(row) || row[i] != v {
@@ -255,6 +260,32 @@ func (d *Dynamic) touch(u, v uint32) {
 	}
 	d.outDirty[u] = struct{}{}
 	d.inTouched[v] = append(d.inTouched[v], u)
+}
+
+// Grow extends the vertex universe to n vertices; the added vertices are
+// isolated until edges (or the self-loops EnsureSelfLoops adds) arrive.
+// Growing to a smaller or equal n is a no-op — the universe is append-only,
+// matching the key space (vertices are never removed, only disconnected).
+//
+// Growth preserves the incremental-snapshot tracking: the base CSR is padded
+// to the new universe (offset arrays copied, adjacency shared), so a
+// Snapshot after a small batch on a grown graph still takes the delta-merge
+// path instead of a cold rebuild.
+func (d *Dynamic) Grow(n int) {
+	if n <= d.n {
+		return
+	}
+	if cap(d.adj) >= n {
+		d.adj = d.adj[:n]
+	} else {
+		adj := make([][]uint32, n)
+		copy(adj, d.adj)
+		d.adj = adj
+	}
+	d.n = n
+	if d.base != nil {
+		d.base = d.base.WithN(n)
+	}
 }
 
 // Apply removes every edge in del and inserts every edge in ins, in that

@@ -38,6 +38,53 @@ type BenchReport struct {
 	// equal ranked-freshness deadline. Filled by a cmd/prbench extra, like
 	// Queries.
 	Ingest []IngestResult `json:"ingest,omitempty"`
+	// Keyed holds the string-key read-path overhead: View.ScoreOfKey (one
+	// lock-free interner probe plus the dense bounds check) against the raw
+	// dense View.ScoreOf, plus allocation counts — the PR 5 keyed-lookup
+	// acceptance numbers. Filled by a cmd/prbench extra.
+	Keyed []KeyedResult `json:"keyed,omitempty"`
+	// Growth holds the growth-heavy ingest measurement: a keyed stream that
+	// keeps mentioning never-seen keys, driven through the coalescing
+	// pipeline, with the grown engine pinned against a cold rebuild. Filled
+	// by a cmd/prbench extra.
+	Growth []GrowthResult `json:"growth,omitempty"`
+}
+
+// KeyedResult reports keyed-lookup overhead on one graph. ScoreOfKey pays
+// one string-hash map probe where ScoreOf pays a bounds-checked array load,
+// so the meaningful numbers are the absolute per-call cost (is it cheap
+// enough to serve from?), the allocation count (must be 0), and the
+// resolve-once pattern (ResolveNs + dense reads) a hot path amortises to.
+type KeyedResult struct {
+	Graph      string  `json:"graph"`
+	Vertices   int     `json:"vertices"`
+	Edges      int     `json:"edges"`
+	Keys       int     `json:"keys"`
+	KeyBytes   float64 `json:"avg_key_bytes"`
+	ScoreOfNs  float64 `json:"scoreof_ns_per_call"`
+	KeyNs      float64 `json:"scoreofkey_ns_per_call"`
+	ResolveNs  float64 `json:"resolve_ns_per_call"`
+	Overhead   float64 `json:"keyed_over_dense"`
+	KeyAllocs  float64 `json:"scoreofkey_allocs_per_call"`
+	TopKKeysNs float64 `json:"topk_keys_warm_ns_per_call"`
+}
+
+// GrowthResult reports one growth-heavy ingest run: how fast the pipeline
+// absorbs a stream that grows the universe, and how far the grown engine's
+// ranks drift from a cold rebuild of the final graph (the growth-equivalence
+// acceptance, bounded by solver tolerance).
+type GrowthResult struct {
+	Graph         string  `json:"graph"`
+	StartVertices int     `json:"start_vertices"`
+	FinalVertices int     `json:"final_vertices"`
+	Edits         int     `json:"edits"`
+	Submissions   int     `json:"submissions"`
+	Rounds        int64   `json:"rounds"`
+	Refreshes     int     `json:"refreshes"`
+	EditsSec      float64 `json:"edits_per_sec"`
+	ElapsedMs     float64 `json:"elapsed_ms"`
+	ColdLInf      float64 `json:"linf_vs_cold_build"`
+	Tol           float64 `json:"solver_tolerance"`
 }
 
 // IngestResult reports one write-path mode on one graph: how many applies

@@ -80,12 +80,20 @@ func (s *Store) Current() *Version {
 }
 
 // Apply applies a batch update and publishes the resulting version,
-// returning the (previous, new) pair. Self-loops are re-ensured, matching
-// the experiment protocol (§5.1.4). Concurrent writers are serialised.
+// returning the (previous, new) pair. The vertex universe grows first when
+// the batch requires it (Update.N, or an edge naming a vertex beyond the
+// current universe); self-loops are re-ensured, matching the experiment
+// protocol (§5.1.4) and seeding every grown vertex's dead-end loop.
+// Concurrent writers are serialised.
 func (s *Store) Apply(up batch.Update) (prev, next *Version) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	prev = s.Current()
+	s.d.Grow(up.Universe(s.d.N()))
+	// Deletions of edges beyond the (grown) universe cannot exist — drop
+	// them rather than grow for them, and publish the clamped list so the
+	// frontier marking over this version's batch stays in range.
+	up.Del = up.ClampDel(s.d.N())
 	s.d.Apply(up.Del, up.Ins)
 	s.d.EnsureSelfLoops()
 	next = &Version{G: s.d.Snapshot(), Seq: prev.Seq + 1, Update: up}
@@ -315,10 +323,11 @@ func (r *Ranker) Refresh(ctx context.Context) (core.Result, int, error) {
 		return r.refreshSpan(ctx, prevG, chain)
 	}
 	for _, v := range chain {
+		gOld, prev := grownInputs(prevG, r.ranks, v.G.N())
 		in := core.Input{
-			GOld: prevG, GNew: v.G,
+			GOld: gOld, GNew: v.G,
 			Del: v.Update.Del, Ins: v.Update.Ins,
-			Prev: r.ranks,
+			Prev: prev,
 		}
 		last = core.RunCtx(ctx, r.algo, in, r.cfg)
 		if last.Err != nil {
@@ -355,10 +364,11 @@ func (r *Ranker) refreshSpan(ctx context.Context, prevG *graph.CSR, chain []*Ver
 	}
 	merged := batch.Merge(ups...)
 	last := chain[len(chain)-1]
+	gOld, prev := grownInputs(prevG, r.ranks, last.G.N())
 	in := core.Input{
-		GOld: prevG, GNew: last.G,
+		GOld: gOld, GNew: last.G,
 		Del: merged.Del, Ins: merged.Ins,
-		Prev: r.ranks,
+		Prev: prev,
 	}
 	res := core.RunCtx(ctx, r.algo, in, r.cfg)
 	if res.Err != nil {
@@ -376,6 +386,22 @@ func (r *Ranker) refreshSpan(ctx context.Context, prevG *graph.CSR, chain []*Ver
 	r.cur = last
 	r.Refreshes++ // one run covered the whole span
 	return res, advanced, nil
+}
+
+// grownInputs adapts the (previous graph, previous ranks) pair of an
+// incremental run to a target universe of n vertices: the old snapshot is
+// padded with isolated vertices (offset copies, adjacency shared) so the
+// union marking can walk both snapshots over one index space, and the rank
+// vector is rescaled-and-seeded by core.GrowRanks — the exact fixed-point
+// transform growth induces under self-loop dead-end elimination, which is
+// what keeps a frontier-sized refresh over a grown version equivalent to a
+// cold build (see internal/core/growth.go). A same-size version passes
+// through untouched.
+func grownInputs(gOld *graph.CSR, ranks []float64, n int) (*graph.CSR, []float64) {
+	if n <= gOld.N() && n <= len(ranks) {
+		return gOld, ranks
+	}
+	return gOld.WithN(n), core.GrowRanks(ranks, n)
 }
 
 // RefreshTrace is Refresh with frontier observability: each pending version
@@ -406,7 +432,8 @@ func (r *Ranker) RefreshTrace(ctx context.Context) (core.Result, []core.Frontier
 	var last core.Result
 	var series []core.FrontierStats
 	for _, v := range chain {
-		res, s := core.TraceDF(ctx, prevG, v.G, v.Update.Del, v.Update.Ins, r.ranks, r.cfg)
+		gOld, prev := grownInputs(prevG, r.ranks, v.G.N())
+		res, s := core.TraceDF(ctx, gOld, v.G, v.Update.Del, v.Update.Ins, prev, r.cfg)
 		if res.Err != nil {
 			return res, series, advanced, fmt.Errorf("snapshot: traced refresh aborted at version %d: %w", v.Seq, res.Err)
 		}

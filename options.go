@@ -131,6 +131,13 @@ const (
 	// DefaultIngestQueue is the default bound on edits queued in the ingest
 	// pipeline before Submit reports ErrQueueFull.
 	DefaultIngestQueue = 1 << 20
+	// DefaultMaxVertices bounds how far the open universe may grow (see
+	// WithMaxVertices). Dense ids index arrays, so one edge naming id 4e9
+	// would otherwise demand multi-gigabyte allocations; 2²⁷ ≈ 134M
+	// vertices comfortably covers the paper's largest graphs. Deliberately
+	// equal to gio.DefaultMaxVertices, the same guard at the file-loading
+	// entry point — raise both together.
+	DefaultMaxVertices = 1 << 27
 )
 
 // settings is the resolved configuration an Engine is built with.
@@ -142,10 +149,14 @@ type settings struct {
 	policy      RankPolicy
 	queue       int
 	uncoalesced bool
+	maxN        int
 }
 
 func defaultSettings() settings {
-	return settings{algo: core.AlgoDFLF, history: snapshot.DefaultHistory, queue: DefaultIngestQueue}
+	return settings{
+		algo: core.AlgoDFLF, history: snapshot.DefaultHistory,
+		queue: DefaultIngestQueue, maxN: DefaultMaxVertices,
+	}
 }
 
 // Option configures an Engine at construction. Options validate eagerly:
@@ -277,6 +288,22 @@ func WithHistory(keep int) Option {
 			return fmt.Errorf("dfpr: history %d must be positive", keep)
 		}
 		s.history = keep
+		return nil
+	}
+}
+
+// WithMaxVertices bounds the vertex universe (default DefaultMaxVertices).
+// The universe is open — any write may grow it — but dense ids index
+// arrays, so an edge naming id 4e9 would otherwise allocate the whole
+// range before a single edge lands; writes that would grow past the bound
+// fail with ErrTooManyVertices instead (a 400 at the serve layer, never an
+// OOM). Raise it deliberately for graphs genuinely that large.
+func WithMaxVertices(n int) Option {
+	return func(s *settings) error {
+		if n <= 0 {
+			return fmt.Errorf("dfpr: max vertices %d must be positive", n)
+		}
+		s.maxN = n
 		return nil
 	}
 }

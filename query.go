@@ -71,6 +71,29 @@ func deltaScan(lo, hi *View, eps float64) []Movement {
 	return moved // already in vertex order
 }
 
+// deltaScanGrown is deltaScan across views of different vertex counts: the
+// shorter vector is treated as padded with zeros (a vertex that did not
+// exist had no rank), so growth shows up as From 0 movements. Caller
+// reports From as the caller's old view, which may be either side.
+func deltaScanGrown(lo, hi *View, eps float64) []Movement {
+	n := max(len(lo.ranks), len(hi.ranks))
+	at := func(r []float64, u int) float64 {
+		if u < len(r) {
+			return r[u]
+		}
+		return 0
+	}
+	var moved []Movement
+	for u := 0; u < n; u++ {
+		from, to := at(lo.ranks, u), at(hi.ranks, u)
+		d := to - from
+		if d > eps || -d > eps {
+			moved = append(moved, Movement{V: uint32(u), From: from, To: to})
+		}
+	}
+	return moved // already in vertex order
+}
+
 // sortMovements orders by vertex id (the frontier walk emits movements in
 // traversal order, not vertex order).
 func sortMovements(m []Movement) {

@@ -27,6 +27,13 @@ var ErrNoRanks = errors.New("dfpr: no ranks published yet")
 // through the wrapping that names the missing version.
 var ErrVersionEvicted = errors.New("dfpr: rank version no longer retained")
 
+// ErrTooManyVertices is returned by writes that would grow the vertex
+// universe past the WithMaxVertices bound — the guard that turns a stray
+// sparse id (one edge naming vertex 4e9 would otherwise allocate the whole
+// range) into a client error instead of an out-of-memory kill. errors.Is
+// identifies it through the wrapping that names the offending size.
+var ErrTooManyVertices = errors.New("dfpr: vertex universe bound exceeded")
+
 // ErrQueueFull is returned by Engine.Submit when accepting the batch would
 // push the ingest queue past its WithIngestQueue bound — the backpressure
 // signal to retry later (or shed the write). errors.Is identifies it

@@ -18,6 +18,15 @@
 //	GET  /v1/healthz             liveness: {"status":"ok","ready":bool}
 //	GET  /v1/stats               engine + ingest + serving counters
 //
+// On a keyed engine (dfpr.Open) the read surface speaks external string
+// keys: /v1/rank/{key} resolves the path as a key, topk and delta entries
+// carry a "key" field alongside the dense id, and /v1/apply accepts keyed
+// edges ({"from":"alice","to":"bob"}) that intern never-seen keys into new
+// vertices — the open universe over HTTP. Append ?ids=dense to any read to
+// opt back into dense-id addressing on a keyed engine. The universe is
+// open on the dense side too: an applied edge naming an id beyond the
+// current vertex count grows the graph instead of erroring.
+//
 // Writes are asynchronous by default: the batch is coalesced with whatever
 // else is in flight, 202 Accepted names the version it landed in, and the
 // rank refresh runs behind the engine's RankPolicy. `?wait=ranked` turns a
@@ -56,10 +65,11 @@ const VersionHeader = "X-DFPR-Version"
 // mount Handler on any mux (or use ListenAndServe), and stop it with
 // Shutdown for a graceful drain. The zero value is not usable.
 type Server struct {
-	eng  *dfpr.Engine
-	mux  *http.ServeMux
-	hs   *http.Server
-	opts options
+	eng   *dfpr.Engine
+	mux   *http.ServeMux
+	hs    *http.Server
+	opts  options
+	keyed bool // engine owns a key space: reads default to key addressing
 
 	reads  atomic.Int64 // rank/topk/delta requests answered
 	writes atomic.Int64 // apply batches accepted
@@ -88,9 +98,12 @@ func WithDefaultTopK(k int) Option {
 	}
 }
 
-// WithMaxTopK caps the k a request may ask for (default 1000) so one query
-// cannot demand an O(|V|) response.
-func WithMaxTopK(k int) Option {
+// WithMaxK caps the k a /v1/topk request may ask for (default 1000), so one
+// query cannot demand an O(|V|) response: k beyond the cap is a 400, and
+// within the cap it is additionally clamped to the view's vertex count
+// before any selection or allocation happens — an absurd k never sizes
+// anything.
+func WithMaxK(k int) Option {
 	return func(o *options) error {
 		if k <= 0 {
 			return fmt.Errorf("serve: max top-k %d must be positive", k)
@@ -99,6 +112,10 @@ func WithMaxTopK(k int) Option {
 		return nil
 	}
 }
+
+// WithMaxTopK is the original name of WithMaxK, kept for callers of the
+// earlier API.
+func WithMaxTopK(k int) Option { return WithMaxK(k) }
 
 // WithMaxBatch caps the edges (deletions plus insertions) one /v1/apply
 // request may carry (default 100000).
@@ -146,7 +163,7 @@ func New(eng *dfpr.Engine, opts ...Option) (*Server, error) {
 			return nil, err
 		}
 	}
-	s := &Server{eng: eng, mux: http.NewServeMux(), opts: o}
+	s := &Server{eng: eng, mux: http.NewServeMux(), opts: o, keyed: eng.Keyed()}
 	s.mux.HandleFunc("GET /v1/rank/{u}", s.handleRank)
 	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
 	s.mux.HandleFunc("GET /v1/delta", s.handleDelta)
@@ -230,8 +247,15 @@ func (s *Server) viewFor(w http.ResponseWriter, r *http.Request) *dfpr.View {
 
 type rankResponse struct {
 	Vertex  uint32  `json:"vertex"`
+	Key     string  `json:"key,omitempty"`
 	Score   float64 `json:"score"`
 	Version uint64  `json:"version"`
+}
+
+// denseIDs reports whether a read request opted out of key addressing on a
+// keyed server (?ids=dense). On a dense server it is always true.
+func (s *Server) denseIDs(r *http.Request) bool {
+	return !s.keyed || r.URL.Query().Get("ids") == "dense"
 }
 
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
@@ -239,22 +263,41 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	if v == nil {
 		return
 	}
-	u64, err := strconv.ParseUint(r.PathValue("u"), 10, 32)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "malformed vertex %q", r.PathValue("u"))
-		return
-	}
-	score, ok := v.ScoreOf(uint32(u64))
-	if !ok {
-		writeErr(w, http.StatusNotFound, "vertex %d out of range [0, %d)", u64, v.N())
-		return
+	raw := r.PathValue("u")
+	resp := rankResponse{Version: v.Seq()}
+	if s.denseIDs(r) {
+		u64, err := strconv.ParseUint(raw, 10, 32)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "malformed vertex %q", raw)
+			return
+		}
+		score, ok := v.ScoreOf(uint32(u64))
+		if !ok {
+			writeErr(w, http.StatusNotFound, "vertex %d out of range [0, %d)", u64, v.N())
+			return
+		}
+		// ?ids=dense opted out of key addressing, so the response stays
+		// dense too — matching topk/delta, which omit keys under the same
+		// flag.
+		resp.Vertex, resp.Score = uint32(u64), score
+	} else {
+		// Keyed addressing: the path segment is the external key, resolved
+		// against the view's version (keys interned later do not exist here).
+		id, ok := s.eng.Resolve(raw)
+		if !ok || int(id) >= v.N() {
+			writeErr(w, http.StatusNotFound, "key %q unknown at version %d", raw, v.Seq())
+			return
+		}
+		score, _ := v.ScoreOf(id)
+		resp.Vertex, resp.Key, resp.Score = id, raw, score
 	}
 	s.reads.Add(1)
-	writeJSON(w, v.Seq(), rankResponse{Vertex: uint32(u64), Score: score, Version: v.Seq()})
+	writeJSON(w, v.Seq(), resp)
 }
 
 type topkEntry struct {
 	Vertex uint32  `json:"vertex"`
+	Key    string  `json:"key,omitempty"`
 	Score  float64 `json:"score"`
 }
 
@@ -282,10 +325,24 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "k %d exceeds the server cap %d", k, s.opts.maxK)
 		return
 	}
-	top := v.TopK(k)
-	entries := make([]topkEntry, len(top))
-	for i, e := range top {
-		entries[i] = topkEntry{Vertex: e.V, Score: e.Score}
+	// Clamp to the universe before any selection or allocation: within the
+	// cap, a k beyond |V| must cost |V|, never k.
+	if k > v.N() {
+		k = v.N()
+	}
+	var entries []topkEntry
+	if s.denseIDs(r) {
+		top := v.TopK(k)
+		entries = make([]topkEntry, len(top))
+		for i, e := range top {
+			entries[i] = topkEntry{Vertex: e.V, Score: e.Score}
+		}
+	} else {
+		top := v.TopKKeys(k)
+		entries = make([]topkEntry, len(top))
+		for i, e := range top {
+			entries[i] = topkEntry{Vertex: e.V, Key: e.Key, Score: e.Score}
+		}
 	}
 	s.reads.Add(1)
 	writeJSON(w, v.Seq(), topkResponse{Version: v.Seq(), K: len(entries), Entries: entries})
@@ -293,6 +350,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 
 type deltaMovement struct {
 	Vertex uint32  `json:"vertex"`
+	Key    string  `json:"key,omitempty"`
 	From   float64 `json:"from"`
 	To     float64 `json:"to"`
 }
@@ -350,21 +408,57 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		moved = moved[:limit]
 	}
 	out := deltaResponse{From: from.Seq(), To: to.Seq(), Movements: make([]deltaMovement, len(moved))}
+	keyed := !s.denseIDs(r)
 	for i, m := range moved {
 		out.Movements[i] = deltaMovement{Vertex: m.V, From: m.From, To: m.To}
+		if keyed {
+			out.Movements[i].Key, _ = to.KeyOf(m.V)
+		}
 	}
 	s.reads.Add(1)
 	writeJSON(w, to.Seq(), out)
 }
 
+// applyEdge is one edge of an apply batch, in either addressing mode: dense
+// ids ({"u":1,"v":2}) or external keys ({"from":"alice","to":"bob"}). An
+// edge is keyed iff it names a key; a batch must stick to one mode.
 type applyEdge struct {
-	U uint32 `json:"u"`
-	V uint32 `json:"v"`
+	U    uint32 `json:"u"`
+	V    uint32 `json:"v"`
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
 }
+
+func (e applyEdge) isKeyed() bool { return e.From != "" || e.To != "" }
 
 type applyRequest struct {
 	Del []applyEdge `json:"del"`
 	Ins []applyEdge `json:"ins"`
+}
+
+// splitApply converts a request body into exactly one addressing mode.
+// keyed reports which; a mix (or keyed edges on a dense engine) errors.
+func (s *Server) splitApply(req applyRequest) (del, ins []dfpr.Edge, kdel, kins []dfpr.KeyEdge, keyed bool, err error) {
+	nKeyed := 0
+	for _, e := range req.Del {
+		if e.isKeyed() {
+			nKeyed++
+		}
+	}
+	for _, e := range req.Ins {
+		if e.isKeyed() {
+			nKeyed++
+		}
+	}
+	switch {
+	case nKeyed == 0:
+		return toEdges(req.Del), toEdges(req.Ins), nil, nil, false, nil
+	case nKeyed < len(req.Del)+len(req.Ins):
+		return nil, nil, nil, nil, false, fmt.Errorf("batch mixes keyed and dense edges")
+	case !s.keyed:
+		return nil, nil, nil, nil, false, fmt.Errorf("keyed edges on a dense-ID engine (serve a dfpr.Open engine for keys)")
+	}
+	return nil, nil, toKeyEdges(req.Del), toKeyEdges(req.Ins), true, nil
 }
 
 type applyResponse struct {
@@ -390,8 +484,13 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "batch of %d edges exceeds the server cap %d", n, s.opts.maxBatch)
 		return
 	}
+	del, ins, kdel, kins, keyed, err := s.splitApply(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	if s.opts.syncApply {
-		s.applySync(w, r, req)
+		s.applySync(w, r, del, ins, kdel, kins, keyed)
 		return
 	}
 
@@ -400,7 +499,12 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 	// the rank refresh runs behind the engine's policy, never here. Both
 	// waits are bounded server-side by maxWait so a stalled pipeline (or a
 	// client with no timeout) cannot park handler goroutines indefinitely.
-	tk, err := s.eng.Submit(r.Context(), toEdges(req.Del), toEdges(req.Ins))
+	var tk *dfpr.Ticket
+	if keyed {
+		tk, err = s.eng.SubmitKeyed(r.Context(), kdel, kins)
+	} else {
+		tk, err = s.eng.Submit(r.Context(), del, ins)
+	}
 	if err != nil {
 		writeErr(w, statusOf(err), "%v", err)
 		return
@@ -440,8 +544,14 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 // a context detached from the request: the batch is already published, so a
 // client disconnect mid-refresh must not abort a rank whose version readers
 // are waiting on (it would leave Behind() > 0 until the next write).
-func (s *Server) applySync(w http.ResponseWriter, r *http.Request, req applyRequest) {
-	seq, err := s.eng.Apply(r.Context(), toEdges(req.Del), toEdges(req.Ins))
+func (s *Server) applySync(w http.ResponseWriter, r *http.Request, del, ins []dfpr.Edge, kdel, kins []dfpr.KeyEdge, keyed bool) {
+	var seq uint64
+	var err error
+	if keyed {
+		seq, err = s.eng.ApplyKeyed(r.Context(), kdel, kins)
+	} else {
+		seq, err = s.eng.Apply(r.Context(), del, ins)
+	}
 	if err != nil {
 		writeErr(w, statusOf(err), "%v", err)
 		return
@@ -533,6 +643,8 @@ type statsResponse struct {
 	Ready          bool   `json:"ready"`
 	Vertices       int    `json:"vertices"`
 	Edges          int    `json:"edges"`
+	Keyed          bool   `json:"keyed"`
+	Keys           int    `json:"keys,omitempty"`
 	Refreshes      int    `json:"refreshes"`
 	Rebuilds       int    `json:"rebuilds"`
 	QueueDepth     int    `json:"ingest_queue_depth"`
@@ -554,6 +666,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CoalescedEdits: st.CoalescedEdits,
 		Reads:          s.reads.Load(),
 		Writes:         s.writes.Load(),
+		Keyed:          s.keyed,
+		Keys:           s.eng.Keys(),
 	}
 	if v, err := s.eng.View(); err == nil {
 		out.RankVersion = v.Seq()
@@ -571,6 +685,17 @@ func toEdges(in []applyEdge) []dfpr.Edge {
 	out := make([]dfpr.Edge, len(in))
 	for i, e := range in {
 		out[i] = dfpr.Edge{U: e.U, V: e.V}
+	}
+	return out
+}
+
+func toKeyEdges(in []applyEdge) []dfpr.KeyEdge {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]dfpr.KeyEdge, len(in))
+	for i, e := range in {
+		out[i] = dfpr.KeyEdge{From: e.From, To: e.To}
 	}
 	return out
 }

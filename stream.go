@@ -70,7 +70,7 @@ func (s *Subscription) Close() {
 // Snapshot readers and every subscriber. Caller holds e.mu, which also
 // makes it the only publisher — the conflating send below relies on that.
 func (e *Engine) publishLocked(res *Result) {
-	v := newView(e.store, e.ranker.Version(), res.Seq, e.ranker.RanksShared())
+	v := newView(e.store, e.ranker.Version(), res.Seq, e.ranker.RanksShared(), e.keys)
 	res.View = v
 
 	e.viewMu.Lock()

@@ -4,6 +4,7 @@ import (
 	"iter"
 	"sync"
 
+	"dfpr/internal/keymap"
 	"dfpr/internal/metrics"
 	"dfpr/internal/snapshot"
 )
@@ -28,6 +29,12 @@ type View struct {
 	seq   uint64
 	ranks []float64         // shared immutable rank vector
 	ver   *snapshot.Version // graph snapshot at seq
+	// keys is the engine's key space (nil on dense-ID engines). The view's
+	// vertex count doubles as the key space's length at its version — ids
+	// are handed out densely and the universe only grows — so the keyed
+	// reads in keys.go resolve exactly the keys that existed at seq with
+	// the same bounds check the dense reads perform.
+	keys *keymap.Map
 	// chainFrom is the previously published rank version (== seq for the
 	// first view): the engine pins the batch chain (chainFrom, seq] in the
 	// store while this view is retained, so Delta between retained views
@@ -55,8 +62,8 @@ type Movement struct {
 
 // newView wraps one published rank state. The ranks slice is shared, not
 // copied — the caller guarantees it is frozen (see Ranker.RanksShared).
-func newView(store *snapshot.Store, ver *snapshot.Version, seq uint64, ranks []float64) *View {
-	return &View{store: store, seq: seq, ranks: ranks, ver: ver}
+func newView(store *snapshot.Store, ver *snapshot.Version, seq uint64, ranks []float64, keys *keymap.Map) *View {
+	return &View{store: store, seq: seq, ranks: ranks, ver: ver, keys: keys}
 }
 
 // Seq returns the version this view is pinned to: both the graph version
@@ -192,7 +199,11 @@ func (v *View) Scores() iter.Seq2[uint32, float64] {
 // set, and out-row changes always come from batch endpoints), so the
 // expansion is exhaustive. When the chain has been evicted — or the views
 // come from different engines — Delta falls back to one full O(|V|) scan.
-// Both views must have the same vertex count; Delta panics otherwise.
+//
+// Views of different vertex counts (the universe grew in between) always
+// take the full scan: growth rescales the teleport share of every vertex,
+// so every rank moves and a frontier walk would be no cheaper. Vertices
+// absent from the older view report From 0.
 func (v *View) Delta(old *View) []Movement {
 	return v.DeltaAbove(old, 0)
 }
@@ -205,21 +216,24 @@ func (v *View) DeltaAbove(old *View, eps float64) []Movement {
 	if old == nil || old == v || old.seq == v.seq && old.store == v.store {
 		return nil
 	}
-	if len(old.ranks) != len(v.ranks) {
-		panic("dfpr: Delta between views of different vertex counts")
-	}
 	lo, hi := old, v
 	if lo.seq > hi.seq {
 		lo, hi = hi, lo
 	}
 	var moved []Movement
-	if lo.store == hi.store && lo.store != nil {
+	switch {
+	case len(lo.ranks) != len(hi.ranks):
+		// Growth between the versions: the teleport term (1-α)/n changed
+		// for every vertex, so the movement set is the whole universe — a
+		// frontier walk has nothing to prune. One padded scan.
+		moved = deltaScanGrown(lo, hi, eps)
+	case lo.store == hi.store && lo.store != nil:
 		if m, ok := deltaFrontier(lo, hi, eps); ok {
 			moved = m
 		} else {
 			moved = deltaScan(lo, hi, eps)
 		}
-	} else {
+	default:
 		moved = deltaScan(lo, hi, eps)
 	}
 	// Report in the caller's direction: From is always old's score.
