@@ -7,10 +7,17 @@
 // read-your-ranks). SIGINT/SIGTERM drains in-flight requests and flushes
 // the ingest queue before exiting.
 //
+// With -data the engine is durable: every applied batch is written to a
+// write-ahead log under the directory, checkpoints bound replay, and a
+// restart pointed at the same -data recovers the pre-crash graph and ranks
+// (the input flags are then ignored — the directory is authoritative).
+//
 // Usage:
 //
 //	prserve -in graph.el -addr :8080
 //	prserve -gen web -n 65536 -deg 12        # synthetic graph, no file needed
+//	prserve -gen web -data /var/lib/dfpr     # durable: applied edits survive restarts
+//	prserve -data /var/lib/dfpr              # warm restart from the directory alone
 //	prserve -gen web -rank-policy debounce -rank-max-latency 50ms
 //	prserve -keyed -in follows.kel           # string keys: 'alice bob' per line
 //	prserve -keyed -gen web -n 65536         # synthetic v<id> keys
@@ -65,6 +72,9 @@ func main() {
 		queue    = flag.Int("queue", dfpr.DefaultIngestQueue, "ingest queue bound in edits (backpressure above)")
 		syncW    = flag.Bool("sync-apply", false, "serve /v1/apply synchronously (apply+rank per request; baseline mode)")
 		keyed    = flag.Bool("keyed", false, "serve an open-universe keyed engine: -in is a keyed edge list ('fromKey toKey' per line); with -gen, vertices get synthetic v<id> keys")
+		data     = flag.String("data", "", "durability directory (WAL + checkpoints); applied edits survive restarts, and a directory with state warm-restarts the engine from it (-in/-gen then ignored)")
+		fsyncS   = flag.String("fsync", "batched", "with -data, WAL fsync policy: always|batched|batched:<dur>|none")
+		ckptN    = flag.Int("checkpoint-every", dfpr.DefaultCheckpointEvery, "with -data, checkpoint every N published rank versions")
 	)
 	flag.Parse()
 
@@ -85,11 +95,34 @@ func main() {
 		dfpr.WithRankPolicy(rp),
 		dfpr.WithIngestQueue(*queue),
 	}
+	warm := false
+	if *data != "" {
+		fp, err := dfpr.ParseFsyncPolicy(*fsyncS)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts = append(opts, dfpr.WithDurability(*data), dfpr.WithFsync(fp), dfpr.WithCheckpointEvery(*ckptN))
+		if warm, err = dfpr.HasDurableState(*data); err != nil {
+			fatalf("probe -data %s: %v", *data, err)
+		}
+	}
 	var eng *dfpr.Engine
 	var nv, ne int
-	if *keyed {
+	switch {
+	case warm:
+		// The directory holds the authoritative state: skip loading any
+		// input graph — recovery supersedes it.
+		if *in != "" || *genClass != "" {
+			log.Printf("prserve: %s holds durable state; ignoring -in/-gen", *data)
+		}
+		if *keyed {
+			eng, err = dfpr.Open(opts...)
+		} else {
+			eng, err = dfpr.New(0, nil, opts...)
+		}
+	case *keyed:
 		eng, nv, ne, err = openKeyed(*in, *genClass, *n, *deg, *seed, opts)
-	} else {
+	default:
 		var edges []dfpr.Edge
 		nv, edges, err = loadOrGenerate(*in, *genClass, *n, *deg, *seed)
 		ne = len(edges)
@@ -105,7 +138,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("prserve: converging initial ranks on %d vertices, %d edges…", nv, ne)
+	if warm {
+		ds := eng.Stats().Durability
+		log.Printf("prserve: warm restart from %s: version %d (checkpoint %d, %d log records replayed), catching up…",
+			*data, eng.Version(), ds.CheckpointSeq, ds.ReplayedRecords)
+	} else {
+		log.Printf("prserve: converging initial ranks on %d vertices, %d edges…", nv, ne)
+	}
 	res, err := eng.Rank(ctx)
 	if err != nil {
 		fatalf("initial ranking failed: %v", err)

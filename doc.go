@@ -60,6 +60,22 @@
 // pending versions replays them as one merged incremental run
 // (WithSpanCoalescing, on by default).
 //
+// WithDurability(dir) makes all of it survive the process: every published
+// round is appended to a write-ahead log (CRC-framed, fsynced per
+// WithFsync: FsyncAlways, FsyncBatched group-commit, FsyncNone) before its
+// version is visible to readers, and periodic checkpoints
+// (WithCheckpointEvery, or an explicit Checkpoint call) snapshot graph,
+// ranks and key space to bound replay. Construction against a directory
+// with state warm-restarts instead of building: reads serve the
+// checkpointed watermark immediately, the log tail replays through the
+// incremental path, Recovering reports true until the first Rank catches
+// the tip, and recovered ranks converge to the cold-build fixed point. A
+// torn final record — the normal result of a crash mid-append — is
+// truncated, never fatal. After startup, I/O failure degrades rather than
+// wedges: applies continue in memory and Stats().Durability.Err surfaces
+// ErrDurabilityDegraded wrapping the cause. HasDurableState probes a
+// directory; keyed engines recover with Open, dense ones with New.
+//
 // Reads go through Views — immutable, zero-copy handles pinned to one
 // published version, shared by every reader of that version:
 //
@@ -91,7 +107,8 @@
 // the X-DFPR-Version header and a graceful drain that flushes the ingest
 // queue); on a keyed engine the surface speaks keys (/v1/rank/{key}, keyed
 // top-k/delta entries, keyed apply edges; ?ids=dense opts out).
-// cmd/prserve is its ready-made binary (-keyed for string-keyed serving).
+// cmd/prserve is its ready-made binary (-keyed for string-keyed serving,
+// -data for durable serving with crash-safe warm restarts).
 //
 // The paper's contribution — the Dynamic Frontier approach for updating
 // PageRank after batch edge updates, and its lock-free fault-tolerant
@@ -108,7 +125,8 @@
 //	internal/batch     batch-update generation and temporal replay
 //	internal/sched     dynamic chunk scheduling (uniform and edge-balanced),
 //	                   instrumented barriers, abortable work pools
-//	internal/fault     thread delay and crash-stop injection
+//	internal/fault     thread delay, crash-stop and filesystem-I/O injection
+//	internal/wal       write-ahead log segments + checkpoint files
 //	internal/traverse  reachability marking for the DT baseline
 //	internal/metrics   norms, geometric means, table formatting
 //	internal/harness   one driver per table/figure of the evaluation

@@ -1,0 +1,316 @@
+package dfpr
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dfpr/internal/batch"
+	"dfpr/internal/graph"
+	"dfpr/internal/keymap"
+	"dfpr/internal/snapshot"
+	"dfpr/internal/wal"
+)
+
+// This file wires the durability subsystem (internal/wal) into the engine:
+// construction-time recovery (openDurable), the log-before-publish apply
+// path (storeApply), background checkpointing off the publish path, and the
+// observability surface (Recovering, Stats.Durability, Checkpoint).
+
+// durability is the engine's durable-state sidecar.
+type durability struct {
+	log *wal.Log
+	// ckptEvery is the checkpoint cadence in published rank versions.
+	ckptEvery uint64
+
+	// mu serialises append-then-apply so log order always equals publication
+	// order — the invariant replay depends on. keysLogged (the key-space
+	// prefix already made durable) is guarded by it.
+	mu         sync.Mutex
+	keysLogged int
+
+	lastCkpt atomic.Uint64 // seq of the newest durable checkpoint
+	ckptBusy atomic.Bool   // one background checkpoint in flight at a time
+	ckptWG   sync.WaitGroup
+
+	// recoverTip is the graph version recovery replayed up to; recovering
+	// stays set until published ranks catch it.
+	recoverTip uint64
+	recovering atomic.Bool
+	replayed   int // tail records replayed at recovery (diagnostic)
+}
+
+// HasDurableState reports whether dir holds recoverable engine state from a
+// previous WithDurability run — the probe cmd/prserve uses to skip loading
+// an input graph when a warm restart will supersede it anyway.
+func HasDurableState(dir string) (bool, error) {
+	return wal.HasState(dir, nil)
+}
+
+// openDurable is New/Open for WithDurability engines: a fresh directory is
+// seeded with checkpoint 0 of the newly built engine; a directory with
+// state recovers it instead — the latest valid checkpoint is loaded, the
+// rank vector (if one was checkpointed) is resumed without recomputation,
+// and the WAL tail is replayed through the normal apply path. Persisted
+// state takes precedence over the n/edges arguments.
+func openDurable(n int, edges []Edge, st settings) (*Engine, error) {
+	log, rec, err := wal.Open(st.durDir, wal.Options{
+		Mode: st.fsync.mode, Interval: st.fsync.interval, FS: st.walFS,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dfpr: open durability dir: %w", err)
+	}
+	e, err := func() (*Engine, error) {
+		if !rec.HasState {
+			return seedDurable(n, edges, st, log)
+		}
+		return recoverDurable(st, log, rec)
+	}()
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// seedDurable builds a fresh engine and writes its version-0 state as the
+// seed checkpoint, anchoring all future replay.
+func seedDurable(n int, edges []Edge, st settings, log *wal.Log) (*Engine, error) {
+	e, err := newEngine(n, edges, st)
+	if err != nil {
+		return nil, err
+	}
+	d := &durability{log: log, ckptEvery: uint64(st.ckptEvery)}
+	if e.keys != nil {
+		d.keysLogged = e.keys.Len()
+	}
+	e.dur = d
+	cur := e.store.Current()
+	ckpt := &wal.State{Seq: cur.Seq, Graph: cur.G}
+	if e.keys != nil {
+		ckpt.Keys = e.keys.KeysRange(0, e.keys.Len())
+	}
+	if err := log.WriteCheckpoint(ckpt); err != nil {
+		// A directory that cannot take its seed checkpoint would be
+		// unrecoverable; refuse to start rather than run silently volatile.
+		return nil, fmt.Errorf("dfpr: seed checkpoint: %w", err)
+	}
+	d.noteCheckpoint(cur.Seq)
+	return e, nil
+}
+
+// recoverDurable rebuilds an engine from recovered state: store sealed at
+// the checkpoint's version, ranker resumed at the checkpointed vector, tail
+// replayed on top. The engine serves reads at the checkpointed rank version
+// immediately; Recovering reports true until a Rank catches the replayed
+// tip (the serve layer holds writes off with 503 meanwhile).
+func recoverDurable(st settings, log *wal.Log, rec *wal.Recovered) (*Engine, error) {
+	ck := rec.Checkpoint
+	if keyedState := len(ck.Keys) > 0; keyedState != st.keyed && (keyedState || ck.Graph.N() > 0) {
+		if keyedState {
+			return nil, fmt.Errorf("dfpr: %s holds a keyed engine's state — recover it with Open, not New", st.durDir)
+		}
+		return nil, fmt.Errorf("dfpr: %s holds a dense-ID engine's state — recover it with New, not Open", st.durDir)
+	}
+	if ck.Graph.N() > st.maxN {
+		return nil, fmt.Errorf("dfpr: recovered state holds %d vertices, beyond the bound %d (WithMaxVertices): %w",
+			ck.Graph.N(), st.maxN, ErrTooManyVertices)
+	}
+	if len(ck.Keys) > 0 && len(ck.Keys) < ck.Graph.N() {
+		return nil, fmt.Errorf("dfpr: recovered checkpoint covers %d vertices with only %d keys", ck.Graph.N(), len(ck.Keys))
+	}
+	e := &Engine{
+		opts:     st,
+		store:    snapshot.NewStoreAt(graph.DynamicFromCSR(ck.Graph), st.history, ck.Seq),
+		subs:     make(map[uint64]*Subscription),
+		applyble: true,
+	}
+	d := &durability{log: log, ckptEvery: uint64(st.ckptEvery)}
+	e.dur = d
+	d.noteCheckpoint(ck.Seq)
+	if st.keyed {
+		e.keys = keymap.New()
+		for i, k := range ck.Keys {
+			if id := e.keys.Intern(k); int(id) != i {
+				return nil, fmt.Errorf("dfpr: recovered checkpoint repeats key %q", k)
+			}
+		}
+		d.keysLogged = len(ck.Keys)
+	}
+	// Resume the rank vector BEFORE replaying the tail: the ranker's parent
+	// version is then the store's base, so the first Rank replays the tail
+	// incrementally — the same refresh path a live engine would have taken.
+	if ck.Ranks != nil {
+		rk, err := snapshot.ResumeRanker(e.store, st.algo, st.cfg, ck.Ranks, ck.Seq)
+		if err != nil {
+			return nil, fmt.Errorf("dfpr: resume ranks: %w", err)
+		}
+		rk.DisableFallback = st.noFallback
+		rk.CoalesceSpans = !st.uncoalesced
+		e.ranker = rk
+		// Publish the checkpointed ranks as a view right away: reads come
+		// back at the pre-crash watermark without waiting for a refresh.
+		e.publishLocked(&Result{Seq: ck.Seq, Converged: true})
+	}
+	// Replay the tail through the store (NOT storeApply — these records are
+	// already durable; re-logging them would double the log). The wal layer
+	// guaranteed contiguity from ck.Seq+1. The records are folded into ONE
+	// merged application landing at the tail's tip sequence: a store version
+	// costs a full CSR materialisation, so per-record replay would make
+	// restart time scale with tail length; merged replay makes it one
+	// snapshot regardless. The resumed ranker sees the merged batch as a
+	// single coalesced span — the same shape a live engine's refresh takes
+	// when it is several versions behind.
+	ups := make([]batch.Update, 0, len(rec.Tail))
+	for _, r := range rec.Tail {
+		if e.keys == nil && len(r.Keys) > 0 {
+			// The checkpoint predated the first key (so the flavour check
+			// above could not tell), but the tail is unmistakably keyed.
+			return nil, fmt.Errorf("dfpr: %s holds a keyed engine's state — recover it with Open, not New", st.durDir)
+		}
+		if e.keys != nil && len(r.Keys) > 0 {
+			if int(r.KeyBase) != e.keys.Len() {
+				return nil, fmt.Errorf("dfpr: replay record %d logs keys from id %d, key space has %d", r.Seq, r.KeyBase, e.keys.Len())
+			}
+			for _, k := range r.Keys {
+				e.keys.Intern(k)
+			}
+		}
+		ups = append(ups, batch.Update{Del: r.Del, Ins: r.Ins, N: int(r.N)})
+	}
+	if len(ups) > 0 {
+		e.store.ApplyAt(batch.Merge(ups...), ck.Seq+uint64(len(ups)))
+		d.replayed = len(ups)
+	}
+	if e.keys != nil {
+		d.keysLogged = e.keys.Len()
+		e.keys.Sync()
+	}
+	tip := e.store.Current().Seq
+	e.verWM.init(tip)
+	d.recoverTip = tip
+	if tip > ck.Seq {
+		d.recovering.Store(true)
+	}
+	return e, nil
+}
+
+// storeApply publishes one batch through the store, appending its WAL
+// record first when durability is on (log-before-publish: the record hits
+// the log — and, under FsyncAlways, stable storage — before any reader can
+// observe the version). On a degraded log the append is a cheap error
+// return and the apply proceeds in memory: reads keep working, Stats
+// surfaces ErrDurabilityDegraded. Callers hold e.closeMu.RLock with
+// applyble true, exactly like the direct store.Apply they replace.
+func (e *Engine) storeApply(up batch.Update) *snapshot.Version {
+	d := e.dur
+	if d == nil {
+		_, next := e.store.Apply(up)
+		return next
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cur := e.store.Current()
+	nAfter := up.Universe(cur.G.N())
+	rec := wal.Record{Seq: cur.Seq + 1, N: uint64(nAfter), Del: up.Del, Ins: up.Ins}
+	if e.keys != nil && nAfter > d.keysLogged {
+		// First durable mention of ids [keysLogged, nAfter): log their keys
+		// with the record, so replay re-interns them in the same dense order.
+		rec.KeyBase = uint32(d.keysLogged)
+		rec.Keys = e.keys.KeysRange(d.keysLogged, nAfter)
+		d.keysLogged = nAfter
+	}
+	// Degradation is deliberate fire-and-continue: the error is sticky in
+	// the log and surfaced via Stats; wedging the apply path would turn a
+	// disk failure into an outage.
+	_ = d.log.Append(&rec)
+	_, next := e.store.Apply(up)
+	return next
+}
+
+// maybeCheckpointLocked runs at every rank publication (caller holds e.mu):
+// it clears the recovering flag once ranks catch the replayed tip, and
+// kicks off a background checkpoint when the cadence is due. The checkpoint
+// snapshots only immutable data (the view's CSR, rank vector, and the
+// append-only key prefix), so it runs without any engine lock.
+func (e *Engine) maybeCheckpointLocked(v *View) {
+	d := e.dur
+	if d.recovering.Load() && v.seq >= d.recoverTip {
+		d.recovering.Store(false)
+	}
+	if v.seq-d.lastCkpt.Load() < d.ckptEvery || d.log.Degraded() {
+		return
+	}
+	if !d.ckptBusy.CompareAndSwap(false, true) {
+		return // previous checkpoint still writing; next publication retries
+	}
+	st := e.checkpointState(v)
+	d.ckptWG.Add(1)
+	go func() {
+		defer d.ckptWG.Done()
+		defer d.ckptBusy.Store(false)
+		if d.log.WriteCheckpoint(st) == nil {
+			d.noteCheckpoint(st.Seq)
+		}
+	}()
+}
+
+// checkpointState captures the published view v as a checkpoint: graph and
+// ranks at v's version, plus the key prefix covering its universe (ids are
+// dense in first-mention order, so the first N keys are exactly the keys
+// that existed at a version with N vertices).
+func (e *Engine) checkpointState(v *View) *wal.State {
+	st := &wal.State{Seq: v.seq, Graph: v.ver.G, Ranks: v.ranks}
+	if e.keys != nil {
+		st.Keys = e.keys.KeysRange(0, len(v.ranks))
+	}
+	return st
+}
+
+// noteCheckpoint records a durable checkpoint's seq, keeping the gauge
+// monotone under a racing manual Checkpoint and background writer.
+func (d *durability) noteCheckpoint(seq uint64) {
+	for {
+		cur := d.lastCkpt.Load()
+		if seq <= cur || d.lastCkpt.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// Checkpoint forces a durable checkpoint of the latest published rank
+// version (or of the current graph version, rank-less, before the first
+// Rank) and prunes the log behind it. The periodic cadence
+// (WithCheckpointEvery) makes this unnecessary in steady state; it exists
+// for tests, for pre-shutdown compaction, and for callers that just applied
+// a bulk load they do not want to replay ever again.
+func (e *Engine) Checkpoint() error {
+	d := e.dur
+	if d == nil {
+		return fmt.Errorf("dfpr: engine has no durability directory (WithDurability)")
+	}
+	var st *wal.State
+	if v := e.latest.Load(); v != nil {
+		st = e.checkpointState(v)
+	} else {
+		cur := e.store.Current()
+		st = &wal.State{Seq: cur.Seq, Graph: cur.G}
+		if e.keys != nil {
+			st.Keys = e.keys.KeysRange(0, cur.G.N())
+		}
+	}
+	if err := d.log.WriteCheckpoint(st); err != nil {
+		return fmt.Errorf("%w: %w", ErrDurabilityDegraded, err)
+	}
+	d.noteCheckpoint(st.Seq)
+	return nil
+}
+
+// Recovering reports whether the engine is still catching up on state
+// replayed at construction: true from a warm restart that found WAL records
+// past the checkpoint until a Rank brings published ranks up to the
+// replayed tip. Reads serve the checkpointed version meanwhile; the serve
+// layer rejects writes with 503 while this holds.
+func (e *Engine) Recovering() bool {
+	return e.dur != nil && e.dur.recovering.Load()
+}

@@ -109,6 +109,11 @@ type Engine struct {
 	ingestRounds    atomic.Int64 // coalesced rounds applied
 	ingestCoalesced atomic.Int64 // edits applied through the pipeline
 
+	// dur is the durability sidecar (nil without WithDurability): the WAL
+	// every published round is logged to ahead of publication, plus the
+	// checkpoint machinery and recovery state. See durable.go.
+	dur *durability
+
 	// Watermarks for the completion APIs: verWM tracks published graph
 	// versions (Apply and ingest rounds), rankWM published rank versions.
 	verWM  watermark
@@ -135,6 +140,18 @@ func New(n int, edges []Edge, opts ...Option) (*Engine, error) {
 			return nil, err
 		}
 	}
+	if st.durDir != "" {
+		// Durable engines take the recovery-aware constructor: a directory
+		// that already holds state supersedes n/edges entirely (the state IS
+		// the graph); a fresh one is built here and seeded with checkpoint 0.
+		return openDurable(n, edges, st)
+	}
+	return newEngine(n, edges, st)
+}
+
+// newEngine builds a non-recovered engine from resolved settings — the
+// shared tail of New, Open and the durable seed path.
+func newEngine(n int, edges []Edge, st settings) (*Engine, error) {
 	ges := toInternal(edges)
 	universe := batch.Update{Ins: ges}.Universe(n)
 	if universe > st.maxN {
@@ -150,6 +167,9 @@ func New(n int, edges []Edge, opts ...Option) (*Engine, error) {
 		subs:     make(map[uint64]*Subscription),
 		applyble: true,
 	}
+	if st.keyed {
+		e.keys = keymap.New()
+	}
 	e.verWM.init(0) // version 0 exists from construction
 	return e, nil
 }
@@ -162,12 +182,10 @@ func New(n int, edges []Edge, opts ...Option) (*Engine, error) {
 // Engine.Resolve / View.ScoreOfKey and translate back with KeyOf; a view
 // pinned to a version only resolves keys that existed at that version.
 func Open(opts ...Option) (*Engine, error) {
-	e, err := New(0, nil, opts...)
-	if err != nil {
-		return nil, err
-	}
-	e.keys = keymap.New()
-	return e, nil
+	// Keyedness is resolved as an option rather than patched on after New:
+	// a durable Open must know the key space exists BEFORE recovery replays
+	// WAL records whose keys need re-interning.
+	return New(0, nil, append(append(make([]Option, 0, len(opts)+1), opts...), withKeyed())...)
 }
 
 // Apply applies one batch update — del edges removed, ins edges added — and
@@ -217,7 +235,7 @@ func (e *Engine) applyInternal(up batch.Update) (uint64, error) {
 	if !e.applyble {
 		return 0, ErrClosed
 	}
-	_, next := e.store.Apply(up)
+	next := e.storeApply(up)
 	e.verWM.advance(next.Seq)
 	return next.Seq, nil
 }
@@ -436,13 +454,29 @@ func (e *Engine) Stats() Stats {
 	e.ingestMu.Lock()
 	queued := e.ingestEdits
 	e.ingestMu.Unlock()
-	return Stats{
+	s := Stats{
 		Refreshes:      int(e.refreshes.Load()),
 		Rebuilds:       int(e.rebuilds.Load()),
 		QueuedEdits:    queued,
 		IngestRounds:   e.ingestRounds.Load(),
 		CoalescedEdits: e.ingestCoalesced.Load(),
 	}
+	if d := e.dur; d != nil {
+		ls := d.log.Stats()
+		s.Durability = DurabilityStats{
+			Enabled:         true,
+			WALSeq:          ls.Seq,
+			CheckpointSeq:   ls.CheckpointSeq,
+			LastFsync:       ls.LastSync,
+			Recovering:      d.recovering.Load(),
+			Degraded:        ls.Degraded,
+			ReplayedRecords: d.replayed,
+		}
+		if ls.Err != nil {
+			s.Durability.Err = fmt.Errorf("%w: %w", ErrDurabilityDegraded, ls.Err)
+		}
+	}
+	return s
 }
 
 // syncStatsLocked mirrors the ranker's counters into the atomics Stats
@@ -498,5 +532,15 @@ func (e *Engine) Close() error {
 		close(sub.ch)
 	}
 	e.subMu.Unlock()
+	if d := e.dur; d != nil {
+		// Durable teardown: wait out an in-flight background checkpoint,
+		// then flush and close the log — Close is the last fsync barrier, so
+		// everything applied before it survives a subsequent crash. The
+		// log's sticky degradation cause (if any) is the return value.
+		d.ckptWG.Wait()
+		if err := d.log.Close(); err != nil {
+			return fmt.Errorf("%w: %w", ErrDurabilityDegraded, err)
+		}
+	}
 	return nil
 }

@@ -217,6 +217,14 @@ func (e *Engine) Flush(ctx context.Context) error {
 	e.wakeIngest()
 	select {
 	case <-f.done:
+		if f.err == nil && e.dur != nil {
+			// A drain is a durability barrier too: under batched fsync the
+			// drained rounds may still sit in the page cache — force them
+			// down so "Flush returned" means "survives a crash".
+			if err := e.dur.log.Sync(); err != nil {
+				return fmt.Errorf("%w: %w", ErrDurabilityDegraded, err)
+			}
+		}
 		return f.err
 	case <-ctx.Done():
 		return ctx.Err()
@@ -356,7 +364,10 @@ func (e *Engine) ingestLoop() {
 				ok := e.applyble
 				var seq uint64
 				if ok {
-					_, next := e.store.Apply(merged)
+					// storeApply is the log-before-publish point: on durable
+					// engines the round's WAL record is appended (fsynced per
+					// policy) before the version becomes visible.
+					next := e.storeApply(merged)
 					seq = next.Seq
 				}
 				e.closeMu.RUnlock()

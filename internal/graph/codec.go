@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"unsafe"
+)
+
+// Binary codec for CSR snapshots, used by the durability layer's
+// checkpoints. The format is the struct laid out raw in little-endian —
+// both offset arrays and both adjacency arrays — so encoding is four
+// sequential array walks and decoding rebuilds an immutable snapshot
+// without re-sorting or re-counting anything. Integrity is the caller's
+// concern (checkpoint files carry a checksum over the whole payload);
+// DecodeCSR still validates the structural invariants so a corrupted but
+// checksum-colliding payload cannot smuggle out-of-range offsets into the
+// kernels.
+
+// AppendBinary serialises g onto dst and returns the extended slice.
+func (g *CSR) AppendBinary(dst []byte) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint64(dst, uint64(g.n))
+	dst = le.AppendUint64(dst, uint64(len(g.outAdj)))
+	dst = le.AppendUint64(dst, uint64(len(g.inAdj)))
+	for _, p := range g.outPtr {
+		dst = le.AppendUint64(dst, p)
+	}
+	for _, v := range g.outAdj {
+		dst = le.AppendUint32(dst, v)
+	}
+	for _, p := range g.inPtr {
+		dst = le.AppendUint64(dst, p)
+	}
+	for _, v := range g.inAdj {
+		dst = le.AppendUint32(dst, v)
+	}
+	return dst
+}
+
+// EncodedSize returns the exact byte length AppendBinary produces for g.
+func (g *CSR) EncodedSize() int {
+	return 3*8 + 2*8*(g.n+1) + 4*(len(g.outAdj)+len(g.inAdj))
+}
+
+// DecodeCSR rebuilds a snapshot from AppendBinary output, validating the
+// CSR invariants before returning it. The two sides are independent byte
+// ranges with independent invariants, so they decode and validate
+// concurrently — this sits on the warm-restart critical path, where the
+// checkpointed graph is by far the largest thing to deserialise.
+func DecodeCSR(b []byte) (*CSR, error) {
+	le := binary.LittleEndian
+	if len(b) < 3*8 {
+		return nil, fmt.Errorf("graph: truncated CSR header (%d bytes)", len(b))
+	}
+	n := int(le.Uint64(b))
+	mOut := int(le.Uint64(b[8:]))
+	mIn := int(le.Uint64(b[16:]))
+	if n < 0 || mOut < 0 || mIn < 0 {
+		return nil, fmt.Errorf("graph: negative CSR dimensions (n=%d mOut=%d mIn=%d)", n, mOut, mIn)
+	}
+	if mOut != mIn {
+		return nil, fmt.Errorf("graph: out edges (%d) != in edges (%d)", mOut, mIn)
+	}
+	want := 3*8 + 2*8*(n+1) + 4*(mOut+mIn)
+	if len(b) != want {
+		return nil, fmt.Errorf("graph: CSR payload %d bytes, want %d (n=%d mOut=%d mIn=%d)", len(b), want, n, mOut, mIn)
+	}
+	g := &CSR{n: n}
+	outB := b[3*8:]
+	inB := outB[8*(n+1)+4*mOut:]
+	var inErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		g.inPtr, g.inAdj, inErr = decodeSide("in", n, mIn, inB)
+	}()
+	var outErr error
+	g.outPtr, g.outAdj, outErr = decodeSide("out", n, mOut, outB)
+	<-done
+	if outErr != nil {
+		return nil, outErr
+	}
+	if inErr != nil {
+		return nil, inErr
+	}
+	return g, nil
+}
+
+// decodeSide deserialises one CSR side (offset array then adjacency array)
+// and validates its structural invariants.
+func decodeSide(name string, n, m int, b []byte) ([]uint64, []uint32, error) {
+	le := binary.LittleEndian
+	ptr := make([]uint64, n+1)
+	if leHost {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(&ptr[0])), 8*len(ptr)), b)
+	} else {
+		for i := range ptr {
+			ptr[i] = le.Uint64(b[8*i:])
+		}
+	}
+	b = b[8*(n+1):]
+	adj := make([]uint32, m)
+	if m > 0 {
+		if leHost {
+			copy(unsafe.Slice((*byte)(unsafe.Pointer(&adj[0])), 4*m), b)
+		} else {
+			for i := range adj {
+				adj[i] = le.Uint32(b[4*i:])
+			}
+		}
+	}
+	if err := validateSide(name, n, ptr, adj); err != nil {
+		return nil, nil, fmt.Errorf("graph: decoded CSR invalid: %w", err)
+	}
+	return ptr, adj, nil
+}
+
+// leHost reports whether the host lays out integers little-endian — the
+// codec's wire order — in which case each array decodes as one block copy
+// instead of an element-wise loop. The element-wise fallback keeps the
+// format portable to big-endian hosts.
+var leHost = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()

@@ -31,13 +31,21 @@ func (d *Dynamic) deltaSnapshot() *CSR {
 	base := d.base
 	g := &CSR{n: d.n}
 
-	dirtyOut := make([]uint32, 0, len(d.outDirty))
-	for u := range d.outDirty {
-		dirtyOut = append(dirtyOut, u)
-	}
-	slices.Sort(dirtyOut)
-	g.outPtr, g.outAdj = mergeRows(d.n, d.m, base.outPtr, base.outAdj, dirtyOut,
-		func(u uint32) []uint32 { return d.adj[u] })
+	// The two sides read disjoint base arrays and write disjoint result
+	// arrays, so they merge concurrently — the block copies are the bulk of
+	// the work and this halves the wall-clock of every delta snapshot,
+	// including the one a warm restart pays to land the replayed WAL tail.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		dirtyOut := make([]uint32, 0, len(d.outDirty))
+		for u := range d.outDirty {
+			dirtyOut = append(dirtyOut, u)
+		}
+		slices.Sort(dirtyOut)
+		g.outPtr, g.outAdj = mergeRows(d.n, d.m, base.outPtr, base.outAdj, dirtyOut,
+			func(u uint32) []uint32 { return d.adj[u] })
+	}()
 
 	dirtyIn := make([]uint32, 0, len(d.inTouched))
 	for v := range d.inTouched {
@@ -50,6 +58,7 @@ func (d *Dynamic) deltaSnapshot() *CSR {
 			scratch = d.newInRow(v, scratch[:0])
 			return scratch
 		})
+	<-done
 	return g
 }
 

@@ -12,8 +12,11 @@
 package graph
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Edge is a directed edge from U to V. Vertex ids are 32-bit, matching the
@@ -115,30 +118,65 @@ func (g *CSR) Validate() error {
 	if len(g.outAdj) != len(g.inAdj) {
 		return fmt.Errorf("graph: out edges (%d) != in edges (%d)", len(g.outAdj), len(g.inAdj))
 	}
-	check := func(name string, ptr []uint64, adj []uint32) error {
-		if ptr[0] != 0 || ptr[g.n] != uint64(len(adj)) {
-			return fmt.Errorf("graph: %s offsets do not span adjacency", name)
-		}
-		for v := 0; v < g.n; v++ {
-			if ptr[v] > ptr[v+1] {
-				return fmt.Errorf("graph: %s offsets not monotone at %d", name, v)
-			}
-			row := adj[ptr[v]:ptr[v+1]]
-			for i, w := range row {
-				if int(w) >= g.n {
-					return fmt.Errorf("graph: %s neighbour %d of %d out of range", name, w, v)
-				}
-				if i > 0 && row[i-1] >= w {
-					return fmt.Errorf("graph: %s adjacency of %d not sorted/unique", name, v)
-				}
-			}
-		}
-		return nil
-	}
-	if err := check("out", g.outPtr, g.outAdj); err != nil {
+	if err := validateSide("out", g.n, g.outPtr, g.outAdj); err != nil {
 		return err
 	}
-	return check("in", g.inPtr, g.inAdj)
+	return validateSide("in", g.n, g.inPtr, g.inAdj)
+}
+
+// validateSide checks one CSR side's structural invariants: offsets spanning
+// the adjacency monotonically, every neighbour in range, every row sorted
+// and duplicate-free. Rows are independent once the span check has passed,
+// so large graphs are validated in parallel chunks — this is a per-element
+// branchy walk that sits on the warm-restart critical path via DecodeCSR.
+func validateSide(name string, n int, ptr []uint64, adj []uint32) error {
+	if ptr[0] != 0 || ptr[n] != uint64(len(adj)) {
+		return fmt.Errorf("graph: %s offsets do not span adjacency", name)
+	}
+	workers := 1
+	if n >= 1<<15 {
+		workers = min(runtime.GOMAXPROCS(0), 8)
+	}
+	if workers <= 1 {
+		return validateRows(name, n, 0, n, ptr, adj)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	per := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, min((w+1)*per, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = validateRows(name, n, lo, hi, ptr, adj)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// validateRows checks rows [lo, hi) of one CSR side (see validateSide). The
+// monotonicity check at v compares ptr[v] to ptr[v+1], so chunk boundaries
+// need no overlap.
+func validateRows(name string, n, lo, hi int, ptr []uint64, adj []uint32) error {
+	for v := lo; v < hi; v++ {
+		if ptr[v] > ptr[v+1] {
+			return fmt.Errorf("graph: %s offsets not monotone at %d", name, v)
+		}
+		row := adj[ptr[v]:ptr[v+1]]
+		for i, w := range row {
+			if int(w) >= n {
+				return fmt.Errorf("graph: %s neighbour %d of %d out of range", name, w, v)
+			}
+			if i > 0 && row[i-1] >= w {
+				return fmt.Errorf("graph: %s adjacency of %d not sorted/unique", name, v)
+			}
+		}
+	}
+	return nil
 }
 
 func fmtEdgeRange(e Edge, n int) string {
@@ -184,10 +222,36 @@ func NewDynamic(n int) *Dynamic {
 // number of mutations takes the delta-merge path immediately.
 func DynamicFromCSR(g *CSR) *Dynamic {
 	d := NewDynamic(g.N())
-	for u := uint32(0); int(u) < g.N(); u++ {
-		row := g.Out(u)
-		d.adj[u] = append([]uint32(nil), row...)
+	// One backing array for all rows instead of one allocation per vertex:
+	// rows start as slices into it at full capacity, so the first append to
+	// a row copies it out (cap == len) rather than clobbering a neighbour.
+	// In-place deletions shrink a row within its own region, which is why
+	// the adjacency must be copied out of g rather than aliased. Row setup
+	// is chunked across workers on large graphs — this conversion is the
+	// second-largest cost of a warm restart after checkpoint decode.
+	backing := make([]uint32, g.M())
+	n := g.N()
+	workers := 1
+	if n >= 1<<15 {
+		workers = min(runtime.GOMAXPROCS(0), 8)
 	}
+	var wg sync.WaitGroup
+	per := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, min((w+1)*per, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			copy(backing[g.outPtr[lo]:g.outPtr[hi]], g.outAdj[g.outPtr[lo]:g.outPtr[hi]])
+			for u := lo; u < hi; u++ {
+				d.adj[u] = backing[g.outPtr[u]:g.outPtr[u+1]:g.outPtr[u+1]]
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 	d.m = g.M()
 	d.base = g
 	return d

@@ -48,6 +48,34 @@ type BenchReport struct {
 	// pipeline, with the grown engine pinned against a cold rebuild. Filled
 	// by a cmd/prbench extra.
 	Growth []GrowthResult `json:"growth,omitempty"`
+	// Durability holds the write-ahead-log cost/benefit measurement: warm
+	// restart (checkpoint load + bounded replay) against a cold build, and
+	// logged against unlogged apply throughput. Filled by a cmd/prbench
+	// extra.
+	Durability []DurabilityResult `json:"durability,omitempty"`
+}
+
+// DurabilityResult reports the durability subsystem's two headline numbers
+// on one graph: what a warm restart saves over a cold build-and-converge
+// (the PR 6 acceptance wants ≥5×), and what logging costs the apply path
+// (logged throughput must stay within 2× of unlogged).
+type DurabilityResult struct {
+	Graph       string `json:"graph"`
+	Vertices    int    `json:"vertices"`
+	Edges       int    `json:"edges"`
+	FsyncPolicy string `json:"fsync_policy"`
+	// ColdBuildMs is construct + converge from edges; WarmRestartMs is
+	// construct from the durability directory (checkpoint + ReplayedRecords
+	// WAL records) + the catch-up Rank.
+	ColdBuildMs     float64 `json:"cold_build_ms"`
+	WarmRestartMs   float64 `json:"warm_restart_ms"`
+	WarmSpeedup     float64 `json:"warm_speedup_vs_cold"`
+	ReplayedRecords int     `json:"replayed_records"`
+	// Apply throughput with the WAL on the write path vs without;
+	// LoggedOverhead is unlogged/logged rate (1.0 = free, 2.0 = half speed).
+	UnloggedAppliesSec float64 `json:"unlogged_applies_per_sec"`
+	LoggedAppliesSec   float64 `json:"logged_applies_per_sec"`
+	LoggedOverhead     float64 `json:"logged_overhead_vs_unlogged"`
 }
 
 // KeyedResult reports keyed-lookup overhead on one graph. ScoreOfKey pays

@@ -109,6 +109,44 @@ func (m *Map) KeyOf(id uint32) (string, bool) {
 	return "", false
 }
 
+// KeysRange returns the keys interned as ids [lo, hi), in id order — the
+// bulk export the durability layer uses to log newly interned keys and to
+// snapshot the key-space prefix a checkpoint covers. The range is clamped
+// to the interned prefix; a reversed or empty range returns nil.
+func (m *Map) KeysRange(lo, hi int) []string {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi <= lo {
+		return nil
+	}
+	rs := m.read.Load()
+	if hi <= len(rs.keys) {
+		// Entirely inside the promoted prefix: copy lock-free (the promoted
+		// slice is immutable).
+		return append([]string(nil), rs.keys[lo:hi]...)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Re-load under the lock: a promotion may have raced the probe.
+	rs = m.read.Load()
+	if n := len(rs.keys) + len(m.dirtyK); hi > n {
+		hi = n
+	}
+	if hi <= lo {
+		return nil
+	}
+	out := make([]string, 0, hi-lo)
+	for id := lo; id < hi; id++ {
+		if id < len(rs.keys) {
+			out = append(out, rs.keys[id])
+		} else {
+			out = append(out, m.dirtyK[id-len(rs.keys)])
+		}
+	}
+	return out
+}
+
 // Intern returns the id of key, assigning the next dense id if the key is
 // new. Ids are never reassigned; interning is the only way the key space
 // grows.

@@ -63,12 +63,20 @@ const DefaultHistory = 64
 // NewStore seals the dynamic graph (self-loops ensured) as version 0. The
 // store takes ownership of d; callers must not mutate it afterwards.
 func NewStore(d *graph.Dynamic, keepHistory int) *Store {
+	return NewStoreAt(d, keepHistory, 0)
+}
+
+// NewStoreAt is NewStore sealing the graph as version seq instead of 0 —
+// the warm-restart constructor: an engine recovering from a checkpoint
+// rebuilds its store at the checkpoint's sequence so replayed WAL records
+// and fresh writes continue the original version numbering.
+func NewStoreAt(d *graph.Dynamic, keepHistory int, seq uint64) *Store {
 	if keepHistory <= 0 {
 		keepHistory = DefaultHistory
 	}
 	d.EnsureSelfLoops()
 	s := &Store{d: d, keep: keepHistory}
-	v := &Version{G: d.Snapshot(), Seq: 0}
+	v := &Version{G: d.Snapshot(), Seq: seq}
 	s.cur.Store(v)
 	s.history = append(s.history, v)
 	return s
@@ -89,6 +97,33 @@ func (s *Store) Apply(up batch.Update) (prev, next *Version) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	prev = s.Current()
+	return s.applyLocked(up, prev.Seq+1)
+}
+
+// ApplyAt is Apply publishing the resulting version at the given sequence
+// number instead of prev.Seq+1. It exists for warm restart: recovery folds
+// the whole replayed WAL tail into ONE store application — one snapshot
+// materialisation instead of one per record, which is what makes restart
+// cost independent of tail length — and lands it at the tail's tip sequence
+// so fresh writes continue the logged numbering. The version's Update
+// carries the merged batch, so a ranker resuming from the base version
+// refreshes over it exactly as it would over a coalesced span. seq must
+// exceed the current version's; ApplyAt panics otherwise (it is a
+// programming error, not a runtime condition).
+func (s *Store) ApplyAt(up batch.Update, seq uint64) (prev, next *Version) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev = s.Current()
+	if seq <= prev.Seq {
+		panic(fmt.Sprintf("snapshot: ApplyAt seq %d not beyond current %d", seq, prev.Seq))
+	}
+	return s.applyLocked(up, seq)
+}
+
+// applyLocked applies up to the dynamic graph and publishes the result as
+// version seq. Caller holds s.mu; prev is s.Current() at entry.
+func (s *Store) applyLocked(up batch.Update, seq uint64) (prev, next *Version) {
+	prev = s.Current()
 	s.d.Grow(up.Universe(s.d.N()))
 	// Deletions of edges beyond the (grown) universe cannot exist — drop
 	// them rather than grow for them, and publish the clamped list so the
@@ -96,7 +131,7 @@ func (s *Store) Apply(up batch.Update) (prev, next *Version) {
 	up.Del = up.ClampDel(s.d.N())
 	s.d.Apply(up.Del, up.Ins)
 	s.d.EnsureSelfLoops()
-	next = &Version{G: s.d.Snapshot(), Seq: prev.Seq + 1, Update: up}
+	next = &Version{G: s.d.Snapshot(), Seq: seq, Update: up}
 	s.history = append(s.history, next)
 	if len(s.history) > s.keep {
 		// Shift in place and nil the vacated tail instead of re-slicing:
@@ -256,6 +291,23 @@ func NewRanker(ctx context.Context, s *Store, algo core.Algo, cfg core.Config) (
 		return nil, res, fmt.Errorf("snapshot: initial ranking failed: %w", res.Err)
 	}
 	return &Ranker{store: s, cfg: cfg, algo: algo, ranks: res.Ranks, seq: v.Seq, cur: v}, res, nil
+}
+
+// ResumeRanker positions a ranker at an already-converged rank vector for
+// store version seq without running anything — the warm-restart path: the
+// vector comes from a checkpoint, the store from NewStoreAt at the same
+// sequence, and the first Refresh replays whatever the store has moved past
+// seq incrementally, exactly as if the ranker had been alive all along. The
+// ranker takes ownership of ranks (treat it as frozen).
+func ResumeRanker(s *Store, algo core.Algo, cfg core.Config, ranks []float64, seq uint64) (*Ranker, error) {
+	v, ok := s.Get(seq)
+	if !ok {
+		return nil, fmt.Errorf("snapshot: resume at version %d: not retained", seq)
+	}
+	if v.G.N() != len(ranks) {
+		return nil, fmt.Errorf("snapshot: resume at version %d: %d ranks for %d vertices", seq, len(ranks), v.G.N())
+	}
+	return &Ranker{store: s, cfg: cfg, algo: algo, ranks: ranks, seq: seq, cur: v}, nil
 }
 
 // SetFault replaces the fault plan injected into subsequent runs.

@@ -1,0 +1,496 @@
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SyncMode selects when appended records are fsynced.
+type SyncMode int
+
+const (
+	// SyncBatched fsyncs from a background flusher every Interval — the
+	// group-commit default that keeps fsync latency off the apply path. A
+	// crash loses at most the last interval of acknowledged writes.
+	SyncBatched SyncMode = iota
+	// SyncAlways fsyncs inside every Append before it returns.
+	SyncAlways
+	// SyncNone never fsyncs on its own; only explicit Sync/Close flush. The
+	// OS decides when data reaches media.
+	SyncNone
+)
+
+// Options configure a Log.
+type Options struct {
+	// Mode and Interval set the fsync policy (Interval only for SyncBatched;
+	// DefaultSyncInterval when zero).
+	Mode     SyncMode
+	Interval time.Duration
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (DefaultSegmentBytes when zero). Rotation is what makes pruning after
+	// a checkpoint possible: only whole sealed segments are deleted.
+	SegmentBytes int64
+	// FS overrides the filesystem (fault injection); nil means the OS.
+	FS FS
+}
+
+const (
+	// DefaultSyncInterval is the SyncBatched flush cadence.
+	DefaultSyncInterval = 50 * time.Millisecond
+	// DefaultSegmentBytes is the segment rotation threshold.
+	DefaultSegmentBytes = int64(64 << 20)
+	// keepCheckpoints is how many newest checkpoint files survive pruning:
+	// the latest plus one fallback in case the latest is found corrupt.
+	keepCheckpoints = 2
+)
+
+// Recovered is what Open reconstructed from an existing directory.
+type Recovered struct {
+	// HasState reports whether a valid checkpoint was found; the remaining
+	// fields are meaningful only when set.
+	HasState bool
+	// Checkpoint is the latest valid checkpoint's state.
+	Checkpoint *State
+	// Tail holds the log records with Seq > Checkpoint.Seq, in order, ending
+	// at the first torn or invalid record (which was truncated away).
+	Tail []Record
+	// Truncated reports that a torn or corrupt tail was cut off.
+	Truncated bool
+}
+
+// Stats is a point-in-time snapshot of the log's durability state.
+type Stats struct {
+	// Seq is the last record sequence appended (or recovered).
+	Seq uint64
+	// CheckpointSeq is the sequence of the latest durable checkpoint.
+	CheckpointSeq uint64
+	// LastSync is when an fsync last succeeded (zero before the first).
+	LastSync time.Time
+	// Degraded reports the sticky failure state; Err is its cause.
+	Degraded bool
+	Err      error
+}
+
+// Log is an append-only record log plus checkpoint store in one directory:
+// segment files wal-<base>.log holding records (base, next base], and
+// checkpoint files checkpoint-<seq>.ckpt. Append/Sync are safe for
+// concurrent use with WriteCheckpoint and Stats.
+type Log struct {
+	dir  string
+	fs   FS
+	opts Options
+
+	mu    sync.Mutex
+	f     File
+	base  uint64 // active segment's base sequence
+	size  int64
+	seq   uint64
+	dirty bool
+	cause error // sticky degradation cause
+	buf   []byte
+
+	ckptMu sync.Mutex // serialises WriteCheckpoint
+
+	ckptSeq  atomic.Uint64
+	lastSync atomic.Int64 // unix nanos of the last successful fsync
+	degraded atomic.Bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func segmentName(base uint64) string { return fmt.Sprintf("wal-%016x.log", base) }
+func ckptName(seq uint64) string     { return fmt.Sprintf("checkpoint-%016x.ckpt", seq) }
+func parseSeq(name, pre, suf string) (uint64, bool) {
+	if !strings.HasPrefix(name, pre) || !strings.HasSuffix(name, suf) {
+		return 0, false
+	}
+	var seq uint64
+	if _, err := fmt.Sscanf(name[len(pre):len(name)-len(suf)], "%016x", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// HasState reports whether dir holds durable engine state (any checkpoint
+// file), without opening the log.
+func HasState(dir string, fs FS) (bool, error) {
+	if fs == nil {
+		fs = OSFS()
+	}
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return false, nil // absent directory: no state
+	}
+	for _, n := range names {
+		if _, ok := parseSeq(n, "checkpoint-", ".ckpt"); ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Open opens (creating if needed) the durability directory, recovers the
+// latest valid checkpoint and the log tail behind it per the torn-tail rule,
+// and returns the log positioned to append the next record. The caller
+// seeds a fresh directory by writing checkpoint 0 before the first Append.
+func Open(dir string, opts Options) (*Log, *Recovered, error) {
+	if opts.FS == nil {
+		opts.FS = OSFS()
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultSyncInterval
+	}
+	l := &Log{dir: dir, fs: opts.FS, opts: opts}
+	if err := l.fs.MkdirAll(dir); err != nil {
+		return nil, nil, fmt.Errorf("wal: create %s: %w", dir, err)
+	}
+	rec, err := l.recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	if l.opts.Mode == SyncBatched {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.flusher()
+	}
+	return l, rec, nil
+}
+
+// recover scans the directory: checkpoints newest-first until one validates
+// (invalid ones and stale temp files are removed), then the segments in
+// base order, collecting the contiguous record tail past the checkpoint.
+// The first short, corrupt or out-of-sequence record ends the log: the
+// segment is truncated there, later segments are removed, and recovery
+// continues with what it has — never an error.
+func (l *Log) recover() (*Recovered, error) {
+	names, err := l.fs.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: scan %s: %w", l.dir, err)
+	}
+	var ckpts, segs []uint64
+	for _, n := range names {
+		if seq, ok := parseSeq(n, "checkpoint-", ".ckpt"); ok {
+			ckpts = append(ckpts, seq)
+		} else if base, ok := parseSeq(n, "wal-", ".log"); ok {
+			segs = append(segs, base)
+		} else if strings.HasSuffix(n, ".tmp") {
+			_ = l.fs.Remove(filepath.Join(l.dir, n))
+		}
+	}
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] > ckpts[j] })
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+
+	rec := &Recovered{}
+	for _, seq := range ckpts {
+		name := filepath.Join(l.dir, ckptName(seq))
+		b, err := l.fs.ReadFile(name)
+		if err == nil {
+			if st, derr := decodeCheckpoint(b); derr == nil && st.Seq == seq {
+				rec.HasState = true
+				rec.Checkpoint = st
+				break
+			}
+		}
+		// A checkpoint that cannot be read back is garbage by definition
+		// (its replacement rule is "previous file still exists"): drop it so
+		// it cannot shadow the valid fallback on the next recovery.
+		_ = l.fs.Remove(name)
+	}
+	if !rec.HasState && len(segs) > 0 {
+		// Log segments with no checkpoint to anchor them: replay has no base
+		// state, which only a damaged directory produces (the engine writes
+		// checkpoint 0 before the first append). Refuse rather than guess.
+		return nil, fmt.Errorf("wal: %s holds log segments but no valid checkpoint", l.dir)
+	}
+
+	l.seq = 0
+	if rec.HasState {
+		l.seq = rec.Checkpoint.Seq
+		l.ckptSeq.Store(rec.Checkpoint.Seq)
+	}
+	want := l.seq + 1
+	for i, base := range segs {
+		name := filepath.Join(l.dir, segmentName(base))
+		b, err := l.fs.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("wal: read %s: %w", name, err)
+		}
+		off, end := 0, len(b)
+		for off < end {
+			r, n, perr := parseRecord(b[off:])
+			if perr != nil {
+				end = off
+				break
+			}
+			if r.Seq >= want {
+				if r.Seq != want {
+					// A gap means the records past it belong to a future the
+					// log lost; same rule as a torn record.
+					end = off
+					break
+				}
+				rec.Tail = append(rec.Tail, r)
+				want++
+			}
+			off += n
+		}
+		if end < len(b) {
+			// Torn or corrupt tail: cut the segment at the last valid record
+			// and drop everything after it, including later segments.
+			rec.Truncated = true
+			if err := l.fs.Truncate(name, int64(end)); err != nil {
+				return nil, fmt.Errorf("wal: truncate torn tail of %s: %w", name, err)
+			}
+			for _, later := range segs[i+1:] {
+				_ = l.fs.Remove(filepath.Join(l.dir, segmentName(later)))
+			}
+			l.base, l.size = base, int64(end)
+			l.seq = want - 1
+			return rec, l.openActive()
+		}
+		l.base, l.size = base, int64(end)
+	}
+	l.seq = want - 1
+	if len(segs) == 0 {
+		l.base, l.size = l.seq, 0
+	}
+	return rec, l.openActive()
+}
+
+// openActive opens the active segment for appending (creating it fresh when
+// the directory had none).
+func (l *Log) openActive() error {
+	f, err := l.fs.OpenAppend(filepath.Join(l.dir, segmentName(l.base)))
+	if err != nil {
+		return fmt.Errorf("wal: open active segment: %w", err)
+	}
+	l.f = f
+	return nil
+}
+
+// Append logs one record. With SyncAlways the record is on stable storage
+// when Append returns; otherwise the flusher (or an explicit Sync) makes it
+// durable. Once the log has degraded, Append returns the sticky cause
+// without touching the disk — the engine's cue to keep going in memory.
+func (l *Log) Append(r *Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cause != nil {
+		return l.cause
+	}
+	if l.size >= l.opts.SegmentBytes && l.seq > l.base {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	l.buf = appendRecord(l.buf[:0], r)
+	n, err := l.f.Write(l.buf)
+	if err != nil {
+		return l.degradeLocked(fmt.Errorf("append record %d: %w", r.Seq, err))
+	}
+	l.size += int64(n)
+	l.seq = r.Seq
+	l.dirty = true
+	if l.opts.Mode == SyncAlways {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+// Sync flushes appended records to stable storage. A no-op when nothing is
+// dirty.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cause != nil {
+		return l.cause
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return l.degradeLocked(fmt.Errorf("fsync segment %d: %w", l.base, err))
+	}
+	l.dirty = false
+	l.lastSync.Store(time.Now().UnixNano())
+	return nil
+}
+
+// rotateLocked seals the active segment (flushing it) and starts a fresh
+// one based at the last appended sequence.
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return l.degradeLocked(fmt.Errorf("seal segment %d: %w", l.base, err))
+	}
+	f, err := l.fs.OpenAppend(filepath.Join(l.dir, segmentName(l.seq)))
+	if err != nil {
+		return l.degradeLocked(fmt.Errorf("rotate to segment %d: %w", l.seq, err))
+	}
+	l.f, l.base, l.size = f, l.seq, 0
+	return nil
+}
+
+// degradeLocked enters the sticky failure state: the cause is recorded,
+// every later Append/Sync returns it cheaply, and Stats reports Degraded.
+func (l *Log) degradeLocked(err error) error {
+	err = fmt.Errorf("wal: %w", err)
+	l.cause = err
+	l.degraded.Store(true)
+	return err
+}
+
+// Degraded reports the sticky failure state without taking the lock.
+func (l *Log) Degraded() bool { return l.degraded.Load() }
+
+// WriteCheckpoint makes st durable — temp file, fsync, rename, directory
+// fsync — then prunes: checkpoints beyond the newest two and every sealed
+// segment whose records are all covered by st.Seq are removed, and the
+// active segment is rotated so the next checkpoint can prune the rounds
+// logged before this one. Concurrent Appends proceed during the (possibly
+// large) checkpoint write; only the final rotation takes the append lock.
+func (l *Log) WriteCheckpoint(st *State) error {
+	l.ckptMu.Lock()
+	defer l.ckptMu.Unlock()
+	if l.degraded.Load() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return l.cause
+	}
+	b := encodeCheckpoint(st)
+	tmp := filepath.Join(l.dir, fmt.Sprintf("checkpoint-%016x.tmp", st.Seq))
+	final := filepath.Join(l.dir, ckptName(st.Seq))
+	err := func() error {
+		f, err := l.fs.Create(tmp)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(b); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if err := l.fs.Rename(tmp, final); err != nil {
+			return err
+		}
+		return l.fs.SyncDir(l.dir)
+	}()
+	if err != nil {
+		_ = l.fs.Remove(tmp)
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return l.degradeLocked(fmt.Errorf("checkpoint %d: %w", st.Seq, err))
+	}
+	l.ckptSeq.Store(st.Seq)
+
+	l.mu.Lock()
+	if l.cause == nil && l.seq > l.base {
+		// Rotate so the rounds logged before this checkpoint sit in sealed
+		// segments a FUTURE checkpoint can prune; errors here degrade but the
+		// checkpoint itself already succeeded.
+		_ = l.rotateLocked()
+	}
+	l.mu.Unlock()
+	l.prune(st.Seq)
+	return nil
+}
+
+// prune removes checkpoint files beyond the newest keepCheckpoints and
+// sealed segments fully covered by the checkpoint at seq: a segment is
+// removable when the NEXT segment's base is ≤ seq (every record it holds is
+// ≤ that base). Removal is best-effort — a leftover file only costs disk.
+func (l *Log) prune(seq uint64) {
+	names, err := l.fs.ReadDir(l.dir)
+	if err != nil {
+		return
+	}
+	var ckpts, segs []uint64
+	for _, n := range names {
+		if s, ok := parseSeq(n, "checkpoint-", ".ckpt"); ok {
+			ckpts = append(ckpts, s)
+		} else if b, ok := parseSeq(n, "wal-", ".log"); ok {
+			segs = append(segs, b)
+		}
+	}
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] > ckpts[j] })
+	for _, s := range ckpts[min(len(ckpts), keepCheckpoints):] {
+		_ = l.fs.Remove(filepath.Join(l.dir, ckptName(s)))
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1] <= seq {
+			_ = l.fs.Remove(filepath.Join(l.dir, segmentName(segs[i])))
+		}
+	}
+}
+
+// Stats returns the log's current durability state.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	s := Stats{Seq: l.seq, Degraded: l.cause != nil, Err: l.cause}
+	l.mu.Unlock()
+	s.CheckpointSeq = l.ckptSeq.Load()
+	if ns := l.lastSync.Load(); ns != 0 {
+		s.LastSync = time.Unix(0, ns)
+	}
+	return s
+}
+
+// flusher is the SyncBatched group-commit goroutine.
+func (l *Log) flusher() {
+	defer close(l.done)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			_ = l.Sync() // degradation is sticky; nothing to do here
+		}
+	}
+}
+
+// Close flushes and closes the log. The sticky degraded cause (if any) is
+// returned, but closing always completes.
+func (l *Log) Close() error {
+	if l.stop != nil {
+		close(l.stop)
+		<-l.done
+		l.stop = nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.cause
+	if err == nil {
+		err = l.syncLocked()
+	}
+	if l.f != nil {
+		if cerr := l.f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("wal: close segment: %w", cerr)
+		}
+		l.f = nil
+	}
+	return err
+}

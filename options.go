@@ -8,6 +8,7 @@ import (
 	"dfpr/internal/core"
 	"dfpr/internal/fault"
 	"dfpr/internal/snapshot"
+	"dfpr/internal/wal"
 )
 
 // Algorithm selects which of the paper's eight PageRank variants an Engine
@@ -138,6 +139,12 @@ const (
 	// equal to gio.DefaultMaxVertices, the same guard at the file-loading
 	// entry point — raise both together.
 	DefaultMaxVertices = 1 << 27
+	// DefaultCheckpointEvery is how many published rank versions pass
+	// between durable checkpoints (see WithCheckpointEvery).
+	DefaultCheckpointEvery = 256
+	// DefaultFsyncInterval is the group-commit cadence of the default
+	// batched fsync policy.
+	DefaultFsyncInterval = wal.DefaultSyncInterval
 )
 
 // settings is the resolved configuration an Engine is built with.
@@ -150,12 +157,18 @@ type settings struct {
 	queue       int
 	uncoalesced bool
 	maxN        int
+	keyed       bool
+	durDir      string
+	fsync       FsyncPolicy
+	ckptEvery   int
+	walFS       wal.FS // test hook: fault-injecting filesystem
 }
 
 func defaultSettings() settings {
 	return settings{
 		algo: core.AlgoDFLF, history: snapshot.DefaultHistory,
 		queue: DefaultIngestQueue, maxN: DefaultMaxVertices,
+		ckptEvery: DefaultCheckpointEvery,
 	}
 }
 
@@ -344,6 +357,129 @@ func WithIngestQueue(maxEdits int) Option {
 func WithSpanCoalescing(enabled bool) Option {
 	return func(s *settings) error {
 		s.uncoalesced = !enabled
+		return nil
+	}
+}
+
+// FsyncPolicy decides when write-ahead-log appends reach stable storage.
+// Construct one with FsyncAlways, FsyncBatched or FsyncNone and install it
+// with WithFsync; the zero value behaves like FsyncBatched with the default
+// interval.
+type FsyncPolicy struct {
+	mode     wal.SyncMode
+	interval time.Duration
+}
+
+// FsyncAlways fsyncs inside every append, before the write is acknowledged:
+// zero acknowledged writes are lost on a crash, at the cost of one fsync on
+// every apply and ingest round.
+func FsyncAlways() FsyncPolicy { return FsyncPolicy{mode: wal.SyncAlways} }
+
+// FsyncBatched fsyncs from a background flusher every interval (group
+// commit — the default, with DefaultFsyncInterval): the apply path never
+// waits on the disk, and a crash loses at most the last interval of
+// acknowledged writes. A non-positive interval means the default.
+func FsyncBatched(interval time.Duration) FsyncPolicy {
+	return FsyncPolicy{mode: wal.SyncBatched, interval: interval}
+}
+
+// FsyncNone never fsyncs on the engine's own initiative — only Flush, Close
+// and checkpoints force the data down. The OS decides when appends reach
+// media; a crash can lose everything since the last flush.
+func FsyncNone() FsyncPolicy { return FsyncPolicy{mode: wal.SyncNone} }
+
+// String names the policy in the spelling ParseFsyncPolicy accepts, so a
+// policy printed in logs or a stats page pastes back into the -fsync flag.
+func (p FsyncPolicy) String() string {
+	switch p.mode {
+	case wal.SyncAlways:
+		return "always"
+	case wal.SyncNone:
+		return "none"
+	default:
+		if p.interval <= 0 || p.interval == DefaultFsyncInterval {
+			return "batched"
+		}
+		return fmt.Sprintf("batched:%v", p.interval)
+	}
+}
+
+// ParseFsyncPolicy resolves a policy from its flag spelling: "always",
+// "none", "batched", or "batched:interval" (e.g. "batched:100ms").
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch {
+	case s == "always":
+		return FsyncAlways(), nil
+	case s == "none":
+		return FsyncNone(), nil
+	case s == "batched":
+		return FsyncBatched(0), nil
+	case strings.HasPrefix(s, "batched:"):
+		iv, err := time.ParseDuration(s[len("batched:"):])
+		if err != nil || iv <= 0 {
+			return FsyncPolicy{}, fmt.Errorf("dfpr: bad fsync interval in %q", s)
+		}
+		return FsyncBatched(iv), nil
+	}
+	return FsyncPolicy{}, fmt.Errorf("dfpr: unknown fsync policy %q (valid: always, batched[:interval], none)", s)
+}
+
+// WithDurability enables the durability subsystem, rooted at dir: every
+// published round is appended to a write-ahead log before it becomes
+// visible, periodic checkpoints bound replay, and constructing an engine
+// over a dir that already holds state recovers it — latest valid
+// checkpoint, then the log tail through the incremental apply path,
+// tolerating a torn final record. The recovered fixed point matches a cold
+// build within the project's L∞ ≤ 1e-12 equivalence bar. One directory
+// belongs to one engine at a time; dense (New) and keyed (Open) engines
+// leave distinguishable state and refuse to open each other's.
+func WithDurability(dir string) Option {
+	return func(s *settings) error {
+		if dir == "" {
+			return fmt.Errorf("dfpr: durability directory must not be empty")
+		}
+		s.durDir = dir
+		return nil
+	}
+}
+
+// WithFsync sets the WAL fsync policy (default FsyncBatched with
+// DefaultFsyncInterval). Only meaningful together with WithDurability.
+func WithFsync(p FsyncPolicy) Option {
+	return func(s *settings) error {
+		s.fsync = p
+		return nil
+	}
+}
+
+// WithCheckpointEvery sets how many published rank versions pass between
+// durable checkpoints (default DefaultCheckpointEvery). Smaller values
+// bound restart replay tighter at the cost of more checkpoint I/O; see also
+// Engine.Checkpoint for forcing one. Only meaningful with WithDurability.
+func WithCheckpointEvery(versions int) Option {
+	return func(s *settings) error {
+		if versions <= 0 {
+			return fmt.Errorf("dfpr: checkpoint interval %d must be positive", versions)
+		}
+		s.ckptEvery = versions
+		return nil
+	}
+}
+
+// withKeyed marks the engine keyed (set by Open; the key space must exist
+// before durable state is recovered, so it is a construction-time fact).
+func withKeyed() Option {
+	return func(s *settings) error {
+		s.keyed = true
+		return nil
+	}
+}
+
+// withWALFS injects a filesystem into the durability layer — the white-box
+// test hook behind the fault drills.
+func withWALFS(fs wal.FS) Option {
+	return func(s *settings) error {
+		s.walFS = fs
 		return nil
 	}
 }

@@ -44,6 +44,15 @@ var ErrQueueFull = errors.New("dfpr: ingest queue full")
 // queued or being coalesced — before Ticket.Done has closed.
 var ErrPending = errors.New("dfpr: submission not applied yet")
 
+// ErrDurabilityDegraded reports that the durability layer has hit a
+// persistent disk failure and stopped logging: the engine keeps applying in
+// memory and serving reads (degradation over outage), but writes since the
+// failure will not survive a restart. It surfaces through
+// Stats().Durability.Err — wrapping the underlying cause — and from
+// Flush/Close/Checkpoint on a degraded engine; errors.Is identifies it
+// through the wrapping.
+var ErrDurabilityDegraded = errors.New("dfpr: durability degraded, writes no longer logged")
+
 // Result reports the outcome of one Rank call.
 type Result struct {
 	// Seq is the store version the ranks correspond to.
@@ -92,6 +101,33 @@ type Stats struct {
 	// ratio against writes submitted is the amortisation the pipeline won.
 	IngestRounds   int64
 	CoalescedEdits int64
+	// Durability is the write-ahead-log state of a WithDurability engine
+	// (zero value, Enabled false, otherwise).
+	Durability DurabilityStats
+}
+
+// DurabilityStats is the durable-state gauge of a WithDurability engine.
+type DurabilityStats struct {
+	// Enabled reports whether the engine has a durability directory.
+	Enabled bool
+	// WALSeq is the sequence of the last record appended to the log —
+	// equal to the published graph version while the log is healthy.
+	WALSeq uint64
+	// CheckpointSeq is the version of the newest durable checkpoint; replay
+	// after a crash starts there.
+	CheckpointSeq uint64
+	// LastFsync is when appended records last reached stable storage (zero
+	// before the first fsync).
+	LastFsync time.Time
+	// Recovering mirrors Engine.Recovering.
+	Recovering bool
+	// Degraded reports the sticky disk-failure state; Err wraps
+	// ErrDurabilityDegraded around the cause.
+	Degraded bool
+	Err      error
+	// ReplayedRecords is how many WAL tail records construction replayed
+	// (diagnostic; zero on a fresh directory or checkpoint-exact restart).
+	ReplayedRecords int
 }
 
 // FrontierStats describes the Dynamic Frontier affected set after one pass

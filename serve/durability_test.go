@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"testing"
+
+	"dfpr"
+)
+
+// durableServer builds a durable engine over dir, ranks it, and wraps it.
+func durableServer(t *testing.T, dir string, engOpts []dfpr.Option, srvOpts ...Option) (*Server, *dfpr.Engine) {
+	t.Helper()
+	edges := []dfpr.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 3, V: 0}}
+	eng, err := dfpr.New(8, edges, append([]dfpr.Option{dfpr.WithDurability(dir), dfpr.WithThreads(2)}, engOpts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	if _, err := eng.Rank(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(eng, srvOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, eng
+}
+
+func TestServeDurableStats(t *testing.T) {
+	dir := t.TempDir()
+	s, eng := durableServer(t, dir, nil)
+	h := s.Handler()
+
+	code, body, _ := do(t, h, "POST", "/v1/apply?wait=ranked", `{"ins":[{"u":4,"v":0}]}`, nil)
+	if code != http.StatusOK {
+		t.Fatalf("apply: %d %v", code, body)
+	}
+	// Flush is an fsync barrier, so last_fsync must be populated after it.
+	if err := eng.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body, _ = do(t, h, "GET", "/v1/stats", "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if body["durable"] != true {
+		t.Fatalf("stats on durable engine: %v", body)
+	}
+	if body["wal_seq"].(float64) < 1 {
+		t.Fatalf("wal_seq not advanced: %v", body["wal_seq"])
+	}
+	if _, ok := body["checkpoint_version"].(float64); !ok && body["checkpoint_version"] != nil {
+		t.Fatalf("checkpoint_version malformed: %v", body["checkpoint_version"])
+	}
+	if ls, ok := body["last_fsync"].(string); !ok || ls == "" {
+		t.Fatalf("last_fsync missing after flush: %v", body["last_fsync"])
+	}
+	if body["recovering"] == true || body["durability_degraded"] == true {
+		t.Fatalf("healthy engine reports trouble: %v", body)
+	}
+
+	code, body, _ = do(t, h, "GET", "/v1/healthz", "", nil)
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, body)
+	}
+}
+
+func TestServeRecoveringShedsWrites(t *testing.T) {
+	dir := t.TempDir()
+	// Build durable state whose WAL tail extends past the (rank-less, seq-0)
+	// seed checkpoint, then close. The restarted engine replays the tail and
+	// stays "recovering" until a Rank catches the tip.
+	{
+		s, eng := durableServer(t, dir, nil)
+		code, body, _ := do(t, s.Handler(), "POST", "/v1/apply?wait=ranked", `{"ins":[{"u":5,"v":0},{"u":6,"v":5}]}`, nil)
+		if code != http.StatusOK {
+			t.Fatalf("apply: %d %v", code, body)
+		}
+		if err := eng.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	eng, err := dfpr.New(0, nil, dfpr.WithDurability(dir), dfpr.WithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	if !eng.Recovering() {
+		t.Fatal("restarted engine with a replayed tail is not recovering")
+	}
+	s, err := New(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	code, body, _ := do(t, h, "GET", "/v1/healthz", "", nil)
+	if code != http.StatusOK || body["status"] != "recovering" {
+		t.Fatalf("healthz during recovery: %d %v", code, body)
+	}
+	code, body, hdr := do(t, h, "POST", "/v1/apply", `{"ins":[{"u":1,"v":3}]}`, nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("apply during recovery: %d %v, want 503", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("recovery 503 carries no Retry-After")
+	}
+	if body["error"] == nil {
+		t.Fatalf("recovery 503 is not a JSON error: %v", body)
+	}
+	code, body, _ = do(t, h, "GET", "/v1/stats", "", nil)
+	if code != http.StatusOK || body["recovering"] != true {
+		t.Fatalf("stats during recovery: %d %v", code, body)
+	}
+
+	// A rank refresh catches the replayed tip and reopens the write path.
+	if _, err := eng.Rank(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	code, body, _ = do(t, h, "GET", "/v1/healthz", "", nil)
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz after recovery: %d %v", code, body)
+	}
+	code, body, _ = do(t, h, "POST", "/v1/apply", `{"ins":[{"u":1,"v":3}]}`, nil)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("apply after recovery: %d %v", code, body)
+	}
+}
+
+func TestServeQueueFullRetryAfter(t *testing.T) {
+	// An engine whose queue bound any 2-edge batch exceeds: the rejection is
+	// immediate and deterministic.
+	eng, err := dfpr.New(8, []dfpr.Edge{{U: 0, V: 1}}, dfpr.WithIngestQueue(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	if _, err := eng.Rank(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body, hdr := do(t, s.Handler(), "POST", "/v1/apply", `{"ins":[{"u":1,"v":2},{"u":2,"v":3}]}`, nil)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("oversized submission: %d %v, want 429", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 carries no Retry-After header")
+	}
+}
+
+func TestServeDenseStatsOmitDurability(t *testing.T) {
+	s, _ := testServer(t)
+	_, body, _ := do(t, s.Handler(), "GET", "/v1/stats", "", nil)
+	for _, k := range []string{"durable", "wal_seq", "last_fsync", "durability_degraded"} {
+		if _, present := body[k]; present {
+			t.Fatalf("non-durable stats leak %q: %v", k, body[k])
+		}
+	}
+}

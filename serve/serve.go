@@ -470,6 +470,14 @@ type applyResponse struct {
 }
 
 func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
+	// A recovering engine is replaying its write-ahead log: reads serve the
+	// pre-crash watermark, but accepting writes would interleave them with
+	// the replay. Shed them with a retry hint until the ranks catch the tip.
+	if s.eng.Recovering() {
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "engine recovering: log replay has not caught up, retry shortly")
+		return
+	}
 	var req applyRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	dec.DisallowUnknownFields()
@@ -506,6 +514,11 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		tk, err = s.eng.Submit(r.Context(), del, ins)
 	}
 	if err != nil {
+		if errors.Is(err, dfpr.ErrQueueFull) {
+			// Backpressure, not rejection: tell the client when to come back
+			// instead of leaving it to guess a retry cadence.
+			w.Header().Set("Retry-After", "1")
+		}
 		writeErr(w, statusOf(err), "%v", err)
 		return
 	}
@@ -622,9 +635,14 @@ type healthzResponse struct {
 
 // handleHealthz is the liveness probe: 200 whenever the process serves.
 // Ready reports whether a rank version has been published — the signal a
-// load balancer gates traffic on (also visible in /v1/stats).
+// load balancer gates traffic on (also visible in /v1/stats). A durable
+// engine that is still replaying its log reports status "recovering": the
+// process is alive and reads work, but writes are shed with 503.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := healthzResponse{Status: "ok"}
+	if s.eng.Recovering() {
+		resp.Status = "recovering"
+	}
 	if v, err := s.eng.View(); err == nil {
 		resp.Ready = true
 		writeJSON(w, v.Seq(), resp)
@@ -652,6 +670,13 @@ type statsResponse struct {
 	CoalescedEdits int64  `json:"coalesced_edits"`
 	Reads          int64  `json:"reads_served"`
 	Writes         int64  `json:"writes_accepted"`
+	// Durability gauges, present only on a WithDurability engine.
+	Durable            bool   `json:"durable,omitempty"`
+	WALSeq             uint64 `json:"wal_seq,omitempty"`
+	CheckpointVersion  uint64 `json:"checkpoint_version,omitempty"`
+	LastFsync          string `json:"last_fsync,omitempty"`
+	Recovering         bool   `json:"recovering,omitempty"`
+	DurabilityDegraded bool   `json:"durability_degraded,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -668,6 +693,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Writes:         s.writes.Load(),
 		Keyed:          s.keyed,
 		Keys:           s.eng.Keys(),
+	}
+	if d := st.Durability; d.Enabled {
+		out.Durable = true
+		out.WALSeq = d.WALSeq
+		out.CheckpointVersion = d.CheckpointSeq
+		out.Recovering = d.Recovering
+		out.DurabilityDegraded = d.Degraded
+		if !d.LastFsync.IsZero() {
+			out.LastFsync = d.LastFsync.UTC().Format(time.RFC3339Nano)
+		}
 	}
 	if v, err := s.eng.View(); err == nil {
 		out.RankVersion = v.Seq()

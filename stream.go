@@ -103,6 +103,13 @@ func (e *Engine) publishLocked(res *Result) {
 	// Watermark after the latest-view store: a WaitRanked(seq) that returns
 	// is guaranteed to observe ranks at least that fresh through View().
 	e.rankWM.advance(res.Seq)
+	if e.dur != nil {
+		// Rank publication is the durability cadence point: clear the
+		// recovering flag once ranks catch the replayed tip, and kick off a
+		// background checkpoint when one is due (immutable data only — the
+		// writer never holds engine locks).
+		e.maybeCheckpointLocked(v)
+	}
 
 	e.subMu.Lock()
 	defer e.subMu.Unlock()
