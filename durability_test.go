@@ -6,12 +6,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"testing"
 	"time"
 
 	"dfpr/internal/fault"
 	"dfpr/internal/metrics"
+	"dfpr/internal/testutil"
 	"dfpr/internal/wal"
 )
 
@@ -354,7 +354,7 @@ func TestDurableDegradedKeepsServing(t *testing.T) {
 func TestDurableRecoveryGoroutineLeak(t *testing.T) {
 	ctx := context.Background()
 	dir := t.TempDir()
-	before := runtime.NumGoroutine()
+	waitJoined := testutil.LeakCheck(t, "recovery+Close")
 
 	eng, err := New(8, []Edge{{U: 0, V: 1}, {U: 1, V: 0}},
 		durableOpts(dir, WithFsync(FsyncBatched(time.Millisecond)), WithCheckpointEvery(1))...)
@@ -385,14 +385,7 @@ func TestDurableRecoveryGoroutineLeak(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	deadline := time.Now().Add(2 * time.Second)
-	for runtime.NumGoroutine() > before {
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutines leaked: %d before, %d after recovery+Close", before, runtime.NumGoroutine())
-		}
-		runtime.GC()
-		time.Sleep(10 * time.Millisecond)
-	}
+	waitJoined()
 }
 
 func TestDurableFsyncAlwaysAndPolicyParse(t *testing.T) {

@@ -179,6 +179,7 @@ func recoverDurable(st settings, log *wal.Log, rec *wal.Recovered) (*Engine, err
 		ups = append(ups, batch.Update{Del: r.Del, Ins: r.Ins, N: int(r.N)})
 	}
 	if len(ups) > 0 {
+		//lint:allow lockorder replaying already-durable records; appending them again would double-log the tail
 		e.store.ApplyAt(batch.Merge(ups...), ck.Seq+uint64(len(ups)))
 		d.replayed = len(ups)
 	}

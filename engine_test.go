@@ -3,7 +3,6 @@ package dfpr
 import (
 	"context"
 	"errors"
-	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -14,6 +13,7 @@ import (
 	"dfpr/internal/gen"
 	"dfpr/internal/graph"
 	"dfpr/internal/metrics"
+	"dfpr/internal/testutil"
 )
 
 // testGraph builds a small RMAT graph and returns it in both the public
@@ -157,7 +157,7 @@ func TestRankCancelPromptNoGoroutineLeak(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := runtime.NumGoroutine()
+	waitJoined := testutil.LeakCheck(t, "cancel")
 
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
@@ -177,17 +177,7 @@ func TestRankCancelPromptNoGoroutineLeak(t *testing.T) {
 
 	// All worker goroutines must be joined shortly after Rank returns
 	// (AfterFunc's callback goroutine needs a moment to finish).
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		runtime.GC()
-		if runtime.NumGoroutine() <= before {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutines leaked: %d before Rank, %d after cancel", before, runtime.NumGoroutine())
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	waitJoined()
 
 	// The engine survives: disarm the stall and rank for real.
 	if err := eng.SetFaultPlan(FaultPlan{}); err != nil {

@@ -3,13 +3,13 @@ package dfpr
 import (
 	"context"
 	"errors"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"dfpr/internal/batch"
 	"dfpr/internal/metrics"
+	"dfpr/internal/testutil"
 )
 
 // ingestEngine converges a small engine configured for pipeline tests.
@@ -369,7 +369,7 @@ func TestWaitWatermarks(t *testing.T) {
 // closes, with every goroutine gone.
 func TestWaitersReleasedOnClose(t *testing.T) {
 	eng, _, _ := ingestEngine(t)
-	before := runtime.NumGoroutine()
+	waitJoined := testutil.LeakCheck(t, "Close")
 	const waiters = 16
 	errs := make(chan error, 2*waiters)
 	for i := 0; i < waiters; i++ {
@@ -394,14 +394,7 @@ func TestWaitersReleasedOnClose(t *testing.T) {
 	if err := eng.WaitVersion(context.Background(), 0); !errors.Is(err, ErrClosed) {
 		t.Fatalf("WaitVersion after Close: %v", err)
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for runtime.NumGoroutine() > before {
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutines leaked: %d before, %d after Close", before, runtime.NumGoroutine())
-		}
-		runtime.GC()
-		time.Sleep(10 * time.Millisecond)
-	}
+	waitJoined()
 }
 
 // TestSubmitAfterCloseAndQueuedTicketsFail pins shutdown semantics: Submit

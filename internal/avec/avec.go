@@ -42,11 +42,15 @@ func NewF64(n int) *F64 {
 func (v *F64) Len() int { return len(v.bits) }
 
 // Load atomically reads element i.
+//
+//dfpr:hotpath
 func (v *F64) Load(i int) float64 {
 	return math.Float64frombits(atomic.LoadUint64(&v.bits[i]))
 }
 
 // Store atomically writes element i.
+//
+//dfpr:hotpath
 func (v *F64) Store(i int, x float64) {
 	atomic.StoreUint64(&v.bits[i], math.Float64bits(x))
 }

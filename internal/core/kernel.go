@@ -21,6 +21,8 @@ import (
 // gather over the plain contribution cache — the synchronous (Jacobi) kernel
 // used by the barrier-based variants, where the read vectors are immutable
 // during an iteration.
+//
+//dfpr:hotpath
 func rankOfCached(g *graph.CSR, contrib []float64, base float64, v uint32) float64 {
 	r := base
 	for _, u := range g.In(v) {
@@ -33,6 +35,8 @@ func rankOfCached(g *graph.CSR, contrib []float64, base float64, v uint32) float
 // over the shared atomic contribution cache — the asynchronous
 // (Gauss–Seidel) kernel used by the lock-free variants, where neighbours'
 // contributions may be updated concurrently by other workers.
+//
+//dfpr:hotpath
 func rankOfCachedAtomic(g *graph.CSR, contrib *avec.F64, base float64, v uint32) float64 {
 	r := base
 	for _, u := range g.In(v) {
@@ -43,6 +47,8 @@ func rankOfCachedAtomic(g *graph.CSR, contrib *avec.F64, base float64, v uint32)
 
 // rankOfSeed is the uncached synchronous kernel (two reads and a multiply
 // per edge) the contribution cache replaces.
+//
+//dfpr:hotpath
 func rankOfSeed(g *graph.CSR, inv, ranks []float64, alpha, base float64, v uint32) float64 {
 	r := base
 	for _, u := range g.In(v) {
@@ -53,6 +59,8 @@ func rankOfSeed(g *graph.CSR, inv, ranks []float64, alpha, base float64, v uint3
 
 // rankOfAtomicSeed is the uncached asynchronous kernel the contribution
 // cache replaces.
+//
+//dfpr:hotpath
 func rankOfAtomicSeed(g *graph.CSR, inv []float64, ranks *avec.F64, alpha, base float64, v uint32) float64 {
 	r := base
 	for _, u := range g.In(v) {

@@ -63,6 +63,8 @@ func (m *Map) Len() int { return int(m.n.Load()) }
 // Resolve returns the id of key if it has been interned. Promoted keys
 // resolve lock-free with zero allocations; keys interned since the last
 // promotion fall through to a brief mutex-guarded tail check.
+//
+//dfpr:hotpath
 func (m *Map) Resolve(key string) (uint32, bool) {
 	rs := m.read.Load()
 	if id, ok := rs.ids[key]; ok {
@@ -76,8 +78,8 @@ func (m *Map) Resolve(key string) (uint32, bool) {
 	if m.n.Load() == int64(len(rs.keys)) {
 		return 0, false
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.Lock()         //lint:allow hotalloc documented cold fallback: dirty-tail check, promoted keys never reach it
+	defer m.mu.Unlock() //lint:allow hotalloc cold fallback only
 	// Re-load under the lock: a promotion may have raced the lock-free
 	// probe, moving the key from the dirty tail into a newer promoted state
 	// — checking only the tail would spuriously miss an interned key.
@@ -91,13 +93,15 @@ func (m *Map) Resolve(key string) (uint32, bool) {
 
 // KeyOf returns the key interned as id, with the same promoted-lock-free /
 // dirty-tail split as Resolve.
+//
+//dfpr:hotpath
 func (m *Map) KeyOf(id uint32) (string, bool) {
 	rs := m.read.Load()
 	if int(id) < len(rs.keys) {
 		return rs.keys[id], true
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.Lock()         //lint:allow hotalloc documented cold fallback: dirty-tail check, promoted ids never reach it
+	defer m.mu.Unlock() //lint:allow hotalloc cold fallback only
 	// Re-load under the lock: a promotion may have raced the first load.
 	rs = m.read.Load()
 	if int(id) < len(rs.keys) {

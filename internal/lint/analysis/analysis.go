@@ -1,0 +1,67 @@
+// Package analysis is the analyzer framework prlint's checkers are written
+// against: a faithful, dependency-free mirror of the exported surface of
+// golang.org/x/tools/go/analysis that this module's analyzers actually use
+// (Analyzer, Pass, Diagnostic, Reportf).
+//
+// The build environment of this repository is hermetic — no module proxy, no
+// vendored third-party code — so the real x/tools framework cannot be
+// required from go.mod. Rather than give up compiler-grade invariant
+// checking, the analyzers target this API-identical shim; porting them onto
+// x/tools later is a one-line import change per file, because every field
+// and method here keeps the upstream name, shape and contract. The driver
+// side (package loading, diagnostic filtering, the vet config protocol)
+// lives in internal/lint/loadpkg.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static-analysis function and the invariant it
+// pins. Analyzers are stateless: the same value is run over every package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//lint:allow <name> <reason>" suppression comments. By convention a
+	// short lower-case word.
+	Name string
+
+	// Doc is the help text: the first line states the invariant, the rest
+	// explains what the analyzer flags and why the invariant exists.
+	Doc string
+
+	// Run applies the analyzer to a single type-checked package and reports
+	// findings through pass.Report. The interface{} result mirrors the
+	// upstream signature; prlint's analyzers always return (nil, nil) or an
+	// error.
+	Run func(pass *Pass) (interface{}, error)
+}
+
+// A Pass provides one analyzer run with a single type-checked package and a
+// sink for its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report emits one finding. The driver owns the function: it applies
+	// "//lint:allow" suppression and routes the diagnostic to the output
+	// (or, under analysistest, to the "// want" matcher).
+	Report func(Diagnostic)
+}
+
+// Reportf emits a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding: a position inside the package's file set and
+// a human-readable message stating the violated invariant.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,273 @@
+// Package analysistest runs an analyzer over golden-file packages under a
+// testdata directory and checks its diagnostics against "// want" comments,
+// mirroring the golang.org/x/tools/go/analysis/analysistest contract:
+//
+//	x := Leak()   // want `leaked` `second diagnostic on this line`
+//
+// Each string after "// want" is a regular expression (quoted or
+// backquoted); every diagnostic the analyzer reports on that line must
+// match one expectation and every expectation must be matched, or the test
+// fails. Packages live GOPATH-style under testdata/src/<importpath>, so a
+// fixture can stub a real import path ("dfpr/internal/snapshot") with just
+// the declarations the analyzer matches on; imports resolve to a testdata
+// package when one exists and fall back to the real toolchain's export data
+// (via `go list -export`) otherwise.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"dfpr/internal/lint/analysis"
+	"dfpr/internal/lint/loadpkg"
+)
+
+// Run analyzes the packages at the given import paths under dir/src and
+// reports any mismatch between diagnostics and // want expectations as test
+// errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	ld := newLoader(dir)
+	for _, path := range paths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		findings, err := loadpkg.Run([]*loadpkg.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkWants(t, pkg, findings)
+	}
+}
+
+// lineKey addresses one source line of the analyzed package.
+type lineKey struct {
+	file string
+	line int
+}
+
+// wantRe is the "// want" directive comment: the rest of the line holds the
+// expectations as quoted or backquoted regular expressions.
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+
+// expectRe matches one quoted or backquoted expectation.
+var expectRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// checkWants matches findings against the package's // want comments.
+func checkWants(t *testing.T, pkg *loadpkg.Package, findings []loadpkg.Finding) {
+	t.Helper()
+	wants := map[lineKey][]*regexp.Regexp{}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, em := range expectRe.FindAllStringSubmatch(m[1], -1) {
+					pat := em[1]
+					if pat == "" {
+						pat = em[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					k := lineKey{file: pos.Filename, line: pos.Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+	matched := map[lineKey][]bool{}
+	for _, f := range findings {
+		k := lineKey{file: f.Pos.Filename, line: f.Pos.Line}
+		res := wants[k]
+		if matched[k] == nil {
+			matched[k] = make([]bool, len(res))
+		}
+		found := false
+		for i, re := range res {
+			if !matched[k][i] && re.MatchString(f.Message) {
+				matched[k][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Pos, f.Message)
+		}
+	}
+	var keys []lineKey
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for i, re := range wants[k] {
+			if matched[k] == nil || !matched[k][i] {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// loader resolves testdata packages from source and everything else from
+// the real toolchain's export data.
+type loader struct {
+	src     string // testdata/src root
+	fset    *token.FileSet
+	info    *types.Info // merged over every package loaded from source
+	pkgs    map[string]*types.Package
+	syntax  map[string][]*ast.File
+	dirs    map[string]string
+	exports map[string]string
+	gc      types.Importer
+}
+
+func newLoader(dir string) *loader {
+	return &loader{
+		src:  filepath.Join(dir, "src"),
+		fset: token.NewFileSet(),
+		info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Implicits:  map[ast.Node]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		},
+		pkgs:    map[string]*types.Package{},
+		syntax:  map[string][]*ast.File{},
+		dirs:    map[string]string{},
+		exports: map[string]string{},
+	}
+}
+
+// load type-checks the testdata package at path (under src/) and returns it
+// as a loadpkg.Package the shared runner accepts.
+func (l *loader) load(path string) (*loadpkg.Package, error) {
+	tpkg, err := l.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	return &loadpkg.Package{
+		ImportPath: path,
+		Dir:        l.dirs[path],
+		Fset:       l.fset,
+		Syntax:     l.syntax[path],
+		Types:      tpkg,
+		Info:       l.info,
+	}, nil
+}
+
+// Import implements types.Importer over the testdata-first chain.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return l.importSource(path, dir)
+	}
+	return l.importExport(path)
+}
+
+// importSource parses and type-checks a testdata package, resolving its own
+// imports through the same chain.
+func (l *loader) importSource(path, dir string) (*types.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, l.info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking testdata package %s: %v", path, err)
+	}
+	l.pkgs[path] = tpkg
+	l.syntax[path] = files
+	l.dirs[path] = dir
+	return tpkg, nil
+}
+
+// importExport loads a real package (standard library, typically) from the
+// toolchain's export data, shelling out to `go list -export` on first use of
+// a path it has not seen.
+func (l *loader) importExport(path string) (*types.Package, error) {
+	if _, ok := l.exports[path]; !ok {
+		cmd := exec.Command("go", "list", "-export", "-deps",
+			"-json=ImportPath,Export", path)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				l.exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	if _, ok := l.exports[path]; !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	if l.gc == nil {
+		l.gc = importer.ForCompiler(l.fset, "gc", func(p string) (io.ReadCloser, error) {
+			f, ok := l.exports[p]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", p)
+			}
+			return os.Open(f)
+		})
+	}
+	tpkg, err := l.gc.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = tpkg
+	return tpkg, nil
+}

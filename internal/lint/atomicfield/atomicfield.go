@@ -1,0 +1,142 @@
+// Package atomicfield defines an analyzer enforcing all-or-nothing atomic
+// access to struct fields.
+//
+// A field accessed through sync/atomic anywhere must be accessed atomically
+// everywhere: one plain load next to atomic stores is a data race that the
+// race detector only catches when a test happens to hit the interleaving.
+// This is the keymap promoted-state class of bug caught in PR 5's review —
+// a lock-free reader observing a field the writer updates under a mutex —
+// promoted from code-review lore to a machine check.
+//
+// The analyzer records every field whose address is passed to a sync/atomic
+// function — distinguishing the field itself (&s.f) from its elements
+// (&s.f[i]), so a slice whose ELEMENTS are atomic still permits plain
+// len/range/header access — and flags every other access to the same field
+// that is not through sync/atomic. Composite-literal initialisation is
+// exempt: construction happens before the value is shared. Typed atomics
+// (atomic.Uint64 and friends) are immune by construction and outside this
+// analyzer's scope.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dfpr/internal/lint/analysis"
+	"dfpr/internal/lint/lintutil"
+)
+
+// Analyzer flags mixed atomic/plain access to struct fields.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "a struct field accessed via sync/atomic anywhere must be accessed " +
+		"atomically everywhere; a single plain access is a data race",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Pass 1: collect fields used atomically, and bless the exact syntax
+	// nodes of those atomic accesses so pass 2 can skip them.
+	fieldAtomic := map[*types.Var]bool{} // &s.f passed to sync/atomic
+	elemAtomic := map[*types.Var]bool{}  // &s.f[i] passed to sync/atomic
+	blessed := map[ast.Node]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass.TypesInfo, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				switch operand := ast.Unparen(un.X).(type) {
+				case *ast.SelectorExpr:
+					if fv := fieldOf(pass.TypesInfo, operand); fv != nil {
+						fieldAtomic[fv] = true
+						blessed[operand] = true
+					}
+				case *ast.IndexExpr:
+					if sel, ok := ast.Unparen(operand.X).(*ast.SelectorExpr); ok {
+						if fv := fieldOf(pass.TypesInfo, sel); fv != nil {
+							elemAtomic[fv] = true
+							blessed[operand] = true
+							blessed[sel] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(fieldAtomic) == 0 && len(elemAtomic) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2: every other access to those fields must itself be atomic.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if blessed[n] {
+					return false
+				}
+				fv := fieldOf(pass.TypesInfo, n)
+				if fv == nil {
+					return true
+				}
+				if fieldAtomic[fv] {
+					pass.Reportf(n.Sel.Pos(),
+						"field %s is accessed with sync/atomic elsewhere; this plain access races — use sync/atomic here too",
+						fv.Name())
+					return false
+				}
+				return true
+			case *ast.IndexExpr:
+				if blessed[n] {
+					return false
+				}
+				sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fv := fieldOf(pass.TypesInfo, sel)
+				if fv != nil && elemAtomic[fv] {
+					pass.Reportf(n.Pos(),
+						"elements of field %s are accessed with sync/atomic elsewhere; this plain element access races — use sync/atomic here too",
+						fv.Name())
+					return false
+				}
+				return true
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isAtomicCall reports whether call statically invokes a sync/atomic
+// package-level function.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := lintutil.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false // typed-atomic methods handle their own consistency
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldOf resolves a selector to the struct field it reads or writes, or
+// nil for methods, qualified identifiers and non-field selections.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}

@@ -1,0 +1,50 @@
+// Package a exercises the atomicfield analyzer: a field accessed via
+// sync/atomic anywhere must be accessed atomically everywhere.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	hits uint64 // accessed atomically → every access must be atomic
+	name string // never atomic → plain access fine
+}
+
+func (c *counter) Add() { atomic.AddUint64(&c.hits, 1) }
+
+func (c *counter) Load() uint64 { return atomic.LoadUint64(&c.hits) }
+
+func (c *counter) Racy() uint64 {
+	return c.hits // want `field hits is accessed with sync/atomic elsewhere`
+}
+
+func (c *counter) RacyWrite() {
+	c.hits = 0 // want `field hits is accessed with sync/atomic elsewhere`
+}
+
+func (c *counter) Name() string { return c.name }
+
+func newCounter() *counter {
+	return &counter{hits: 0, name: "x"} // literal init precedes sharing
+}
+
+type vec struct {
+	bits []uint64 // ELEMENTS accessed atomically; the header is plain
+}
+
+func (v *vec) Load(i int) uint64 { return atomic.LoadUint64(&v.bits[i]) }
+
+func (v *vec) Len() int { return len(v.bits) } // header access is fine
+
+func (v *vec) Fill(x uint64) {
+	for i := range v.bits { // header access is fine
+		atomic.StoreUint64(&v.bits[i], x)
+	}
+}
+
+func (v *vec) Racy(i int) uint64 {
+	return v.bits[i] // want `elements of field bits are accessed with sync/atomic elsewhere`
+}
+
+type plain struct{ n int }
+
+func (p *plain) bump() { p.n++ } // no atomic use of n anywhere: fine

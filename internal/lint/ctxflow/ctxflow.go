@@ -1,0 +1,140 @@
+// Package ctxflow defines an analyzer enforcing that contexts accepted by
+// the API actually govern the work done under them.
+//
+// Every exported blocking operation in this module (Rank, Submit, Flush,
+// Wait*, Apply…) promises prompt cancellation: the context is threaded into
+// the sched Pool/Rounds abort machinery, a select, or a callee that does the
+// same. The failure mode this analyzer pins is the silent version — an
+// exported function that accepts a context.Context and then ignores it, or
+// a function that receives its caller's ctx yet starts work under
+// context.Background()/TODO(), detaching that work from cancellation (the
+// serve-layer disconnect-cancels-rank bug fixed in PR 4, in reverse).
+//
+// Flagged:
+//   - an exported function or method whose context.Context parameter is
+//     blank or never used;
+//   - one whose context is used only for Value (cancellation dropped);
+//   - any function with a ctx parameter that calls context.Background() or
+//     context.TODO() — a deliberate detach takes a //lint:allow with its
+//     justification.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dfpr/internal/lint/analysis"
+	"dfpr/internal/lint/lintutil"
+)
+
+// Analyzer flags dropped or detached contexts.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "exported APIs taking a context.Context must thread it into their " +
+		"blocking work (never ignore it), and functions receiving a ctx must " +
+		"not detach work onto context.Background/TODO",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	lintutil.ForEachFuncDecl(pass.Files, func(fd *ast.FuncDecl) {
+		params := ctxParams(pass.TypesInfo, fd)
+		if len(params) == 0 {
+			return
+		}
+		for _, p := range params {
+			if p.obj == nil { // blank "_ context.Context"
+				if fd.Name.IsExported() {
+					pass.Reportf(p.pos, "exported %s discards its context.Context parameter; thread it into the blocking work or drop it", fd.Name.Name)
+				}
+				continue
+			}
+			if !fd.Name.IsExported() {
+				continue
+			}
+			uses, valueOnly := ctxUses(pass.TypesInfo, fd.Body, p.obj)
+			switch {
+			case uses == 0:
+				pass.Reportf(p.pos, "exported %s takes a context.Context but never uses it; thread it into the blocking work or drop it", fd.Name.Name)
+			case valueOnly:
+				pass.Reportf(p.pos, "exported %s uses its context only for Value; cancellation and deadline are dropped", fd.Name.Name)
+			}
+		}
+		// A function that was handed a ctx must not detach its work.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			if fn.Name() == "Background" || fn.Name() == "TODO" {
+				pass.Reportf(call.Pos(), "%s receives a ctx but starts work under context.%s, detaching it from the caller's cancellation", fd.Name.Name, fn.Name())
+			}
+			return true
+		})
+	})
+	return nil, nil
+}
+
+// ctxParam is one context.Context parameter: its position and object (nil
+// for the blank identifier).
+type ctxParam struct {
+	pos token.Pos
+	obj types.Object
+}
+
+// ctxParams returns the function's context.Context parameters.
+func ctxParams(info *types.Info, fd *ast.FuncDecl) []ctxParam {
+	var out []ctxParam
+	for _, field := range fd.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			out = append(out, ctxParam{pos: field.Pos()})
+			continue
+		}
+		for _, name := range field.Names {
+			p := ctxParam{pos: name.Pos()}
+			if name.Name != "_" {
+				p.obj = info.Defs[name]
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Context" {
+		return false
+	}
+	return named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "context"
+}
+
+// ctxUses counts uses of the parameter in body and reports whether every
+// use is a ctx.Value call.
+func ctxUses(info *types.Info, body *ast.BlockStmt, obj types.Object) (uses int, valueOnly bool) {
+	valueCalls := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Value" {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && info.Uses[id] == obj {
+					valueCalls++
+				}
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			uses++
+		}
+		return true
+	})
+	return uses, uses > 0 && uses == valueCalls
+}

@@ -1,0 +1,63 @@
+// Package a exercises the ctxflow analyzer: accepted contexts must govern
+// the work done under them.
+package a
+
+import "context"
+
+type engine struct{}
+
+func (e *engine) rank(ctx context.Context) error { return ctx.Err() }
+
+// Ignored flags: the exported API accepts a ctx and never consults it.
+func (e *engine) Ignored(ctx context.Context) error { // want `exported Ignored takes a context.Context but never uses it`
+	return nil
+}
+
+// Blank flags: discarding by name is still discarding.
+func (e *engine) Blank(_ context.Context) error { // want `exported Blank discards its context.Context parameter`
+	return nil
+}
+
+// ValueOnly flags: Value does not carry cancellation.
+func ValueOnly(ctx context.Context) interface{} { // want `exported ValueOnly uses its context only for Value`
+	return ctx.Value("k")
+}
+
+// Detached flags: receiving a ctx and starting work under Background
+// disconnects that work from the caller's cancellation.
+func Detached(ctx context.Context, e *engine) error {
+	_ = ctx.Err()
+	return e.rank(context.Background()) // want `Detached receives a ctx but starts work under context.Background`
+}
+
+// Threaded is clean: the context reaches the blocking callee.
+func Threaded(ctx context.Context, e *engine) error {
+	return e.rank(ctx)
+}
+
+// Selected is clean: the context gates a select.
+func Selected(ctx context.Context, ch <-chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// ErrChecked is clean: an early Err probe is a legitimate (if minimal) use.
+func ErrChecked(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// unexportedIgnored is not flagged for the unused param (internal helpers
+// may stage a ctx for symmetry), but a Background detach still flags.
+func unexportedIgnored(ctx context.Context, e *engine) error {
+	return e.rank(context.Background()) // want `unexportedIgnored receives a ctx but starts work under context.Background`
+}
+
+// NoCtx has no context parameter: Background here is the root of a call
+// tree, which is exactly what Background is for.
+func NoCtx(e *engine) error {
+	return e.rank(context.Background())
+}

@@ -1,0 +1,391 @@
+// Package hotalloc defines an analyzer keeping annotated hot-path functions
+// allocation-free and lock-free.
+//
+// The read path of this module is built on 0-alloc point lookups — ScoreOf
+// is "one bounds check and one load", ScoreOfKey adds one lock-free map hit,
+// AppendTopK recycles its caller's buffer, the kernel inner sweeps run
+// memory-bound over shared vectors — and those properties are load-bearing:
+// they are what lets a view serve a million concurrent readers without GC
+// pressure, and they are pinned empirically by TestViewQueryAllocations and
+// the benchmark suite. This analyzer pins them structurally. A function
+// whose doc comment carries the //dfpr:hotpath directive must not contain:
+//
+//   - heap allocation: make, new, &T{…}, map/slice literals, string↔[]byte
+//     conversions, or closures (FuncLits capture and escape);
+//   - implicit or explicit conversion of a concrete value to an interface
+//     (boxing — the hidden allocation behind fmt calls and error wrapping);
+//   - map writes (growth and rehash on a read path);
+//   - mutex acquisition (Lock/RLock/TryLock on sync types);
+//   - goroutine launches.
+//
+// append is deliberately NOT flagged: the Append* hot paths share their
+// caller's buffer and their amortised-growth contract is documented and
+// benchmarked. A documented cold fallback inside a hot function (keymap's
+// dirty-tail mutex, say) carries a //lint:allow hotalloc with its reason.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dfpr/internal/lint/analysis"
+	"dfpr/internal/lint/lintutil"
+)
+
+// Directive marks a function whose body this analyzer checks.
+const Directive = "//dfpr:hotpath"
+
+// Analyzer flags allocations, boxing, map writes, locks and goroutine
+// launches in //dfpr:hotpath functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "functions annotated //dfpr:hotpath must not allocate, box values " +
+		"into interfaces, write maps, take mutexes or spawn goroutines",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	lintutil.ForEachFuncDecl(pass.Files, func(fd *ast.FuncDecl) {
+		if !lintutil.HasDirective(fd, Directive) {
+			return
+		}
+		c := &checker{pass: pass, fname: fd.Name.Name}
+		if fd.Type.Results != nil {
+			for _, r := range fd.Type.Results.List {
+				if tv, ok := pass.TypesInfo.Types[r.Type]; ok {
+					n := max(1, len(r.Names))
+					for i := 0; i < n; i++ {
+						c.results = append(c.results, tv.Type)
+					}
+				}
+			}
+		}
+		c.stmts(fd.Body.List)
+	})
+	return nil, nil
+}
+
+// checker walks one hot function's body. Nested function literals are
+// flagged as allocations and not descended into — their bodies run on
+// whatever path invokes them, not necessarily this one.
+type checker struct {
+	pass    *analysis.Pass
+	fname   string
+	results []types.Type
+}
+
+func (c *checker) errf(pos token.Pos, format string, args ...interface{}) {
+	msg := "hot path " + c.fname + ": " + format
+	c.pass.Reportf(pos, msg, args...)
+}
+
+func (c *checker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		c.stmt(s)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.GoStmt:
+		c.errf(s.Pos(), "spawns a goroutine")
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			c.mapWrite(lhs)
+		}
+		for i, rhs := range s.Rhs {
+			c.expr(rhs)
+			// Boxing through assignment: a concrete value stored into an
+			// interface-typed destination.
+			if len(s.Lhs) == len(s.Rhs) {
+				if lt, ok := c.pass.TypesInfo.Types[s.Lhs[i]]; ok {
+					c.boxing(rhs, lt.Type)
+				}
+			}
+		}
+		for _, lhs := range s.Lhs {
+			c.expr(lhs)
+		}
+	case *ast.IncDecStmt:
+		c.mapWrite(s.X)
+		c.expr(s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				var declared types.Type
+				if vs.Type != nil {
+					if tv, ok := c.pass.TypesInfo.Types[vs.Type]; ok {
+						declared = tv.Type
+					}
+				}
+				for _, v := range vs.Values {
+					c.expr(v)
+					if declared != nil {
+						c.boxing(v, declared)
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		c.expr(s.X)
+	case *ast.SendStmt:
+		c.expr(s.Chan)
+		c.expr(s.Value)
+	case *ast.ReturnStmt:
+		for i, r := range s.Results {
+			c.expr(r)
+			if i < len(c.results) {
+				c.boxing(r, c.results[i])
+			}
+		}
+	case *ast.BlockStmt:
+		c.stmts(s.List)
+	case *ast.IfStmt:
+		c.stmt(s.Init)
+		c.expr(s.Cond)
+		c.stmt(s.Body)
+		c.stmt(s.Else)
+	case *ast.ForStmt:
+		c.stmt(s.Init)
+		if s.Cond != nil {
+			c.expr(s.Cond)
+		}
+		c.stmt(s.Post)
+		c.stmt(s.Body)
+	case *ast.RangeStmt:
+		c.expr(s.X)
+		c.stmt(s.Body)
+	case *ast.SwitchStmt:
+		c.stmt(s.Init)
+		if s.Tag != nil {
+			c.expr(s.Tag)
+		}
+		c.stmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		c.stmt(s.Init)
+		c.stmt(s.Assign)
+		c.stmt(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			c.expr(e)
+		}
+		c.stmts(s.Body)
+	case *ast.SelectStmt:
+		c.stmt(s.Body)
+	case *ast.CommClause:
+		c.stmt(s.Comm)
+		c.stmts(s.Body)
+	case *ast.DeferStmt:
+		// A defer both allocates its frame on some paths and runs off the
+		// fast path; the call inside still gets checked.
+		c.errf(s.Pos(), "defers a call (defer frames cost on the hot path)")
+		c.expr(s.Call)
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	default:
+		// Statement forms not listed (Go/Select variants already covered)
+		// carry no expressions that allocate beyond what expr() sees.
+	}
+}
+
+// mapWrite flags an assignment target that indexes a map.
+func (c *checker) mapWrite(lhs ast.Expr) {
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	if tv, ok := c.pass.TypesInfo.Types[ix.X]; ok {
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			c.errf(lhs.Pos(), "writes to a map (growth and rehash on a read path)")
+		}
+	}
+}
+
+func (c *checker) expr(e ast.Expr) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.FuncLit:
+		c.errf(e.Pos(), "declares a closure (captures escape to the heap)")
+		// Do not descend: the literal's body is not this function's path.
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+				c.errf(e.Pos(), "allocates (&composite literal)")
+			}
+		}
+		c.expr(e.X)
+	case *ast.CompositeLit:
+		switch c.pass.TypesInfo.Types[e].Type.Underlying().(type) {
+		case *types.Map:
+			c.errf(e.Pos(), "allocates (map literal)")
+		case *types.Slice:
+			c.errf(e.Pos(), "allocates (slice literal)")
+		}
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				c.expr(kv.Value)
+			} else {
+				c.expr(el)
+			}
+		}
+	case *ast.CallExpr:
+		c.call(e)
+	case *ast.BinaryExpr:
+		c.expr(e.X)
+		c.expr(e.Y)
+	case *ast.ParenExpr:
+		c.expr(e.X)
+	case *ast.SelectorExpr:
+		c.expr(e.X)
+	case *ast.IndexExpr:
+		c.expr(e.X)
+		c.expr(e.Index)
+	case *ast.SliceExpr:
+		c.expr(e.X)
+		c.expr(e.Low)
+		c.expr(e.High)
+		c.expr(e.Max)
+	case *ast.StarExpr:
+		c.expr(e.X)
+	case *ast.TypeAssertExpr:
+		c.expr(e.X)
+	case *ast.KeyValueExpr:
+		c.expr(e.Key)
+		c.expr(e.Value)
+	}
+}
+
+// call checks one call expression: builtins that allocate, conversions that
+// allocate or box, mutex acquisition, and boxing of arguments into
+// interface parameters.
+func (c *checker) call(call *ast.CallExpr) {
+	info := c.pass.TypesInfo
+	// Conversion? T(x) where T is a type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		c.conversion(call, tv.Type)
+		c.expr(call.Args[0])
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				c.errf(call.Pos(), "allocates (make)")
+			case "new":
+				c.errf(call.Pos(), "allocates (new)")
+			case "delete":
+				c.errf(call.Pos(), "writes to a map (delete)")
+			}
+			for _, a := range call.Args {
+				c.expr(a)
+			}
+			return
+		}
+	}
+	if fn := lintutil.CalleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+		switch fn.Name() {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			c.errf(call.Pos(), "acquires a mutex (%s.%s)", recvTypeName(fn), fn.Name())
+		}
+	}
+	// Boxing: concrete arguments landing in interface parameters — the
+	// hidden allocation behind fmt calls and error wrapping.
+	if tv, ok := info.Types[call.Fun]; ok {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			for i, arg := range call.Args {
+				if pt, ok := paramType(sig, i, call.Ellipsis.IsValid()); ok {
+					c.boxing(arg, pt)
+				}
+			}
+		}
+	}
+	c.expr(call.Fun)
+	for _, a := range call.Args {
+		c.expr(a)
+	}
+}
+
+// conversion flags explicit conversions that allocate: concrete→interface
+// boxing and string↔[]byte/[]rune copies.
+func (c *checker) conversion(call *ast.CallExpr, to types.Type) {
+	info := c.pass.TypesInfo
+	from, ok := info.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	if types.IsInterface(to.Underlying()) && !types.IsInterface(from.Type.Underlying()) && !from.IsNil() {
+		c.errf(call.Pos(), "boxes a concrete value into %s", to.String())
+		return
+	}
+	toB, toIsBasic := to.Underlying().(*types.Basic)
+	_, fromIsSlice := from.Type.Underlying().(*types.Slice)
+	if toIsBasic && toB.Info()&types.IsString != 0 && fromIsSlice {
+		c.errf(call.Pos(), "allocates (slice→string conversion)")
+	}
+	if _, toIsSlice := to.Underlying().(*types.Slice); toIsSlice {
+		if fromB, ok := from.Type.Underlying().(*types.Basic); ok && fromB.Info()&types.IsString != 0 {
+			c.errf(call.Pos(), "allocates (string→slice conversion)")
+		}
+	}
+}
+
+// boxing flags a concrete, non-constant-nil value landing somewhere typed
+// as a non-empty or empty interface.
+func (c *checker) boxing(arg ast.Expr, dst types.Type) {
+	if dst == nil || !types.IsInterface(dst.Underlying()) {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[arg]
+	if !ok || tv.IsNil() || tv.Type == nil {
+		return
+	}
+	if types.IsInterface(tv.Type.Underlying()) {
+		return
+	}
+	c.errf(arg.Pos(), "boxes a concrete %s into %s (interface conversion allocates)", tv.Type.String(), dst.String())
+}
+
+// paramType resolves the type of parameter i of sig, unrolling the variadic
+// tail; ok is false when the call spreads with ... (no boxing happens).
+func paramType(sig *types.Signature, i int, ellipsis bool) (types.Type, bool) {
+	n := sig.Params().Len()
+	if sig.Variadic() {
+		if ellipsis {
+			return nil, false
+		}
+		if i >= n-1 {
+			sl, ok := sig.Params().At(n - 1).Type().(*types.Slice)
+			if !ok {
+				return nil, false
+			}
+			return sl.Elem(), true
+		}
+	}
+	if i >= n {
+		return nil, false
+	}
+	return sig.Params().At(i).Type(), true
+}
+
+// recvTypeName names a method's receiver type for diagnostics.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "sync"
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

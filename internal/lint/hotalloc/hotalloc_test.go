@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"dfpr/internal/lint/analysistest"
+	"dfpr/internal/lint/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotalloc.Analyzer, "a")
+}

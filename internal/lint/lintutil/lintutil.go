@@ -1,0 +1,114 @@
+// Package lintutil holds the type-resolution helpers shared by prlint's
+// analyzers: resolving a call expression to the method it invokes, matching
+// methods by package/receiver/name, and walking function bodies.
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CalleeFunc resolves the function or method a call expression statically
+// invokes, or nil for calls through function values, builtins and
+// conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel] // package-qualified call
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// IsMethod reports whether call invokes a method named name on a (possibly
+// pointer) named type typeName declared in a package whose path is pkgPath
+// or ends in "/"+pkgPath — the suffix match lets analysistest fixtures stub
+// real import paths at any depth.
+func IsMethod(info *types.Info, call *ast.CallExpr, pkgPath, typeName, name string) bool {
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Name() != typeName {
+		return false
+	}
+	return PkgPathIs(named.Obj().Pkg(), pkgPath)
+}
+
+// PkgPathIs reports whether pkg's import path equals path or ends in
+// "/"+path.
+func PkgPathIs(pkg *types.Package, path string) bool {
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == path || strings.HasSuffix(pkg.Path(), "/"+path)
+}
+
+// ReceiverExpr returns the receiver expression of a method call's selector
+// (the "x.y" in "x.y.M(...)"), or nil for non-selector calls.
+func ReceiverExpr(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}
+
+// ExprString renders an expression as compact source text, for keying
+// receiver identity ("e.store", "s") positionally within one function.
+func ExprString(e ast.Expr) string {
+	return types.ExprString(e)
+}
+
+// HasDirective reports whether a function declaration's doc comment carries
+// the given directive comment line (e.g. "//dfpr:hotpath").
+func HasDirective(fd *ast.FuncDecl, directive string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEachFuncDecl calls fn for every function declaration with a body in
+// the files.
+func ForEachFuncDecl(files []*ast.File, fn func(fd *ast.FuncDecl)) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// IsErrorType reports whether t is the error interface or a named type
+// whose underlying type is an interface satisfying error.
+func IsErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.AssignableTo(t, types.Universe.Lookup("error").Type()) &&
+		types.IsInterface(t.Underlying())
+}

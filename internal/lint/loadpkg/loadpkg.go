@@ -1,0 +1,305 @@
+// Package loadpkg is the driver side of prlint: it loads type-checked
+// packages for the analyzers in internal/lint to run over, executes them,
+// and applies the "//lint:allow" suppression protocol to their findings.
+//
+// Loading works without golang.org/x/tools/go/packages by leaning on the go
+// command itself: `go list -export -json -deps` compiles every dependency
+// and reports the export-data file of each, so a package can be parsed from
+// source and type-checked with the standard library's gc importer resolving
+// imports from those files. The same mechanism backs `go vet`'s own driver;
+// doing it here keeps the module dependency-free.
+package loadpkg
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dfpr/internal/lint/analysis"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Syntax     []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPkg mirrors the fields of `go list -json` this driver consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	GoFiles    []string
+}
+
+// Load lists patterns in dir with the go command, then parses and
+// type-checks every non-standard-library package the patterns matched.
+// With tests set, the in-package and external test variants are loaded too
+// (their _test.go files included), mirroring `go vet`'s coverage.
+func Load(dir string, patterns []string, tests bool) ([]*Package, error) {
+	args := []string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,ForTest"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{} // import path → export-data file
+	var roots []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		// Test variants list as "path [path.test]"; their export data serves
+		// the plain path only when no non-variant record provides one (the
+		// variant is a superset, compiled with the same non-test sources).
+		path := strings.TrimSuffix(p.ImportPath, " ["+p.ForTest+".test]")
+		if p.Export != "" {
+			if _, ok := exports[path]; !ok || p.ForTest == "" {
+				exports[path] = p.Export
+			}
+		}
+		switch {
+		case p.Standard, p.DepOnly:
+		case strings.HasSuffix(p.ImportPath, ".test"):
+			// The generated test-binary main package: nothing human-written.
+		default:
+			q := p
+			roots = append(roots, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+	var pkgs []*Package
+	for _, p := range roots {
+		pkg, err := check(fset, imp, p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// exportImporter returns a gc-export-data importer resolving import paths
+// through find.
+func exportImporter(fset *token.FileSet, find func(path string) (string, bool)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := find(path)
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// check parses files and type-checks them as one package.
+func check(fset *token.FileSet, imp types.Importer, importPath, dir string, files []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Syntax:     syntax,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// A Finding is one surviving diagnostic: analyzer name, resolved position,
+// message.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Run applies every analyzer to every package, filters the diagnostics
+// through the //lint:allow suppressions, and returns the survivors sorted by
+// position. Malformed suppressions (no analyzer name, or no reason) are
+// themselves findings — an allow that does not say why is documentation
+// debt, not a waiver.
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	seen := map[string]bool{} // dedup across test-variant repeats of a file
+	for _, pkg := range pkgs {
+		allows, bad := suppressions(pkg)
+		for _, f := range bad {
+			key := f.Analyzer + "\x00" + f.Pos.String() + "\x00" + f.Message
+			if !seen[key] {
+				seen[key] = true
+				findings = append(findings, f)
+			}
+		}
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if allows[allowKey{file: pos.Filename, line: pos.Line, analyzer: a.Name}] {
+					return
+				}
+				key := a.Name + "\x00" + pos.String() + "\x00" + d.Message
+				if seen[key] {
+					return
+				}
+				seen[key] = true
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// allowPrefix is the suppression directive: a comment of the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// waives diagnostics of that analyzer on its own line — or, when the
+// comment stands alone on a line, on the line below it. The reason is
+// mandatory: a suppression must explain which documented exception to the
+// invariant it encodes.
+const allowPrefix = "//lint:allow"
+
+// suppressions scans a package's comments for //lint:allow directives,
+// returning the waiver set and a finding for every malformed directive.
+func suppressions(pkg *Package) (map[allowKey]bool, []Finding) {
+	allows := map[allowKey]bool{}
+	src := map[string][]byte{}
+	var bad []Finding
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad = append(bad, Finding{Analyzer: "lint", Pos: pos,
+						Message: "lint:allow needs an analyzer name and a reason"})
+					continue
+				}
+				if len(fields) < 2 {
+					bad = append(bad, Finding{Analyzer: "lint", Pos: pos,
+						Message: fmt.Sprintf("lint:allow %s needs a reason", fields[0])})
+					continue
+				}
+				// The directive covers its own line; a standalone comment
+				// (nothing but whitespace before it on the line) covers the
+				// next line instead — the form used above a flagged statement.
+				allows[allowKey{file: pos.Filename, line: pos.Line, analyzer: fields[0]}] = true
+				if startsLine(src, pos) {
+					allows[allowKey{file: pos.Filename, line: pos.Line + 1, analyzer: fields[0]}] = true
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// startsLine reports whether the source position has only whitespace before
+// it on its line, using the lazily read file contents in src.
+func startsLine(src map[string][]byte, pos token.Position) bool {
+	b, ok := src[pos.Filename]
+	if !ok {
+		b, _ = os.ReadFile(pos.Filename)
+		src[pos.Filename] = b
+	}
+	// Offset points at the "//"; walk back to the preceding newline.
+	if pos.Offset > len(b) {
+		return false
+	}
+	for i := pos.Offset - 1; i >= 0; i-- {
+		switch b[i] {
+		case '\n':
+			return true
+		case ' ', '\t':
+		default:
+			return false
+		}
+	}
+	return true
+}

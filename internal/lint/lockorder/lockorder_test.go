@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"dfpr/internal/lint/analysistest"
+	"dfpr/internal/lint/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "a")
+}

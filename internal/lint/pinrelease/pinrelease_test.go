@@ -1,0 +1,12 @@
+package pinrelease_test
+
+import (
+	"testing"
+
+	"dfpr/internal/lint/analysistest"
+	"dfpr/internal/lint/pinrelease"
+)
+
+func TestPinrelease(t *testing.T) {
+	analysistest.Run(t, "testdata", pinrelease.Analyzer, "a")
+}

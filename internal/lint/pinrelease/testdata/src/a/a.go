@@ -1,0 +1,84 @@
+// Package a exercises the pinrelease analyzer: every Pin pairs with a
+// Release on all paths.
+package a
+
+type Version struct{ Seq uint64 }
+
+type Store struct{}
+
+func (s *Store) Pin(seq uint64) (*Version, bool) { return nil, false }
+func (s *Store) Release(seq uint64)              {}
+
+type engine struct{ store *Store }
+
+func work(v *Version) error { return nil }
+
+// Deferred release is exit-safe on every path.
+func (e *engine) deferred(seq uint64) error {
+	v, ok := e.store.Pin(seq)
+	if !ok {
+		return nil
+	}
+	defer e.store.Release(seq)
+	return work(v)
+}
+
+// Explicit release with no return in between is fine.
+func (e *engine) explicit(seq uint64) {
+	v, _ := e.store.Pin(seq)
+	_ = v
+	e.store.Release(seq)
+}
+
+// No release at all: the pin leaks and the version is retained forever.
+func (e *engine) leaks(seq uint64) {
+	e.store.Pin(seq) // want `leaks pins e\.store\.Pin\(seq\) with no matching Release\(seq\)`
+}
+
+// Released under a different sequence expression: not a lexical pair — the
+// analyzer cannot prove it covers this pin.
+func (e *engine) mismatched(seq uint64) {
+	e.store.Pin(seq + 1) // want `mismatched pins e\.store\.Pin\(seq \+ 1\) with no matching Release\(seq \+ 1\)`
+	e.store.Release(seq)
+}
+
+// An early return between Pin and its explicit Release leaks on the error
+// path — the classic bug this analyzer exists for.
+func (e *engine) earlyReturn(seq uint64) error {
+	v, ok := e.store.Pin(seq) // want `earlyReturn releases Pin\(seq\) only after a return statement that can leak it`
+	if !ok {
+		return nil
+	}
+	if err := work(v); err != nil {
+		return err
+	}
+	e.store.Release(seq)
+	return nil
+}
+
+// The loop idiom releases the previous iteration's pin before taking the
+// next: the textually earlier Release is the pair.
+func (e *engine) ring(seqs []uint64) {
+	for _, s := range seqs {
+		e.store.Release(s)
+		e.store.Pin(s)
+	}
+}
+
+// A closure is its own scope: pinning inside and releasing outside (or the
+// reverse) is a handoff the lexical analysis cannot follow.
+func (e *engine) closureLeak(seq uint64) func() {
+	return func() {
+		e.store.Pin(seq) // want `closureLeak pins e\.store\.Pin\(seq\) with no matching Release\(seq\)`
+	}
+}
+
+// A documented cross-function handoff carries its suppression: publication
+// pins the chain, ring eviction releases it.
+func (e *engine) handoff(seq uint64) {
+	e.store.Pin(seq) //lint:allow pinrelease released by ring eviction in evict()
+}
+
+func (e *engine) evict(seq uint64) {
+	e.store.Release(seq)
+}

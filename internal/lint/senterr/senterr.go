@@ -1,0 +1,109 @@
+// Package senterr defines an analyzer that forbids identity comparison of
+// sentinel errors.
+//
+// This module's public API promises wrapped errors: ErrQueueFull,
+// ErrPending, ErrTooManyVertices, ErrDurabilityDegraded and core.ErrCanceled
+// all reach callers wrapped in fmt.Errorf("...: %w", ...) context, so a
+// direct `err == ErrQueueFull` comparison silently never matches — the
+// backpressure retry it guards simply does not happen. The contract is
+// errors.Is, and this analyzer enforces it at every comparison site: binary
+// ==/!= against any package-level error variable, and switch cases doing the
+// same. io.EOF is exempt — the io.Reader contract returns it unwrapped and
+// comparing it with == is the documented idiom.
+package senterr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dfpr/internal/lint/analysis"
+	"dfpr/internal/lint/lintutil"
+)
+
+// Analyzer flags ==/!= comparisons against sentinel error variables.
+var Analyzer = &analysis.Analyzer{
+	Name: "senterr",
+	Doc: "sentinel errors must be tested with errors.Is, never ==/!=: " +
+		"the engine wraps every sentinel with call-site context, so identity " +
+		"comparison silently never matches",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if s := sentinel(pass.TypesInfo, n.X); s != nil && isErrorExpr(pass.TypesInfo, n.Y) {
+					report(pass, n.Pos(), n.Op, s)
+				} else if s := sentinel(pass.TypesInfo, n.Y); s != nil && isErrorExpr(pass.TypesInfo, n.X) {
+					report(pass, n.Pos(), n.Op, s)
+				}
+			case *ast.SwitchStmt:
+				// switch err { case ErrFoo: } is == comparison in disguise.
+				if n.Tag == nil || !isErrorExpr(pass.TypesInfo, n.Tag) {
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if s := sentinel(pass.TypesInfo, e); s != nil {
+							pass.Reportf(e.Pos(), "sentinel error %s in a switch case compares with ==; use errors.Is", s.Name())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func report(pass *analysis.Pass, pos token.Pos, op token.Token, s *types.Var) {
+	pass.Reportf(pos, "sentinel error %s compared with %s; use errors.Is (sentinels reach callers wrapped)", s.Name(), op)
+}
+
+// sentinel resolves e to a package-level variable of error type, excluding
+// io.EOF (unwrapped by contract).
+func sentinel(info *types.Info, e ast.Expr) *types.Var {
+	var obj types.Object
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	default:
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !lintutil.IsErrorType(v.Type()) {
+		return nil
+	}
+	if v.Pkg().Path() == "io" && v.Name() == "EOF" {
+		return nil
+	}
+	return v
+}
+
+// isErrorExpr reports whether e's static type is error-like (so comparing
+// it against a sentinel is an error comparison, not interface bookkeeping).
+func isErrorExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok {
+		return false
+	}
+	if tv.IsNil() {
+		return false
+	}
+	return lintutil.IsErrorType(tv.Type)
+}

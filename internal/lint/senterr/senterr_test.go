@@ -1,0 +1,12 @@
+package senterr_test
+
+import (
+	"testing"
+
+	"dfpr/internal/lint/analysistest"
+	"dfpr/internal/lint/senterr"
+)
+
+func TestSenterr(t *testing.T) {
+	analysistest.Run(t, "testdata", senterr.Analyzer, "a")
+}

@@ -1,0 +1,52 @@
+// Package a exercises the senterr analyzer: sentinel errors must be tested
+// with errors.Is, never compared by identity.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrQueueFull = errors.New("queue full")
+var ErrClosed = errors.New("closed")
+var notAnError = 42
+
+func wrapped() error { return fmt.Errorf("submit: %w", ErrQueueFull) }
+
+func bad(err error) {
+	if err == ErrQueueFull { // want `sentinel error ErrQueueFull compared with ==`
+		return
+	}
+	if ErrClosed == err { // want `sentinel error ErrClosed compared with ==`
+		return
+	}
+	if err != ErrQueueFull { // want `sentinel error ErrQueueFull compared with !=`
+		return
+	}
+	switch err {
+	case ErrQueueFull: // want `sentinel error ErrQueueFull in a switch case`
+		return
+	case nil:
+		return
+	}
+}
+
+func good(err error, n int) {
+	if errors.Is(err, ErrQueueFull) { // the contract
+		return
+	}
+	if err == nil || err != nil { // nil checks are fine
+		return
+	}
+	if err == io.EOF { // io.EOF is unwrapped by the io.Reader contract
+		return
+	}
+	var local error
+	if err == local { // local error variables are not sentinels
+		return
+	}
+	if n == notAnError { // non-error package vars are not sentinels
+		return
+	}
+}

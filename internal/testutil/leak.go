@@ -1,0 +1,38 @@
+// Package testutil holds helpers shared by this module's test suites.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// LeakCheck captures the current goroutine count and returns a wait
+// function that fails the test if the count has not settled back to that
+// baseline within two seconds. The grace period plus the GC nudges cover
+// goroutines that are finishing but not yet joined (timer callbacks,
+// AfterFunc bodies); a real leak — a worker parked forever — stays above
+// the baseline and trips the deadline.
+//
+// Usage, at the point the baseline should be taken:
+//
+//	waitJoined := testutil.LeakCheck(t, "cancel")
+//	... exercise the engine ...
+//	waitJoined()
+//
+// what names the phase for the failure message ("Rank cancel", "Close").
+func LeakCheck(t testing.TB, what string) func() {
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before {
+			if time.Now().After(deadline) {
+				t.Fatalf("goroutines leaked: %d before, %d after %s",
+					before, runtime.NumGoroutine(), what)
+			}
+			runtime.GC()
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}

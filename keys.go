@@ -178,6 +178,8 @@ type KeyMovement struct {
 // the key space's length at its version, so a pinned view answers exactly
 // for the universe it was taken over. The hit path is one lock-free resolve
 // plus the dense bounds check: zero allocations, no locks.
+//
+//dfpr:hotpath
 func (v *View) ScoreOfKey(key Key) (float64, bool) {
 	if v.keys == nil {
 		return 0, false
@@ -215,6 +217,8 @@ func (v *View) TopKKeys(k int) []RankedKey {
 
 // AppendTopKKeys is TopKKeys appending into dst, for callers recycling
 // buffers on a hot serving path.
+//
+//dfpr:hotpath
 func (v *View) AppendTopKKeys(dst []RankedKey, k int) []RankedKey {
 	if k <= 0 {
 		return dst

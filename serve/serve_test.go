@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -239,7 +240,7 @@ func TestServeGracefulDrain(t *testing.T) {
 	if err := s.Shutdown(ctx); err != nil {
 		t.Fatalf("drain: %v", err)
 	}
-	if err := <-done; err != http.ErrServerClosed {
+	if err := <-done; !errors.Is(err, http.ErrServerClosed) {
 		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
 	}
 	// Shutdown without a listener is a no-op.

@@ -80,6 +80,8 @@ func (v *View) M() int { return v.ver.G.M() }
 // ScoreOf returns the PageRank score of u at this version, and whether u is
 // a valid vertex. It is one bounds check and one load — zero allocations,
 // no locks — the shape of a point lookup under read-heavy traffic.
+//
+//dfpr:hotpath
 func (v *View) ScoreOf(u uint32) (float64, bool) {
 	if int(u) >= len(v.ranks) {
 		return 0, false
@@ -105,6 +107,8 @@ func (v *View) TopK(k int) []Ranked {
 // AppendTopK is TopK appending into dst, for callers recycling buffers on a
 // hot serving path: with cap(dst) ≥ k (and the order cache warm) it
 // performs zero allocations.
+//
+//dfpr:hotpath
 func (v *View) AppendTopK(dst []Ranked, k int) []Ranked {
 	if k <= 0 {
 		return dst
