@@ -1,0 +1,318 @@
+// Command prload drives a running prserve with a configurable mix of read
+// and write traffic and reports a latency summary — the load half of the
+// telemetry story: run it against a server, watch /metrics move, and keep
+// the JSON summary as a regression artifact.
+//
+// Reads are GET /v1/rank/{u} (mostly) and GET /v1/topk; writes POST random
+// edge batches to /v1/apply. With -keyed the traffic speaks string keys
+// ("v<i>", matching prserve's -keyed -gen synthetic keys); otherwise dense
+// ids. Rates are open-loop per worker: each worker paces its own ticker, so
+// a slow server shows up as latency, not reduced offered load.
+//
+// After the run prload scrapes /metrics, validates that the exposition
+// parses (internal/telemetry's parser — no promtool needed), and folds a few
+// headline series into the summary. Exit status 1 means the run failed:
+// nothing succeeded, or the final scrape was missing or malformed.
+//
+// Usage:
+//
+//	prload -addr localhost:8080 -duration 10s -read-qps 400 -write-qps 40
+//	prload -addr localhost:8080 -keyed -n 65536 -out latency.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"dfpr/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:8080", "prserve host:port")
+		duration = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		readQPS  = flag.Float64("read-qps", 400, "offered read rate (rank + topk)")
+		writeQPS = flag.Float64("write-qps", 40, "offered write rate (apply batches)")
+		workers  = flag.Int("workers", 4, "concurrent workers per traffic class")
+		batch    = flag.Int("batch", 8, "edges per apply batch")
+		nVerts   = flag.Int("n", 1024, "vertex universe the traffic draws from")
+		topkFrac = flag.Float64("topk-frac", 0.2, "fraction of reads that are topk instead of rank")
+		k        = flag.Int("k", 10, "k for topk reads")
+		keyed    = flag.Bool("keyed", false, "address vertices by string key v<i> (keyed server)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", "", "write the JSON summary to this file (default stdout)")
+	)
+	flag.Parse()
+
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 30 * time.Second}
+	if err := waitHealthy(client, base, 10*time.Second); err != nil {
+		fatalf("%v", err)
+	}
+
+	var wg sync.WaitGroup
+	stopAt := time.Now().Add(*duration)
+	readCols := make([]*collector, *workers)
+	writeCols := make([]*collector, *workers)
+	for w := 0; w < *workers; w++ {
+		readCols[w] = &collector{}
+		writeCols[w] = &collector{}
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			drive(client, stopAt, *readQPS/float64(*workers), readCols[w], func() error {
+				return doRead(client, base, rng, *nVerts, *topkFrac, *k, *keyed)
+			})
+		}(w)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + 1000 + int64(w)))
+			drive(client, stopAt, *writeQPS/float64(*workers), writeCols[w], func() error {
+				return doWrite(client, base, rng, *nVerts, *batch, *keyed)
+			})
+		}(w)
+	}
+	wg.Wait()
+
+	sum := summary{
+		DurationSeconds: duration.Seconds(),
+		Read:            summarize(readCols, duration.Seconds()),
+		Write:           summarize(writeCols, duration.Seconds()),
+	}
+	sum.Metrics = scrape(client, base)
+	body, _ := json.MarshalIndent(sum, "", "  ")
+	body = append(body, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, body, 0o644); err != nil {
+			fatalf("write -out %s: %v", *out, err)
+		}
+	} else {
+		os.Stdout.Write(body)
+	}
+	if sum.Read.Count+sum.Write.Count == 0 {
+		fatalf("no requests completed")
+	}
+	if sum.Read.Count > 0 && sum.Read.Errors == sum.Read.Count {
+		fatalf("every read failed")
+	}
+	if sum.Write.Count > 0 && sum.Write.Errors == sum.Write.Count {
+		fatalf("every write failed")
+	}
+	if !sum.Metrics.ScrapeOK {
+		fatalf("final /metrics scrape failed: %s", sum.Metrics.ScrapeError)
+	}
+}
+
+// collector accumulates one worker's latency samples; workers never share,
+// so sampling is contention-free and merged after the run.
+type collector struct {
+	samples []float64 // seconds
+	errors  int
+}
+
+// drive paces one worker's open loop: fire at the configured rate until
+// stopAt, recording latency per call (errors count but do not pause the
+// loop).
+func drive(client *http.Client, stopAt time.Time, qps float64, col *collector, op func() error) {
+	if qps <= 0 {
+		return
+	}
+	interval := time.Duration(float64(time.Second) / qps)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for time.Now().Before(stopAt) {
+		<-tick.C
+		t0 := time.Now()
+		err := op()
+		col.samples = append(col.samples, time.Since(t0).Seconds())
+		if err != nil {
+			col.errors++
+		}
+	}
+}
+
+// doRead issues one read: a point rank lookup, or a topk page with
+// probability topkFrac.
+func doRead(client *http.Client, base string, rng *rand.Rand, n int, topkFrac float64, k int, keyed bool) error {
+	var url string
+	if rng.Float64() < topkFrac {
+		url = fmt.Sprintf("%s/v1/topk?k=%d", base, k)
+	} else if keyed {
+		url = fmt.Sprintf("%s/v1/rank/v%d", base, rng.Intn(n))
+	} else {
+		url = fmt.Sprintf("%s/v1/rank/%d", base, rng.Intn(n))
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	drain(resp)
+	// 404 is a legal answer under churn (a vertex the writes have not
+	// created yet); only transport and server-side failures count.
+	if resp.StatusCode >= 500 {
+		return fmt.Errorf("read %s: status %d", url, resp.StatusCode)
+	}
+	return nil
+}
+
+// doWrite posts one random insert batch.
+func doWrite(client *http.Client, base string, rng *rand.Rand, n, batch int, keyed bool) error {
+	type edge struct {
+		U    *uint32 `json:"u,omitempty"`
+		V    *uint32 `json:"v,omitempty"`
+		From string  `json:"from,omitempty"`
+		To   string  `json:"to,omitempty"`
+	}
+	ins := make([]edge, batch)
+	for i := range ins {
+		a, b := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+		if keyed {
+			ins[i] = edge{From: fmt.Sprintf("v%d", a), To: fmt.Sprintf("v%d", b)}
+		} else {
+			ins[i] = edge{U: &a, V: &b}
+		}
+	}
+	body, _ := json.Marshal(map[string][]edge{"ins": ins})
+	resp, err := client.Post(base+"/v1/apply", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	drain(resp)
+	// 429 is backpressure working as designed under deliberate overload;
+	// count it as an error so the summary surfaces how often it fired.
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("apply: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// waitHealthy polls /v1/healthz until the server answers (ready or not —
+// liveness is enough to start offering load).
+func waitHealthy(client *http.Client, base string, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		resp, err := client.Get(base + "/v1/healthz")
+		if err == nil {
+			drain(resp)
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("prload: %s not healthy after %v: %v", base, patience, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// classSummary is the latency digest of one traffic class.
+type classSummary struct {
+	Count    int     `json:"count"`
+	Errors   int     `json:"errors"`
+	QPS      float64 `json:"qps"`
+	P50Ms    float64 `json:"p50_ms"`
+	P90Ms    float64 `json:"p90_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+	TotalSec float64 `json:"total_seconds"`
+}
+
+type metricsSummary struct {
+	ScrapeOK         bool    `json:"scrape_ok"`
+	ScrapeError      string  `json:"scrape_error,omitempty"`
+	Series           int     `json:"series,omitempty"`
+	HTTPRequests     float64 `json:"http_requests_total,omitempty"`
+	IngestRounds     float64 `json:"ingest_rounds_total,omitempty"`
+	CoalescedEdits   float64 `json:"ingest_coalesced_edits_total,omitempty"`
+	RankRefreshes    float64 `json:"rank_refreshes_total,omitempty"`
+	GraphVersion     float64 `json:"graph_version,omitempty"`
+	PublishObserved  float64 `json:"publish_to_ranked_count,omitempty"`
+}
+
+type summary struct {
+	DurationSeconds float64        `json:"duration_seconds"`
+	Read            classSummary   `json:"read"`
+	Write           classSummary   `json:"write"`
+	Metrics         metricsSummary `json:"metrics"`
+}
+
+// summarize merges per-worker collectors into percentiles. wall is the run
+// duration in seconds, used for achieved (not offered) QPS.
+func summarize(cols []*collector, wall float64) classSummary {
+	var all []float64
+	s := classSummary{}
+	for _, c := range cols {
+		all = append(all, c.samples...)
+		s.Errors += c.errors
+	}
+	s.Count = len(all)
+	if s.Count == 0 {
+		return s
+	}
+	sort.Float64s(all)
+	for _, v := range all {
+		s.TotalSec += v
+	}
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(all)-1))
+		return all[i] * 1000
+	}
+	s.P50Ms, s.P90Ms, s.P99Ms = pct(0.50), pct(0.90), pct(0.99)
+	s.MaxMs = all[len(all)-1] * 1000
+	if wall > 0 {
+		s.QPS = float64(s.Count) / wall
+	}
+	return s
+}
+
+// scrape pulls /metrics once and validates the exposition end to end.
+func scrape(client *http.Client, base string) metricsSummary {
+	m := metricsSummary{}
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		m.ScrapeError = err.Error()
+		return m
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		m.ScrapeError = fmt.Sprintf("status %d", resp.StatusCode)
+		return m
+	}
+	snap, err := telemetry.ParseExposition(resp.Body)
+	if err != nil {
+		m.ScrapeError = err.Error()
+		return m
+	}
+	m.ScrapeOK = true
+	m.Series = len(snap)
+	m.HTTPRequests = snap.Sum("dfpr_http_requests_total")
+	m.IngestRounds, _ = snap.Value("dfpr_ingest_rounds_total")
+	m.CoalescedEdits, _ = snap.Value("dfpr_ingest_coalesced_edits_total")
+	m.RankRefreshes, _ = snap.Value("dfpr_rank_refreshes_total")
+	m.GraphVersion, _ = snap.Value("dfpr_graph_version")
+	m.PublishObserved, _ = snap.Value("dfpr_publish_to_ranked_seconds_count")
+	return m
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "prload: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -31,7 +31,7 @@ import (
 	"dfpr"
 	"dfpr/internal/exutil"
 	"dfpr/internal/gio"
-	"dfpr/internal/metrics"
+	"dfpr/internal/topk"
 )
 
 func main() {
@@ -103,7 +103,7 @@ func main() {
 			fatalf("baseline ranking failed: %v", err)
 		}
 		fmt.Printf("baseline: static pre-update ranking converged in %d iterations (%s)\n",
-			pre.Iterations, metrics.FormatDur(pre.Elapsed))
+			pre.Iterations, topk.FormatDur(pre.Elapsed))
 		var del, ins []dfpr.Edge
 		if *batchFile != "" {
 			del, ins, err = loadBatch(*batchFile)
@@ -130,7 +130,7 @@ func main() {
 
 	view := res.View
 	fmt.Printf("%s: n=%d m=%d iterations=%d converged=%v elapsed=%s\n",
-		algo, view.N(), view.M(), res.Iterations, res.Converged, metrics.FormatDur(res.Elapsed))
+		algo, view.N(), view.M(), res.Iterations, res.Converged, topk.FormatDur(res.Elapsed))
 
 	switch {
 	case *top > 0 && *keyed:

@@ -31,13 +31,18 @@
 //	curl localhost:8080/v1/healthz
 //	curl 'localhost:8080/v1/delta?from=0'
 //	curl localhost:8080/v1/stats
+//	curl localhost:8080/metrics              # Prometheus text exposition
+//
+// Logs are structured (log/slog) on stderr; -log-format json machine-parses,
+// -log-level debug|info|warn|error filters. -pprof mounts net/http/pprof
+// under /debug/pprof/ for live profiling.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -75,8 +80,16 @@ func main() {
 		data     = flag.String("data", "", "durability directory (WAL + checkpoints); applied edits survive restarts, and a directory with state warm-restarts the engine from it (-in/-gen then ignored)")
 		fsyncS   = flag.String("fsync", "batched", "with -data, WAL fsync policy: always|batched|batched:<dur>|none")
 		ckptN    = flag.Int("checkpoint-every", dfpr.DefaultCheckpointEvery, "with -data, checkpoint every N published rank versions")
+		logFmt   = flag.String("log-format", "text", "log output format: text|json")
+		logLvl   = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logFmt, *logLvl)
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	algo, err := dfpr.ParseAlgorithm(*algoName)
 	if err != nil {
@@ -113,7 +126,7 @@ func main() {
 		// The directory holds the authoritative state: skip loading any
 		// input graph — recovery supersedes it.
 		if *in != "" || *genClass != "" {
-			log.Printf("prserve: %s holds durable state; ignoring -in/-gen", *data)
+			logger.Warn("durable state present; ignoring -in/-gen", "data", *data)
 		}
 		if *keyed {
 			eng, err = dfpr.Open(opts...)
@@ -140,18 +153,22 @@ func main() {
 
 	if warm {
 		ds := eng.Stats().Durability
-		log.Printf("prserve: warm restart from %s: version %d (checkpoint %d, %d log records replayed), catching up…",
-			*data, eng.Version(), ds.CheckpointSeq, ds.ReplayedRecords)
+		logger.Info("warm restart",
+			"data", *data, "version", eng.Version(),
+			"checkpoint", ds.CheckpointSeq, "replayed", ds.ReplayedRecords)
 	} else {
-		log.Printf("prserve: converging initial ranks on %d vertices, %d edges…", nv, ne)
+		logger.Info("converging initial ranks", "vertices", nv, "edges", ne)
 	}
 	res, err := eng.Rank(ctx)
 	if err != nil {
 		fatalf("initial ranking failed: %v", err)
 	}
-	log.Printf("prserve: version %d ready (%d iterations, %v)", res.Seq, res.Iterations, res.Elapsed)
+	logger.Info("initial ranks ready",
+		"version", res.Seq, "iterations", res.Iterations, "duration", res.Elapsed)
 
-	srv, err := serve.New(eng, serve.WithDefaultTopK(*topk), serve.WithSyncApply(*syncW))
+	srv, err := serve.New(eng,
+		serve.WithDefaultTopK(*topk), serve.WithSyncApply(*syncW),
+		serve.WithLogger(logger), serve.WithPprof(*pprofOn))
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -161,20 +178,49 @@ func main() {
 	if *syncW {
 		mode = "sync apply"
 	}
-	log.Printf("prserve: serving /v1 on %s (%s)", *addr, mode)
+	logger.Info("serving", "addr", *addr, "surface", "/v1", "mode", mode,
+		"version", res.Seq, "pprof", *pprofOn)
 
 	select {
 	case err := <-errc:
 		fatalf("serve: %v", err)
 	case <-ctx.Done():
 	}
-	log.Printf("prserve: draining (up to %v)…", *drain)
+	logger.Info("draining", "budget", *drain)
+	t0 := time.Now()
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {
-		log.Printf("prserve: drain incomplete: %v", err)
+		logger.Warn("drain incomplete", "err", err, "duration", time.Since(t0))
 	}
-	log.Printf("prserve: bye")
+	logger.Info("shutdown complete", "duration", time.Since(t0))
+}
+
+// newLogger resolves the -log-format/-log-level flags into a slog.Logger on
+// stderr.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("prserve: unknown -log-level %q (debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("prserve: unknown -log-format %q (text|json)", format)
+	}
 }
 
 // parsePolicy resolves the -rank-policy flags into a dfpr.RankPolicy.

@@ -110,6 +110,18 @@
 // cmd/prserve is its ready-made binary (-keyed for string-keyed serving,
 // -data for durable serving with crash-safe warm restarts).
 //
+// Every engine is observable without dependencies: Engine.Metrics returns
+// a telemetry registry (stdlib-only counters, gauges and histograms —
+// instrument writes are lock-free and allocation-free) covering ingest,
+// graph growth, rank refreshes, publish→ranked freshness and, on durable
+// engines, WAL and checkpoint latencies. The serve layer adds per-endpoint
+// RED series, exposes everything as Prometheus text exposition on GET
+// /metrics, mounts net/http/pprof on request (WithPprof), and logs through
+// a caller-supplied log/slog Logger (WithLogger; silent by default).
+// cmd/prload drives a running server with a configurable read/write mix
+// and reports latency percentiles plus a validated final scrape. DESIGN.md
+// §11 holds the metric inventory.
+//
 // The paper's contribution — the Dynamic Frontier approach for updating
 // PageRank after batch edge updates, and its lock-free fault-tolerant
 // implementation DFLF — lives in internal/core together with every
@@ -128,7 +140,8 @@
 //	internal/fault     thread delay, crash-stop and filesystem-I/O injection
 //	internal/wal       write-ahead log segments + checkpoint files
 //	internal/traverse  reachability marking for the DT baseline
-//	internal/metrics   norms, geometric means, table formatting
+//	internal/topk      top-k selection kernel, norms, geometric means, tables
+//	internal/telemetry metrics registry + Prometheus exposition encoder/parser
 //	internal/harness   one driver per table/figure of the evaluation
 //	internal/snapshot  versioned store + Ranker composition layer
 //
@@ -155,7 +168,8 @@
 // view-query, ingest, keyed and growth micro-benchmarks machine-readably,
 // e.g. BENCH_PR5.json), cmd/prgen emits datasets as edge lists, cmd/prrank
 // ranks an edge list with any variant (-keyed for string keys),
-// cmd/prserve serves ranks over HTTP.
+// cmd/prserve serves ranks over HTTP, cmd/prload load-tests a running
+// server and validates its metrics exposition.
 // Runnable examples live under examples/. The benchmarks in this root
 // package (bench_test.go) run trimmed versions of every experiment under
 // `go test -bench`.

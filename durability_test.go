@@ -10,7 +10,7 @@ import (
 	"time"
 
 	"dfpr/internal/fault"
-	"dfpr/internal/metrics"
+	"dfpr/internal/topk"
 	"dfpr/internal/testutil"
 	"dfpr/internal/wal"
 )
@@ -81,7 +81,7 @@ func TestDurableRecoveryEquivalenceDense(t *testing.T) {
 	if eng2.Recovering() {
 		t.Fatal("still recovering after Rank caught the tip")
 	}
-	if d := metrics.LInf(ranksOf(res.View), preRanks); d > 1e-12 {
+	if d := topk.LInf(ranksOf(res.View), preRanks); d > 1e-12 {
 		t.Errorf("recovered ranks deviate from pre-crash ranks by %g (bound 1e-12)", d)
 	}
 	// And against a genuine cold build of the final graph (the script's edge
@@ -95,7 +95,7 @@ func TestDurableRecoveryEquivalenceDense(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d := metrics.LInf(ranksOf(res.View), ranksOf(coldRes.View)); d > 1e-12 {
+	if d := topk.LInf(ranksOf(res.View), ranksOf(coldRes.View)); d > 1e-12 {
 		t.Errorf("recovered ranks deviate from cold build by %g (bound 1e-12)", d)
 	}
 }
@@ -167,7 +167,7 @@ func TestDurableRecoveryEquivalenceKeyed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d := metrics.LInf(ranksOf(res.View), ranksOf(refRes.View)); d > 1e-12 {
+	if d := topk.LInf(ranksOf(res.View), ranksOf(refRes.View)); d > 1e-12 {
 		t.Errorf("recovered keyed ranks deviate by %g (bound 1e-12)", d)
 	}
 }
@@ -273,7 +273,7 @@ func TestDurableKillMidWriteEveryOffset(t *testing.T) {
 		if err != nil {
 			t.Fatalf("cut %d: rank after recovery: %v", cut, err)
 		}
-		if d := metrics.LInf(ranksOf(res.View), refRanks[ver]); d > 1e-12 {
+		if d := topk.LInf(ranksOf(res.View), refRanks[ver]); d > 1e-12 {
 			t.Fatalf("cut %d: recovered prefix %d deviates by %g", cut, ver, d)
 		}
 		e.Close()
@@ -473,7 +473,7 @@ func TestDurableCheckpointBoundsReplay(t *testing.T) {
 	if v.Seq() != 4 {
 		t.Fatalf("warm view at version %d, want 4", v.Seq())
 	}
-	if d := metrics.LInf(ranksOf(v), wantRanks); d != 0 {
+	if d := topk.LInf(ranksOf(v), wantRanks); d != 0 {
 		t.Fatalf("resumed ranks differ from checkpointed ranks by %g, want bit-exact", d)
 	}
 }

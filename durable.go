@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dfpr/internal/batch"
 	"dfpr/internal/graph"
@@ -54,8 +55,14 @@ func HasDurableState(dir string) (bool, error) {
 // and the WAL tail is replayed through the normal apply path. Persisted
 // state takes precedence over the n/edges arguments.
 func openDurable(n int, edges []Edge, st settings) (*Engine, error) {
+	// The fsync histogram is registered ahead of the log so the hook exists
+	// for fsyncs issued during recovery; the engine's initTelemetry later
+	// get-or-creates the same series.
+	fsyncSeconds := st.tel.Histogram("dfpr_wal_fsync_seconds",
+		"WAL fsync latency (per Append under FsyncAlways, per flush otherwise).", walBuckets())
 	log, rec, err := wal.Open(st.durDir, wal.Options{
 		Mode: st.fsync.mode, Interval: st.fsync.interval, FS: st.walFS,
+		OnFsync: func(d time.Duration) { fsyncSeconds.Observe(d.Seconds()) },
 	})
 	if err != nil {
 		return nil, fmt.Errorf("dfpr: open durability dir: %w", err)
@@ -85,6 +92,7 @@ func seedDurable(n int, edges []Edge, st settings, log *wal.Log) (*Engine, error
 		d.keysLogged = e.keys.Len()
 	}
 	e.dur = d
+	e.initDurabilityTelemetry()
 	cur := e.store.Current()
 	ckpt := &wal.State{Seq: cur.Seq, Graph: cur.G}
 	if e.keys != nil {
@@ -125,8 +133,10 @@ func recoverDurable(st settings, log *wal.Log, rec *wal.Recovered) (*Engine, err
 		subs:     make(map[uint64]*Subscription),
 		applyble: true,
 	}
+	e.initTelemetry(st.tel)
 	d := &durability{log: log, ckptEvery: uint64(st.ckptEvery)}
 	e.dur = d
+	e.initDurabilityTelemetry()
 	d.noteCheckpoint(ck.Seq)
 	if st.keyed {
 		e.keys = keymap.New()
@@ -206,6 +216,8 @@ func recoverDurable(st settings, log *wal.Log, rec *wal.Recovered) (*Engine, err
 func (e *Engine) storeApply(up batch.Update) *snapshot.Version {
 	d := e.dur
 	if d == nil {
+		before := e.store.Current().G.N()
+		e.met.notePublished(before, up.Universe(before))
 		_, next := e.store.Apply(up)
 		return next
 	}
@@ -224,7 +236,10 @@ func (e *Engine) storeApply(up batch.Update) *snapshot.Version {
 	// Degradation is deliberate fire-and-continue: the error is sticky in
 	// the log and surfaced via Stats; wedging the apply path would turn a
 	// disk failure into an outage.
+	t0 := time.Now()
 	_ = d.log.Append(&rec)
+	e.met.walAppend.ObserveSince(t0)
+	e.met.notePublished(cur.G.N(), nAfter)
 	_, next := e.store.Apply(up)
 	return next
 }
@@ -250,7 +265,9 @@ func (e *Engine) maybeCheckpointLocked(v *View) {
 	go func() {
 		defer d.ckptWG.Done()
 		defer d.ckptBusy.Store(false)
+		t0 := time.Now()
 		if d.log.WriteCheckpoint(st) == nil {
+			e.met.ckptSeconds.ObserveSince(t0)
 			d.noteCheckpoint(st.Seq)
 		}
 	}()
@@ -300,9 +317,11 @@ func (e *Engine) Checkpoint() error {
 			st.Keys = e.keys.KeysRange(0, cur.G.N())
 		}
 	}
+	t0 := time.Now()
 	if err := d.log.WriteCheckpoint(st); err != nil {
 		return fmt.Errorf("%w: %w", ErrDurabilityDegraded, err)
 	}
+	e.met.ckptSeconds.ObserveSince(t0)
 	d.noteCheckpoint(st.Seq)
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"dfpr/internal/graph"
 	"dfpr/internal/keymap"
 	"dfpr/internal/snapshot"
+	"dfpr/internal/telemetry"
 )
 
 // Edge is a directed edge from U to V in dense vertex ids. The vertex
@@ -114,6 +115,11 @@ type Engine struct {
 	// checkpoint machinery and recovery state. See durable.go.
 	dur *durability
 
+	// met is the engine's telemetry (never nil): hot-path instruments the
+	// write path observes lock-free, plus the registry /metrics serves. See
+	// telemetry.go.
+	met *engineMetrics
+
 	// Watermarks for the completion APIs: verWM tracks published graph
 	// versions (Apply and ingest rounds), rankWM published rank versions.
 	verWM  watermark
@@ -140,6 +146,9 @@ func New(n int, edges []Edge, opts ...Option) (*Engine, error) {
 			return nil, err
 		}
 	}
+	// The registry exists before the engine: the durable path wires WAL
+	// hooks into it during recovery, ahead of the Engine value itself.
+	st.tel = telemetry.NewRegistry()
 	if st.durDir != "" {
 		// Durable engines take the recovery-aware constructor: a directory
 		// that already holds state supersedes n/edges entirely (the state IS
@@ -170,6 +179,7 @@ func newEngine(n int, edges []Edge, st settings) (*Engine, error) {
 	if st.keyed {
 		e.keys = keymap.New()
 	}
+	e.initTelemetry(st.tel)
 	e.verWM.init(0) // version 0 exists from construction
 	return e, nil
 }
@@ -310,6 +320,7 @@ func (e *Engine) Rank(ctx context.Context) (*Result, error) {
 		out := resultOf(res, int(rk.Seq())+1, false)
 		out.Seq = rk.Seq()
 		e.publishLocked(out)
+		e.met.rankSeconds.Observe(out.Elapsed.Seconds())
 		return out, nil
 	}
 	rebuilds := e.ranker.Rebuilds
@@ -328,6 +339,7 @@ func (e *Engine) Rank(ctx context.Context) (*Result, error) {
 	out.Seq = e.ranker.Seq()
 	if advanced > 0 {
 		e.publishLocked(out)
+		e.met.rankSeconds.Observe(out.Elapsed.Seconds())
 	} else {
 		// Nothing new to publish: the engine was already current, so the
 		// latest published view is exactly this result's view.

@@ -12,7 +12,7 @@ import (
 	"dfpr/internal/core"
 	"dfpr/internal/gen"
 	"dfpr/internal/graph"
-	"dfpr/internal/metrics"
+	"dfpr/internal/topk"
 	"dfpr/internal/testutil"
 )
 
@@ -128,10 +128,10 @@ func TestEngineRankMatchesCoreRun(t *testing.T) {
 			if !tc.exact {
 				bound = 20 * tol // LF runs are asynchronous; same fixpoint, looser pin
 			}
-			if e := metrics.LInf(ranksOf(initial.View), pre.Ranks); tc.exact && e > 1e-12 {
+			if e := topk.LInf(ranksOf(initial.View), pre.Ranks); tc.exact && e > 1e-12 {
 				t.Errorf("initial ranks deviate from StaticBB by %g", e)
 			}
-			if e := metrics.LInf(ranksOf(res.View), want.Ranks); e > bound {
+			if e := topk.LInf(ranksOf(res.View), want.Ranks); e > bound {
 				t.Errorf("refresh ranks deviate from core.Run by %g (bound %g)", e, bound)
 			}
 			if tc.exact && res.Iterations != want.Iterations {

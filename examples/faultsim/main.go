@@ -27,7 +27,7 @@ import (
 	"dfpr/internal/batch"
 	"dfpr/internal/exutil"
 	"dfpr/internal/gen"
-	"dfpr/internal/metrics"
+	"dfpr/internal/topk"
 )
 
 func main() {
@@ -87,7 +87,7 @@ func main() {
 			status = fmt.Sprintf("FAILED (%d workers crashed): %v", res.CrashedWorkers, err)
 		} else {
 			status = fmt.Sprintf("converged in %s (%d iterations, err %.1e)",
-				metrics.FormatDur(res.Elapsed), res.Iterations, exutil.LInf(res.View, ref))
+				topk.FormatDur(res.Elapsed), res.Iterations, exutil.LInf(res.View, ref))
 		}
 		fmt.Printf("  %-28s %s\n", label+":", status)
 	}

@@ -22,7 +22,7 @@ import (
 	"math/rand"
 
 	"dfpr"
-	"dfpr/internal/metrics"
+	"dfpr/internal/topk"
 )
 
 const k = 8
@@ -97,7 +97,7 @@ func main() {
 		top = u.View.AppendTopKKeys(top[:0], k)
 		frame++
 		fmt.Printf("\nframe %d — version %d, %d players (%d iterations, %s)\n",
-			frame, u.Seq, u.View.N(), u.Iterations, metrics.FormatDur(u.Elapsed))
+			frame, u.Seq, u.View.N(), u.Iterations, topk.FormatDur(u.Elapsed))
 		next := make(map[string]int, k)
 		for i, e := range top {
 			pos := i + 1

@@ -23,7 +23,7 @@ import (
 	"dfpr/internal/batch"
 	"dfpr/internal/exutil"
 	"dfpr/internal/gen"
-	"dfpr/internal/metrics"
+	"dfpr/internal/topk"
 )
 
 func main() {
@@ -93,7 +93,7 @@ func main() {
 		u := <-sub.Updates()
 		fmt.Printf("%-34s behind=%d advanced=%d rebuilt=%v refreshes=%d rebuilds=%d stream=v%d err=%.1e (%s)\n",
 			label, behind, res.Advanced, res.Rebuilt, stats.Refreshes, stats.Rebuilds,
-			u.Seq, exutil.LInf(u.View, refRes.View), metrics.FormatDur(res.Elapsed))
+			u.Seq, exutil.LInf(u.View, refRes.View), topk.FormatDur(res.Elapsed))
 	}
 
 	apply(1)

@@ -27,7 +27,7 @@ import (
 	"time"
 
 	"dfpr"
-	"dfpr/internal/metrics"
+	"dfpr/internal/topk"
 )
 
 // interaction is one timestamped event between two user handles.
@@ -90,7 +90,7 @@ func main() {
 		panic(err)
 	}
 	fmt.Printf("socialnet: %d events preloaded, %d users known, converged in %d iterations (%s)\n",
-		cut, eng.Keys(), base.Iterations, metrics.FormatDur(base.Elapsed))
+		cut, eng.Keys(), base.Iterations, topk.FormatDur(base.Elapsed))
 
 	// Replay the rest through the ingest pipeline in batches. New handles
 	// keep appearing; every batch may grow the universe.
@@ -120,7 +120,7 @@ func main() {
 			panic(err)
 		}
 		fmt.Printf("%-7d %9d %9d %8d %16s\n",
-			i+1, hi-lo, eng.Keys(), eng.Keys()-known, metrics.FormatDur(time.Since(t0)))
+			i+1, hi-lo, eng.Keys(), eng.Keys()-known, topk.FormatDur(time.Since(t0)))
 	}
 
 	grown, err := eng.View()

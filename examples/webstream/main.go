@@ -21,7 +21,7 @@ import (
 	"dfpr/internal/batch"
 	"dfpr/internal/exutil"
 	"dfpr/internal/gen"
-	"dfpr/internal/metrics"
+	"dfpr/internal/topk"
 )
 
 func main() {
@@ -47,7 +47,7 @@ func main() {
 		panic(err)
 	}
 	staticTime := res.Elapsed
-	fmt.Printf("initial static rank: %s (%d iterations)\n\n", metrics.FormatDur(staticTime), res.Iterations)
+	fmt.Printf("initial static rank: %s (%d iterations)\n\n", topk.FormatDur(staticTime), res.Iterations)
 
 	var dfTotal, staticEquiv time.Duration
 	for step := 1; step <= steps; step++ {
@@ -67,13 +67,13 @@ func main() {
 		staticEquiv += staticTime
 
 		fmt.Printf("crawl %d: %d del + %d ins, refreshed in %s — top pages:",
-			step, len(up.Del), len(up.Ins), metrics.FormatDur(upd.Elapsed))
+			step, len(up.Del), len(up.Ins), topk.FormatDur(upd.Elapsed))
 		for _, e := range upd.View.TopK(5) {
 			fmt.Printf(" %d", e.V)
 		}
 		fmt.Println()
 	}
 	fmt.Printf("\n%d incremental refreshes: %s total vs ≈%s for %d static recomputes (%.1f× saved)\n",
-		steps, metrics.FormatDur(dfTotal), metrics.FormatDur(staticEquiv), steps,
+		steps, topk.FormatDur(dfTotal), topk.FormatDur(staticEquiv), steps,
 		float64(staticEquiv)/float64(dfTotal))
 }

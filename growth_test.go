@@ -11,7 +11,7 @@ import (
 
 	"dfpr/internal/batch"
 	"dfpr/internal/graph"
-	"dfpr/internal/metrics"
+	"dfpr/internal/topk"
 )
 
 // Growth-equivalence acceptance tests for the open vertex universe: an
@@ -141,7 +141,7 @@ func TestGrowthEquivalenceAllVariants(t *testing.T) {
 				if got, want := res.View.N(), s.n; got != want {
 					t.Fatalf("grown universe N = %d, want %d", got, want)
 				}
-				if d := metrics.LInf(ranksOf(res.View), ranksOf(coldRes.View)); d > 1e-12 {
+				if d := topk.LInf(ranksOf(res.View), ranksOf(coldRes.View)); d > 1e-12 {
 					t.Errorf("grown-then-ranked deviates from cold build by %g (bound 1e-12)", d)
 				}
 			})
@@ -354,7 +354,7 @@ func TestGrowthEquivalenceThroughIngest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d := metrics.LInf(ranksOf(v), ranksOf(coldRes.View)); d > 1e-12 {
+	if d := topk.LInf(ranksOf(v), ranksOf(coldRes.View)); d > 1e-12 {
 		t.Errorf("ingested growth deviates from cold build by %g (bound 1e-12)", d)
 	}
 }

@@ -177,6 +177,7 @@ func (e *Engine) submitInternal(ctx context.Context, gdel, gins []graph.Edge) (*
 	up := batch.Update{Del: gdel, Ins: gins}
 	up.N = up.Universe(0)
 	if err := e.checkUniverse(up); err != nil {
+		e.met.rejectSize.Inc()
 		return nil, err
 	}
 	t := &Ticket{done: make(chan struct{})}
@@ -188,11 +189,13 @@ func (e *Engine) submitInternal(ctx context.Context, gdel, gins []graph.Edge) (*
 	}
 	if e.opts.queue > 0 && e.ingestEdits+size > e.opts.queue {
 		e.ingestMu.Unlock()
+		e.met.rejectFull.Inc()
 		return nil, fmt.Errorf("dfpr: %d edits queued, %d more would exceed the bound %d: %w",
 			e.ingestEdits, size, e.opts.queue, ErrQueueFull)
 	}
 	e.ingestQ = append(e.ingestQ, pendingSubmit{del: gdel, ins: gins, n: up.N, t: t})
 	e.ingestEdits += size
+	e.met.submissions.Inc()
 	e.startIngestLocked()
 	e.ingestMu.Unlock()
 	e.wakeIngest()

@@ -8,7 +8,7 @@ import (
 	"time"
 
 	"dfpr/internal/batch"
-	"dfpr/internal/metrics"
+	"dfpr/internal/topk"
 	"dfpr/internal/testutil"
 )
 
@@ -116,7 +116,7 @@ func TestSubmitCoalescesToEquivalentGraph(t *testing.T) {
 			}
 		}
 	}
-	if e := metrics.LInf(ranksOf(got), ranksOf(want)); e > 40*1e-3/float64(n) {
+	if e := topk.LInf(ranksOf(got), ranksOf(want)); e > 40*1e-3/float64(n) {
 		t.Errorf("coalesced ranks deviate from one-batch reference by %g", e)
 	}
 }

@@ -9,7 +9,7 @@ import (
 	"dfpr/internal/batch"
 	"dfpr/internal/gen"
 	"dfpr/internal/graph"
-	"dfpr/internal/metrics"
+	"dfpr/internal/topk"
 )
 
 // testCfg returns a config tuned for fast deterministic tests.
@@ -41,7 +41,7 @@ func randomGraph(scale int, seed int64) *graph.Dynamic {
 func TestReferenceRankSumIsOne(t *testing.T) {
 	g := smallGraph()
 	r := Reference(g, Config{})
-	if s := metrics.Sum(r); math.Abs(s-1) > 1e-9 {
+	if s := topk.Sum(r); math.Abs(s-1) > 1e-9 {
 		t.Fatalf("rank sum = %v, want ≈1", s)
 	}
 }
@@ -79,7 +79,7 @@ func TestStaticVariantsMatchReference(t *testing.T) {
 			if !res.Converged {
 				t.Fatalf("%v scale %d: did not converge in %d iterations", a, scale, res.Iterations)
 			}
-			if e := metrics.LInf(res.Ranks, ref); e > 1e-8 {
+			if e := topk.LInf(res.Ranks, ref); e > 1e-8 {
 				t.Errorf("%v scale %d: error vs reference = %g", a, scale, e)
 			}
 		}
@@ -105,7 +105,7 @@ func TestDynamicVariantsMatchReferenceAfterUpdate(t *testing.T) {
 		if !res.Converged {
 			t.Fatalf("%v: did not converge (iters=%d)", a, res.Iterations)
 		}
-		if e := metrics.LInf(res.Ranks, ref); e > 1e-8 {
+		if e := topk.LInf(res.Ranks, ref); e > 1e-8 {
 			t.Errorf("%v: error vs reference = %g", a, e)
 		}
 	}
@@ -129,7 +129,7 @@ func TestDFHandlesPureDeletionsAndPureInsertions(t *testing.T) {
 			if !res.Converged || res.Err != nil {
 				t.Fatalf("%s/%v: converged=%v err=%v", name, a, res.Converged, res.Err)
 			}
-			if e := metrics.LInf(res.Ranks, ref); e > 1e-8 {
+			if e := topk.LInf(res.Ranks, ref); e > 1e-8 {
 				t.Errorf("%s/%v: error %g", name, a, e)
 			}
 		}
@@ -145,7 +145,7 @@ func TestEmptyBatchIsNoOp(t *testing.T) {
 		if res.Err != nil {
 			t.Fatalf("%v: err %v", a, res.Err)
 		}
-		if e := metrics.LInf(res.Ranks, prev); e != 0 {
+		if e := topk.LInf(res.Ranks, prev); e != 0 {
 			t.Errorf("%v: empty batch changed ranks by %g", a, e)
 		}
 	}
@@ -162,7 +162,7 @@ func TestSingleThreadAndManyThreads(t *testing.T) {
 			if !res.Converged {
 				t.Fatalf("%v threads=%d: not converged", a, threads)
 			}
-			if e := metrics.LInf(res.Ranks, ref); e > 1e-8 {
+			if e := topk.LInf(res.Ranks, ref); e > 1e-8 {
 				t.Errorf("%v threads=%d: error %g", a, threads, e)
 			}
 		}
@@ -210,7 +210,7 @@ func TestFlagRepresentationsAgree(t *testing.T) {
 			if !res.Converged || res.Err != nil {
 				t.Fatalf("flags=%v counted=%v: converged=%v err=%v", kind, counted, res.Converged, res.Err)
 			}
-			if e := metrics.LInf(res.Ranks, ref); e > 1e-8 {
+			if e := topk.LInf(res.Ranks, ref); e > 1e-8 {
 				t.Errorf("flags=%v counted=%v: error %g", kind, counted, e)
 			}
 		}
@@ -271,7 +271,7 @@ func TestDFSequenceOfBatches(t *testing.T) {
 			t.Fatalf("step %d: converged=%v err=%v", step, res.Converged, res.Err)
 		}
 		ref := Reference(gNew, Config{})
-		if e := metrics.LInf(res.Ranks, ref); e > 1e-7 {
+		if e := topk.LInf(res.Ranks, ref); e > 1e-7 {
 			t.Errorf("step %d: error %g (accumulated drift too high)", step, e)
 		}
 		prev = res.Ranks

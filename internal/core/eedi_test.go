@@ -6,7 +6,7 @@ import (
 
 	"dfpr/internal/batch"
 	"dfpr/internal/fault"
-	"dfpr/internal/metrics"
+	"dfpr/internal/topk"
 )
 
 func TestStaticLFNSMatchesReference(t *testing.T) {
@@ -16,7 +16,7 @@ func TestStaticLFNSMatchesReference(t *testing.T) {
 	if !res.Converged || res.Err != nil {
 		t.Fatalf("converged=%v err=%v", res.Converged, res.Err)
 	}
-	if e := metrics.LInf(res.Ranks, ref); e > 1e-8 {
+	if e := topk.LInf(res.Ranks, ref); e > 1e-8 {
 		t.Errorf("error %g", e)
 	}
 }
@@ -71,7 +71,7 @@ func TestPruneFrontierMatchesReference(t *testing.T) {
 	if !res.Converged || res.Err != nil {
 		t.Fatalf("pruned DFLF: converged=%v err=%v", res.Converged, res.Err)
 	}
-	if e := metrics.LInf(res.Ranks, ref); e > 1e-8 {
+	if e := topk.LInf(res.Ranks, ref); e > 1e-8 {
 		t.Errorf("pruned DFLF: error %g", e)
 	}
 	// Pruning is LF-only; a barrier-based run with the flag set must behave
@@ -80,7 +80,7 @@ func TestPruneFrontierMatchesReference(t *testing.T) {
 	if !bb.Converged || bb.Err != nil {
 		t.Fatalf("DFBB with prune flag: converged=%v err=%v", bb.Converged, bb.Err)
 	}
-	if e := metrics.LInf(bb.Ranks, ref); e > 1e-8 {
+	if e := topk.LInf(bb.Ranks, ref); e > 1e-8 {
 		t.Errorf("DFBB with prune flag: error %g", e)
 	}
 }
@@ -99,7 +99,7 @@ func TestPruneFrontierSurvivesFaults(t *testing.T) {
 	if !res.Converged || res.Err != nil {
 		t.Fatalf("pruned DFLF with crashes: converged=%v err=%v", res.Converged, res.Err)
 	}
-	if e := metrics.LInf(res.Ranks, ref); e > 1e-8 {
+	if e := topk.LInf(res.Ranks, ref); e > 1e-8 {
 		t.Errorf("error %g", e)
 	}
 }

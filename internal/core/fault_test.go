@@ -7,7 +7,7 @@ import (
 
 	"dfpr/internal/batch"
 	"dfpr/internal/fault"
-	"dfpr/internal/metrics"
+	"dfpr/internal/topk"
 	"dfpr/internal/sched"
 )
 
@@ -31,7 +31,7 @@ func TestDFLFConvergesUnderRandomDelays(t *testing.T) {
 	if !res.Converged || res.Err != nil {
 		t.Fatalf("converged=%v err=%v", res.Converged, res.Err)
 	}
-	if e := metrics.LInf(res.Ranks, ref); e > 1e-8 {
+	if e := topk.LInf(res.Ranks, ref); e > 1e-8 {
 		t.Errorf("error under delays: %g", e)
 	}
 }
@@ -52,7 +52,7 @@ func TestDFLFConvergesWithCrashedWorkers(t *testing.T) {
 		if res.CrashedWorkers != crashed {
 			t.Errorf("crashed=%d: injector reports %d", crashed, res.CrashedWorkers)
 		}
-		if e := metrics.LInf(res.Ranks, ref); e > 1e-8 {
+		if e := topk.LInf(res.Ranks, ref); e > 1e-8 {
 			t.Errorf("crashed=%d: error %g", crashed, e)
 		}
 	}
@@ -68,7 +68,7 @@ func TestLFVariantsSurviveCrashes(t *testing.T) {
 		if !res.Converged || res.Err != nil {
 			t.Fatalf("%v: converged=%v err=%v", a, res.Converged, res.Err)
 		}
-		if e := metrics.LInf(res.Ranks, ref); e > 1e-8 {
+		if e := topk.LInf(res.Ranks, ref); e > 1e-8 {
 			t.Errorf("%v: error %g", a, e)
 		}
 	}

@@ -8,7 +8,7 @@ import (
 
 	"dfpr/internal/batch"
 	"dfpr/internal/gen"
-	"dfpr/internal/metrics"
+	"dfpr/internal/topk"
 )
 
 func TestTraceDFMatchesReference(t *testing.T) {
@@ -22,7 +22,7 @@ func TestTraceDFMatchesReference(t *testing.T) {
 	if !res.Converged {
 		t.Fatal("trace run did not converge")
 	}
-	if e := metrics.LInf(res.Ranks, ref); e > 1e-8 {
+	if e := topk.LInf(res.Ranks, ref); e > 1e-8 {
 		t.Errorf("error %g", e)
 	}
 	if len(series) != res.Iterations+1 {
@@ -85,8 +85,8 @@ func TestRankMassInvariantProperty(t *testing.T) {
 			if !res.Converged {
 				return false
 			}
-			if math.Abs(metrics.Sum(res.Ranks)-1) > 1e-6 {
-				t.Logf("%v: sum %v", a, metrics.Sum(res.Ranks))
+			if math.Abs(topk.Sum(res.Ranks)-1) > 1e-6 {
+				t.Logf("%v: sum %v", a, topk.Sum(res.Ranks))
 				return false
 			}
 		}
@@ -113,7 +113,7 @@ func TestDFAgreesWithStaticProperty(t *testing.T) {
 			return false
 		}
 		full := StaticBB(gNew, testCfg())
-		if e := metrics.LInf(res.Ranks, full.Ranks); e > 1e-7 {
+		if e := topk.LInf(res.Ranks, full.Ranks); e > 1e-7 {
 			t.Logf("seed %d size %d: disagreement %g", seed, sizeRaw, e)
 			return false
 		}

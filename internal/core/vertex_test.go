@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"dfpr/internal/graph"
-	"dfpr/internal/metrics"
+	"dfpr/internal/topk"
 )
 
 func TestGrowRanks(t *testing.T) {
@@ -17,7 +17,7 @@ func TestGrowRanks(t *testing.T) {
 	if out[0] != 0.25 || out[1] != 0.25 || out[2] != 0.25 || out[3] != 0.25 {
 		t.Errorf("out = %v", out)
 	}
-	if s := metrics.Sum(out); math.Abs(s-1) > 1e-12 {
+	if s := topk.Sum(out); math.Abs(s-1) > 1e-12 {
 		t.Errorf("sum = %v", s)
 	}
 	// Identity growth.
@@ -71,7 +71,7 @@ func TestDFLFVertexAddition(t *testing.T) {
 			t.Fatalf("%s: converged=%v err=%v", run.name, res.Converged, res.Err)
 		}
 		ref := Reference(gNew, Config{})
-		if e := metrics.LInf(res.Ranks, ref); e > 1e-8 {
+		if e := topk.LInf(res.Ranks, ref); e > 1e-8 {
 			t.Errorf("%s: error vs reference %g", run.name, e)
 		}
 	}
@@ -95,7 +95,7 @@ func TestDFLFVertexRetirement(t *testing.T) {
 		t.Fatalf("converged=%v err=%v", res.Converged, res.Err)
 	}
 	ref := Reference(gNew, Config{})
-	if e := metrics.LInf(res.Ranks, ref); e > 1e-8 {
+	if e := topk.LInf(res.Ranks, ref); e > 1e-8 {
 		t.Errorf("error vs reference %g", e)
 	}
 	// A retired vertex keeps only its self-loop; its stationary rank is
@@ -132,7 +132,7 @@ func TestDFLFVertexAdditionAndRetirementTogether(t *testing.T) {
 		t.Fatalf("converged=%v err=%v", res.Converged, res.Err)
 	}
 	ref := Reference(gNew, Config{})
-	if e := metrics.LInf(res.Ranks, ref); e > 1e-8 {
+	if e := topk.LInf(res.Ranks, ref); e > 1e-8 {
 		t.Errorf("error vs reference %g", e)
 	}
 }

@@ -6,7 +6,7 @@ import (
 
 	"dfpr/internal/core"
 	"dfpr/internal/fault"
-	"dfpr/internal/metrics"
+	"dfpr/internal/topk"
 )
 
 // Eedi reproduces the §3.3.2 claim that the paper's StaticLF (lock-free
@@ -17,7 +17,7 @@ import (
 func Eedi(o Options) []Section {
 	o = o.norm()
 	var lfT, nsT []float64
-	t := metrics.NewTable("Graph", "StaticLF", "No-Sync (Eedi)", "LF speedup", "NS iters")
+	t := topk.NewTable("Graph", "StaticLF", "No-Sync (Eedi)", "LF speedup", "NS iters")
 	for _, spec := range specsFor(o) {
 		d := spec.Build()
 		g := d.Snapshot()
@@ -36,7 +36,7 @@ func Eedi(o Options) []Section {
 		nsT = append(nsT, float64(ns))
 		t.AddRow(spec.Name, lf, ns, fmt.Sprintf("%.2f×", safeRatio(float64(ns), float64(lf))), nsRes.Iterations)
 	}
-	geo := safeRatio(metrics.GeoMean(nsT), metrics.GeoMean(lfT))
+	geo := safeRatio(topk.GeoMean(nsT), topk.GeoMean(lfT))
 
 	// Fault contrast on one graph: 1 crashed worker.
 	spec := specsFor(o)[0]
@@ -46,7 +46,7 @@ func Eedi(o Options) []Section {
 	cfg.Fault = fault.Plan{CrashWorkers: fault.CrashSet(1, cfg.Threads), Seed: o.Seed}
 	lfCrash := core.StaticLF(g, cfg)
 	nsCrash := core.StaticLFNS(g, cfg)
-	ft := metrics.NewTable("Variant", "Crashed", "Converged", "Error/outcome")
+	ft := topk.NewTable("Variant", "Crashed", "Converged", "Error/outcome")
 	ft.AddRow("StaticLF (dynamic chunks)", lfCrash.CrashedWorkers, lfCrash.Converged, errStr(lfCrash))
 	ft.AddRow("No-Sync (static ranges)", nsCrash.CrashedWorkers, nsCrash.Converged, errStr(nsCrash))
 

@@ -6,7 +6,7 @@ import (
 
 	"dfpr/internal/core"
 	"dfpr/internal/fault"
-	"dfpr/internal/metrics"
+	"dfpr/internal/topk"
 )
 
 // delayScale translates the paper's fault parameters to laptop scale. The
@@ -40,7 +40,7 @@ func Fig8(o Options) []Section {
 	if o.Quick {
 		probs = []float64{0.1, 1}
 	}
-	t := metrics.NewTable("Delays/iter", "Duration", "DFBB", "DFLF", "DFLF speedup", "DFLF err")
+	t := topk.NewTable("Delays/iter", "Duration", "DFBB", "DFLF", "DFLF speedup", "DFLF err")
 	type cell struct {
 		bb, lf []float64
 		err    float64
@@ -64,7 +64,7 @@ func Fig8(o Options) []Section {
 				}
 				cells[k].bb = append(cells[k].bb, float64(bbT))
 				cells[k].lf = append(cells[k].lf, float64(lfT))
-				if e := metrics.LInf(lfRes.Ranks, ref); e > cells[k].err {
+				if e := topk.LInf(lfRes.Ranks, ref); e > cells[k].err {
 					cells[k].err = e
 				}
 			}
@@ -73,7 +73,7 @@ func Fig8(o Options) []Section {
 	for _, expect := range probs {
 		for _, dd := range durs {
 			c := cells[keyOf(expect, dd)]
-			bb, lf := metrics.GeoMean(c.bb), metrics.GeoMean(c.lf)
+			bb, lf := topk.GeoMean(c.bb), topk.GeoMean(c.lf)
 			t.AddRow(fmt.Sprintf("%g", expect), dd,
 				time.Duration(bb), time.Duration(lf),
 				fmt.Sprintf("%.2f×", safeRatio(bb, lf)), c.err)
@@ -108,7 +108,7 @@ func Fig9(o Options) []Section {
 	if o.Quick {
 		crashCounts = []int{0, 1, workers / 2}
 	}
-	t := metrics.NewTable("Crashed", "DFLF runtime", "Relative", "Max err", "DFBB")
+	t := topk.NewTable("Crashed", "DFLF runtime", "Relative", "Max err", "DFBB")
 	type row struct {
 		times []float64
 		err   float64
@@ -133,7 +133,7 @@ func Fig9(o Options) []Section {
 			c.Fault = fault.Plan{CrashWorkers: fault.CrashSet(k, workers), CrashHorizon: horizon, Seed: o.Seed + int64(ci)}
 			dur, res := timeRun(core.AlgoDFLF, in, c, o.Reps)
 			rows[ci].times = append(rows[ci].times, float64(dur))
-			if e := metrics.LInf(res.Ranks, ref); e > rows[ci].err {
+			if e := topk.LInf(res.Ranks, ref); e > rows[ci].err {
 				rows[ci].err = e
 			}
 			if k > 0 && !rows[ci].bbDNF {
@@ -149,9 +149,9 @@ func Fig9(o Options) []Section {
 			}
 		}
 	}
-	base := metrics.GeoMean(rows[0].times)
+	base := topk.GeoMean(rows[0].times)
 	for ci, k := range crashCounts {
-		g := metrics.GeoMean(rows[ci].times)
+		g := topk.GeoMean(rows[ci].times)
 		bbCell := "ok"
 		if k > 0 {
 			if rows[ci].bbDNF {

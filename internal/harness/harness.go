@@ -22,7 +22,7 @@ import (
 	"dfpr/internal/core"
 	"dfpr/internal/gen"
 	"dfpr/internal/graph"
-	"dfpr/internal/metrics"
+	"dfpr/internal/topk"
 )
 
 // Options configures an experiment run.
@@ -108,7 +108,7 @@ func (o Options) cfgFor(n int) core.Config {
 type Section struct {
 	Title string
 	Note  string
-	Table *metrics.Table
+	Table *topk.Table
 }
 
 // Experiment is a registered table/figure driver.
@@ -232,7 +232,7 @@ func fmtFrac(f float64) string { return fmt.Sprintf("%.0e", f) }
 // geoSpeedupNote builds the "DFLF is k× faster than X" annotations that
 // label the paper's bar charts, from per-algo geomean runtimes.
 func geoSpeedupNote(times map[core.Algo][]float64) string {
-	df := metrics.GeoMean(times[core.AlgoDFLF])
+	df := topk.GeoMean(times[core.AlgoDFLF])
 	if df <= 0 {
 		return ""
 	}
@@ -245,7 +245,7 @@ func geoSpeedupNote(times map[core.Algo][]float64) string {
 		if a == core.AlgoDFLF {
 			continue
 		}
-		if g := metrics.GeoMean(times[a]); g > 0 {
+		if g := topk.GeoMean(times[a]); g > 0 {
 			parts = append(parts, kv{a, g / df})
 		}
 	}

@@ -9,7 +9,7 @@ import (
 	"dfpr/internal/batch"
 	"dfpr/internal/core"
 	"dfpr/internal/gen"
-	"dfpr/internal/metrics"
+	"dfpr/internal/topk"
 )
 
 // Fig1 regenerates Figure 1: computation time vs barrier wait time of
@@ -24,7 +24,7 @@ func Fig1(o Options) []Section {
 		webs = webs[2:]
 		chunks = []int{64, 16384}
 	}
-	t := metrics.NewTable("Graph", "Chunk", "Runtime", "TotalWait", "Wait%")
+	t := topk.NewTable("Graph", "Chunk", "Runtime", "TotalWait", "Wait%")
 	for _, spec := range webs {
 		g := spec.Build().Snapshot()
 		for _, chunk := range chunks {
@@ -56,7 +56,7 @@ func Fig5(o Options) []Section {
 	if o.Quick {
 		maxBatches = 4
 	}
-	t := metrics.NewTable("Graph", "BatchSize", "Algo", "MeanRuntime", "Batches")
+	t := topk.NewTable("Graph", "BatchSize", "Algo", "MeanRuntime", "Batches")
 	var note string
 	for _, spec := range gen.Temporal2(o.Scale) {
 		stream := spec.Build()
@@ -90,7 +90,7 @@ func Fig5(o Options) []Section {
 			}
 			label := fmt.Sprintf("%s @ %s", spec.Name, fmtFrac(frac))
 			for _, a := range sixAlgos {
-				t.AddRow(label, size, a.String(), time.Duration(metrics.GeoMean(times[a])), batches)
+				t.AddRow(label, size, a.String(), time.Duration(topk.GeoMean(times[a])), batches)
 			}
 			note += label + " — " + geoSpeedupNote(times) + "\n"
 		}
@@ -129,15 +129,15 @@ func Fig6(o Options) []Section {
 					base[a] = append(base[a], float64(dur))
 				}
 				key := fmt.Sprintf("%s/%d", a, th)
-				speed[key] = append(speed[key], metrics.Speedup(t1, dur))
+				speed[key] = append(speed[key], topk.Speedup(t1, dur))
 			}
 		}
 	}
-	t := metrics.NewTable("Threads", "DFBB speedup", "DFLF speedup")
+	t := topk.NewTable("Threads", "DFBB speedup", "DFLF speedup")
 	for _, th := range threads {
 		t.AddRow(th,
-			metrics.GeoMean(speed[fmt.Sprintf("%s/%d", core.AlgoDFBB, th)]),
-			metrics.GeoMean(speed[fmt.Sprintf("%s/%d", core.AlgoDFLF, th)]))
+			topk.GeoMean(speed[fmt.Sprintf("%s/%d", core.AlgoDFBB, th)]),
+			topk.GeoMean(speed[fmt.Sprintf("%s/%d", core.AlgoDFLF, th)]))
 	}
 	return []Section{{
 		Title: "Figure 6: strong scaling at batch 1e-4·|E| (speedup vs 1 thread)",
@@ -157,9 +157,9 @@ func Fig7(o Options) []Section {
 	fracs := fractionsFor(o)
 	specs := specsFor(o)
 
-	perGraph := metrics.NewTable("Graph", "Batch", "StaticBB", "NDBB", "DFBB", "StaticLF", "NDLF", "DFLF")
+	perGraph := topk.NewTable("Graph", "Batch", "StaticBB", "NDBB", "DFBB", "StaticLF", "NDLF", "DFLF")
 	geoTimes := map[string]map[core.Algo][]float64{} // frac → algo → runtimes
-	errTab := metrics.NewTable("Batch", "DFBB err", "DFLF err", "NDLF err")
+	errTab := topk.NewTable("Batch", "DFBB err", "DFLF err", "NDLF err")
 	errAgg := map[string][3][]float64{}
 	for _, f := range fracs {
 		geoTimes[fmtFrac(f)] = map[core.Algo][]float64{}
@@ -183,7 +183,7 @@ func Fig7(o Options) []Section {
 					dur = staticT[a]
 				} else {
 					dur, res = timeRun(a, in, cfg, o.Reps)
-					errs[a] = metrics.LInf(res.Ranks, ref)
+					errs[a] = topk.LInf(res.Ranks, ref)
 				}
 				row = append(row, dur)
 				geoTimes[fmtFrac(f)][a] = append(geoTimes[fmtFrac(f)][a], float64(dur))
@@ -197,17 +197,17 @@ func Fig7(o Options) []Section {
 		}
 	}
 
-	geo := metrics.NewTable("Batch", "StaticBB", "NDBB", "DFBB", "StaticLF", "NDLF", "DFLF", "DFLF/NDLF", "DFLF/StaticLF")
+	geo := topk.NewTable("Batch", "StaticBB", "NDBB", "DFBB", "StaticLF", "NDLF", "DFLF", "DFLF/NDLF", "DFLF/StaticLF")
 	for _, f := range fracs {
 		times := geoTimes[fmtFrac(f)]
 		row := []interface{}{fmtFrac(f)}
 		for _, a := range sixAlgos {
-			row = append(row, time.Duration(metrics.GeoMean(times[a])))
+			row = append(row, time.Duration(topk.GeoMean(times[a])))
 		}
-		df := metrics.GeoMean(times[core.AlgoDFLF])
+		df := topk.GeoMean(times[core.AlgoDFLF])
 		row = append(row,
-			fmt.Sprintf("%.2f×", safeRatio(metrics.GeoMean(times[core.AlgoNDLF]), df)),
-			fmt.Sprintf("%.2f×", safeRatio(metrics.GeoMean(times[core.AlgoStaticLF]), df)))
+			fmt.Sprintf("%.2f×", safeRatio(topk.GeoMean(times[core.AlgoNDLF]), df)),
+			fmt.Sprintf("%.2f×", safeRatio(topk.GeoMean(times[core.AlgoStaticLF]), df)))
 		geo.AddRow(row...)
 	}
 	for _, f := range fracs {
@@ -272,13 +272,13 @@ func Stability(o Options) []Section {
 			for _, a := range algos {
 				r1 := core.Run(a, core.Input{GOld: gOld, GNew: gMid, Del: down.Del, Ins: down.Ins, Prev: p.ranks}, cfg)
 				r2 := core.Run(a, core.Input{GOld: gMid2, GNew: gBack, Del: up.Del, Ins: up.Ins, Prev: r1.Ranks}, cfg)
-				if e := metrics.LInf(r2.Ranks, p.ranks); e > worst[a] {
+				if e := topk.LInf(r2.Ranks, p.ranks); e > worst[a] {
 					worst[a] = e
 				}
 			}
 		}
 	}
-	t := metrics.NewTable("Algo", "Max L∞ vs original")
+	t := topk.NewTable("Algo", "Max L∞ vs original")
 	for _, a := range algos {
 		t.AddRow(a.String(), worst[a])
 	}
@@ -295,7 +295,7 @@ func Stability(o Options) []Section {
 func DTvsND(o Options) []Section {
 	o = o.norm()
 	fracs := fractionsFor(o)
-	t := metrics.NewTable("Graph", "Batch", "NDLF", "DTLF", "DT/ND", "DT affected frac")
+	t := topk.NewTable("Graph", "Batch", "NDLF", "DTLF", "DT/ND", "DT affected frac")
 	for _, spec := range specsFor(o) {
 		p := prepare(spec, o)
 		cfg := p.cfg
@@ -331,7 +331,7 @@ func TauF(o Options) []Section {
 	if o.Quick {
 		divisors = []float64{0.1, 1, 100}
 	}
-	t := metrics.NewTable("τ_f", "GeoMean runtime", "Max error")
+	t := topk.NewTable("τ_f", "GeoMean runtime", "Max error")
 	type acc struct {
 		times []float64
 		err   float64
@@ -345,13 +345,13 @@ func TauF(o Options) []Section {
 			c.FrontierTol = p.cfg.Tol / div
 			dur, res := timeRun(core.AlgoDFLF, in, c, o.Reps)
 			accs[di].times = append(accs[di].times, float64(dur))
-			if e := metrics.LInf(res.Ranks, ref); e > accs[di].err {
+			if e := topk.LInf(res.Ranks, ref); e > accs[di].err {
 				accs[di].err = e
 			}
 		}
 	}
 	for di, div := range divisors {
-		t.AddRow(fmt.Sprintf("τ/%.0e", div), time.Duration(metrics.GeoMean(accs[di].times)), accs[di].err)
+		t.AddRow(fmt.Sprintf("τ/%.0e", div), time.Duration(topk.GeoMean(accs[di].times)), accs[di].err)
 	}
 	return []Section{{
 		Title: "Frontier tolerance sweep (§4.5), batch 1e-4·|E|",
@@ -369,7 +369,7 @@ func Ablate(o Options) []Section {
 	if o.Quick {
 		chunkSizes = []int{2048}
 	}
-	t := metrics.NewTable("Flags", "Convergence", "Chunk", "Prune", "GeoMean runtime")
+	t := topk.NewTable("Flags", "Convergence", "Chunk", "Prune", "GeoMean runtime")
 	type key struct {
 		kind    avec.FlagKind
 		counted bool
@@ -409,7 +409,7 @@ func Ablate(o Options) []Section {
 					if counted {
 						conv = "counter"
 					}
-					t.AddRow(kind.String(), conv, chunk, prune, time.Duration(metrics.GeoMean(times[key{kind, counted, chunk, prune}])))
+					t.AddRow(kind.String(), conv, chunk, prune, time.Duration(topk.GeoMean(times[key{kind, counted, chunk, prune}])))
 				}
 			}
 		}

@@ -3,14 +3,14 @@ package harness
 import (
 	"dfpr/internal/gen"
 	"dfpr/internal/graph"
-	"dfpr/internal/metrics"
+	"dfpr/internal/topk"
 )
 
 // Table1 regenerates Table 1: the two temporal datasets with vertex count,
 // temporal edge count (duplicates included) and static edge count.
 func Table1(o Options) []Section {
 	o = o.norm()
-	t := metrics.NewTable("Graph", "|V|", "|E_T|", "|E|")
+	t := topk.NewTable("Graph", "|V|", "|E_T|", "|E|")
 	for _, spec := range gen.Temporal2(o.Scale) {
 		stream := spec.Build()
 		d := graph.NewDynamic(spec.N)
@@ -30,7 +30,7 @@ func Table1(o Options) []Section {
 // edge count (self-loops included) and average out-degree.
 func Table2(o Options) []Section {
 	o = o.norm()
-	t := metrics.NewTable("Graph", "Class", "|V|", "|E|", "D_avg")
+	t := topk.NewTable("Graph", "Class", "|V|", "|E|", "D_avg")
 	for _, spec := range gen.SuiteSparse12(o.Scale) {
 		d := spec.Build()
 		g := d.Snapshot()

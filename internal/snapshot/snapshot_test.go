@@ -14,7 +14,7 @@ import (
 	"dfpr/internal/fault"
 	"dfpr/internal/gen"
 	"dfpr/internal/graph"
-	"dfpr/internal/metrics"
+	"dfpr/internal/topk"
 )
 
 func testStore(t *testing.T, keep int) *Store {
@@ -105,7 +105,7 @@ func TestRankerTracksReference(t *testing.T) {
 			t.Fatalf("step %d did not converge", i)
 		}
 		ref := core.Reference(s.Current().G, core.Config{})
-		if e := metrics.LInf(r.Ranks(), ref); e > 20*testCfg(n).Tol {
+		if e := topk.LInf(r.Ranks(), ref); e > 20*testCfg(n).Tol {
 			t.Errorf("step %d: error %g beyond 20τ", i, e)
 		}
 	}
@@ -136,7 +136,7 @@ func TestRankerCatchesUpMultipleVersions(t *testing.T) {
 		t.Errorf("behind=%d seq=%d", r.Behind(), r.Seq())
 	}
 	ref := core.Reference(s.Current().G, core.Config{})
-	if e := metrics.LInf(r.Ranks(), ref); e > 20*testCfg(n).Tol {
+	if e := topk.LInf(r.Ranks(), ref); e > 20*testCfg(n).Tol {
 		t.Errorf("error after catch-up: %g", e)
 	}
 }
@@ -177,10 +177,10 @@ func TestRankerCoalescedSpanMatchesPerVersionReplay(t *testing.T) {
 		t.Fatalf("per-version refresh: advanced=%d err=%v", pvAdv, err)
 	}
 	ref := core.Reference(s.Current().G, core.Config{})
-	if e := metrics.LInf(co.Ranks(), ref); e > 20*cfg.Tol {
+	if e := topk.LInf(co.Ranks(), ref); e > 20*cfg.Tol {
 		t.Errorf("coalesced span error %g beyond 20τ", e)
 	}
-	if e := metrics.LInf(co.Ranks(), pv.Ranks()); e > 40*cfg.Tol {
+	if e := topk.LInf(co.Ranks(), pv.Ranks()); e > 40*cfg.Tol {
 		t.Errorf("coalesced vs per-version divergence %g", e)
 	}
 	// A single-version chain takes the ordinary path (one more refresh).
@@ -223,7 +223,7 @@ func TestRankerCoalescedSpanCancelAndFailure(t *testing.T) {
 		t.Fatalf("recovery span refresh: advanced=%d refreshes=%d err=%v", adv, r.Refreshes, err)
 	}
 	ref := core.Reference(s.Current().G, core.Config{})
-	if e := metrics.LInf(r.Ranks(), ref); e > 20*cfg.Tol {
+	if e := topk.LInf(r.Ranks(), ref); e > 20*cfg.Tol {
 		t.Errorf("error after span recovery: %g", e)
 	}
 }
@@ -247,7 +247,7 @@ func TestRankerRebuildsWhenEvicted(t *testing.T) {
 		t.Errorf("advanced=%d rebuilds=%d (want static fallback)", advanced, r.Rebuilds)
 	}
 	ref := core.Reference(s.Current().G, core.Config{})
-	if e := metrics.LInf(r.Ranks(), ref); e > 20*testCfg(n).Tol {
+	if e := topk.LInf(r.Ranks(), ref); e > 20*testCfg(n).Tol {
 		t.Errorf("error after rebuild: %g", e)
 	}
 }
@@ -281,7 +281,7 @@ func TestRankerStaticAlgoRecomputesPerRefresh(t *testing.T) {
 		t.Errorf("refreshes=%d rebuilds=%d (static refresh is one recompute)", r.Refreshes, r.Rebuilds)
 	}
 	ref := core.Reference(s.Current().G, core.Config{})
-	if e := metrics.LInf(r.Ranks(), ref); e > 20*testCfg(n).Tol {
+	if e := topk.LInf(r.Ranks(), ref); e > 20*testCfg(n).Tol {
 		t.Errorf("error after static refresh: %g", e)
 	}
 }
@@ -476,7 +476,7 @@ func TestRankerFallbackWithPruneFrontier(t *testing.T) {
 		t.Fatalf("advanced=%d rebuilds=%d converged=%v (want static fallback)", advanced, r.Rebuilds, res.Converged)
 	}
 	ref := core.Reference(s.Current().G, core.Config{})
-	if e := metrics.LInf(r.Ranks(), ref); e > 20*cfg.Tol {
+	if e := topk.LInf(r.Ranks(), ref); e > 20*cfg.Tol {
 		t.Errorf("error after pruned-frontier rebuild: %g", e)
 	}
 }
@@ -540,7 +540,7 @@ func TestRankerRefreshUnderConcurrentApply(t *testing.T) {
 		t.Fatalf("ranker at %d, store at %d after quiescent refresh", r.Seq(), s.Current().Seq)
 	}
 	ref := core.Reference(s.Current().G, core.Config{})
-	if e := metrics.LInf(r.Ranks(), ref); e > 20*cfg.Tol {
+	if e := topk.LInf(r.Ranks(), ref); e > 20*cfg.Tol {
 		t.Errorf("error after concurrent-load catch-up: %g", e)
 	}
 	if r.Refreshes == 0 {
@@ -584,7 +584,7 @@ func TestRankerDisableFallback(t *testing.T) {
 		t.Fatalf("recovery refresh: advanced=%d err=%v", advanced, err)
 	}
 	ref := core.Reference(s.Current().G, core.Config{})
-	if e := metrics.LInf(r.Ranks(), ref); e > 20*cfg.Tol {
+	if e := topk.LInf(r.Ranks(), ref); e > 20*cfg.Tol {
 		t.Errorf("error after recovery: %g", e)
 	}
 }

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type served by
+// Handler and expected by scrapers.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format: families sorted by name, series by label signature,
+// one # HELP and # TYPE line per family, histograms expanded into
+// cumulative _bucket series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(a, b int) bool { return fams[a].name < fams[b].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		// The series slice is append-only and re-sorted under the registry
+		// lock at registration; iterating a snapshot here is safe because
+		// slices are never mutated in place after publication.
+		r.mu.Lock()
+		series := f.series
+		r.mu.Unlock()
+		for _, s := range series {
+			writeSeries(bw, f, s)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSeries renders one series' sample lines.
+func writeSeries(bw *bufio.Writer, f *family, s *series) {
+	switch {
+	case f.kind == kindHistogram:
+		writeHistogram(bw, f.name, s)
+	case s.fn != nil:
+		sample(bw, f.name, s.sig, s.fn())
+	case s.c != nil:
+		sample(bw, f.name, s.sig, float64(s.c.Value()))
+	case s.g != nil:
+		sample(bw, f.name, s.sig, s.g.Value())
+	}
+}
+
+// writeHistogram renders the cumulative bucket expansion of one histogram
+// series. The per-bucket counts are read once each; the total printed for
+// +Inf is their sum, so the expansion is internally consistent even while
+// observations race the scrape (count/sum may trail by in-flight updates,
+// which the format permits).
+func writeHistogram(bw *bufio.Writer, name string, s *series) {
+	h := s.h
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		sampleLE(bw, name, s.sig, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	sampleLE(bw, name, s.sig, "+Inf", cum)
+	sample(bw, name+"_sum", s.sig, h.Sum())
+	sample(bw, name+"_count", s.sig, float64(cum))
+}
+
+// sample writes one `name{labels} value` line.
+func sample(bw *bufio.Writer, name, sig string, v float64) {
+	bw.WriteString(name)
+	bw.WriteString(sig)
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(v))
+	bw.WriteByte('\n')
+}
+
+// sampleLE writes one `name_bucket{...,le="bound"} count` line, splicing the
+// le label after the series' own labels.
+func sampleLE(bw *bufio.Writer, name, sig, le string, count uint64) {
+	bw.WriteString(name)
+	bw.WriteString("_bucket")
+	if sig == "" {
+		bw.WriteString(`{le="`)
+	} else {
+		bw.WriteString(sig[:len(sig)-1])
+		bw.WriteString(`,le="`)
+	}
+	bw.WriteString(le)
+	bw.WriteString(`"} `)
+	bw.WriteString(strconv.FormatUint(count, 10))
+	bw.WriteByte('\n')
+}
+
+// escapeHelp escapes a help string per the exposition format.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler returns an http.Handler serving the registry in text exposition
+// format — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		// A mid-write error means the scraper hung up; there is nothing
+		// sound left to send on this response.
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,377 @@
+// Package telemetry is the module's zero-dependency metrics substrate: a
+// registry of atomic counters, gauges and fixed-bucket histograms with a
+// hand-rolled Prometheus text-exposition encoder (text/plain; version=0.0.4)
+// and a tiny parser for closing the loop in tests and load harnesses.
+//
+// The design splits hot from cold. Observation — Counter.Inc, Counter.Add,
+// Gauge.Set and Histogram.Observe — is the hot side: lock-free, zero
+// allocations, annotated //dfpr:hotpath and enforced by the hotalloc
+// analyzer, so instrumenting the ingest loop or the WAL append path costs a
+// handful of atomic operations and never touches the garbage collector.
+// Registration and scraping are the cold side: instruments are created once
+// at startup (get-or-create, so two consumers of the same engine share
+// series) with their full label set fixed, which is what keeps the hot side
+// free of label hashing and map lookups.
+//
+// Pull-style instruments (CounterFunc, GaugeFunc) read a callback at scrape
+// time — the right shape for state that already lives somewhere else, like
+// an ingest queue depth behind its own mutex or a vertex count behind an
+// atomic snapshot pointer.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name/value pair of a metric series. A series' label set is
+// fixed at registration; there is no per-observation labelling (that would
+// put a map lookup on the hot path).
+type Label struct {
+	Name, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+//
+//dfpr:hotpath
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+//
+//dfpr:hotpath
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down, stored as float64 bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+//
+//dfpr:hotpath
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta (negative to decrease).
+//
+//dfpr:hotpath
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram. Bounds are upper bucket
+// bounds in ascending order; a final +Inf bucket is implicit. Observation is
+// a linear scan over the bounds (bucket counts are small by design — the
+// scan beats a branchy binary search at these sizes) plus three atomic
+// updates, with no locks and no allocation.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; per-bucket, non-cumulative
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value.
+//
+//dfpr:hotpath
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0 — the idiom for latency
+// histograms: t0 := time.Now(); ...; h.ObserveSince(t0).
+//
+//dfpr:hotpath
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// ExpBuckets returns n upper bounds growing geometrically from start by
+// factor — the standard shape for latency distributions, where resolution
+// should be relative, not absolute.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("telemetry: bad exponential buckets (start %v, factor %v, n %d)", start, factor, n))
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start
+		start *= factor
+	}
+	return b
+}
+
+// DefBuckets are general-purpose latency bounds in seconds, 100µs to ~26s in
+// ×4 steps: wide enough to cover both a WAL append and a cold static rank on
+// a big graph without per-metric tuning.
+func DefBuckets() []float64 { return ExpBuckets(1e-4, 4, 10) }
+
+// kind is a metric family's type, fixed by the first registration.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labelled instrument of a family. Exactly one of the value
+// fields is set, matching the family's kind (fn may stand in for a counter
+// or gauge — a pull-style series read at scrape time).
+type series struct {
+	sig string // rendered sorted label set, "" or `{a="b",c="d"}`
+	c   *Counter
+	g   *Gauge
+	h   *Histogram
+	fn  func() float64
+}
+
+// family is one named metric with its help text, type, and series.
+type family struct {
+	name, help string
+	kind       kind
+	bounds     []float64 // histograms: the bounds every series shares
+	series     []*series
+	bySig      map[string]*series
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Registration is get-or-create and safe for concurrent
+// use; re-registering the same name+labels returns the same instrument,
+// while re-registering a name as a different kind panics (a programming
+// error, caught at startup). The zero value is not usable — call NewRegistry.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// Counter returns the counter registered under name with exactly the given
+// labels, creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.getOrCreate(name, help, kindCounter, nil, labels, func() *series {
+		return &series{c: &Counter{}}
+	})
+	return s.c
+}
+
+// CounterFunc registers a pull-style counter whose value is read from fn at
+// scrape time. fn must be monotone non-decreasing and safe for concurrent
+// use. Re-registering the same name+labels replaces the callback.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.getOrCreate(name, help, kindCounter, nil, labels, func() *series {
+		return &series{}
+	})
+	r.mu.Lock()
+	s.fn = fn
+	r.mu.Unlock()
+}
+
+// Gauge returns the gauge registered under name with exactly the given
+// labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.getOrCreate(name, help, kindGauge, nil, labels, func() *series {
+		return &series{g: &Gauge{}}
+	})
+	return s.g
+}
+
+// GaugeFunc registers a pull-style gauge whose value is read from fn at
+// scrape time. fn must be safe for concurrent use (it runs on the scrape
+// goroutine). Re-registering the same name+labels replaces the callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.getOrCreate(name, help, kindGauge, nil, labels, func() *series {
+		return &series{}
+	})
+	r.mu.Lock()
+	s.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the histogram registered under name with exactly the
+// given labels, creating it on first use with the given bucket bounds
+// (ascending upper bounds, +Inf implicit; nil means DefBuckets). Every
+// series of one family shares the first registration's bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets()
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %s bounds not ascending at %d", name, i))
+		}
+	}
+	s := r.getOrCreate(name, help, kindHistogram, bounds, labels, func() *series {
+		return nil // placeholder; bounds resolved against the family below
+	})
+	return s.h
+}
+
+// getOrCreate resolves (name, labels) to its series, creating family and
+// series as needed. mk builds a fresh series for non-histogram kinds;
+// histograms are built here so every series shares the family's bounds.
+func (r *Registry) getOrCreate(name, help string, k kind, bounds []float64, labels []Label, mk func() *series) *series {
+	if err := checkName(name); err != nil {
+		panic("telemetry: " + err.Error())
+	}
+	sig := labelSig(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, bounds: bounds, bySig: make(map[string]*series)}
+		r.fams[name] = f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("telemetry: %s already registered as a %s, not a %s", name, f.kind, k))
+	}
+	if s := f.bySig[sig]; s != nil {
+		return s
+	}
+	var s *series
+	if k == kindHistogram {
+		h := &Histogram{bounds: f.bounds, counts: make([]atomic.Uint64, len(f.bounds)+1)}
+		s = &series{h: h}
+	} else {
+		s = mk()
+	}
+	s.sig = sig
+	f.bySig[sig] = s
+	// Publish a fresh sorted slice instead of sorting in place: a concurrent
+	// scrape iterates its snapshot of the old slice, which is never mutated
+	// after publication. Sorting by signature keeps the exposition
+	// deterministic regardless of registration order.
+	ns := make([]*series, len(f.series), len(f.series)+1)
+	copy(ns, f.series)
+	ns = append(ns, s)
+	sort.Slice(ns, func(a, b int) bool { return ns[a].sig < ns[b].sig })
+	f.series = ns
+	return s
+}
+
+// checkName validates a metric or label name: [a-zA-Z_:][a-zA-Z0-9_:]*.
+func checkName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty metric name")
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || i > 0 && c >= '0' && c <= '9'
+		if !ok {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+	}
+	return nil
+}
+
+// labelSig renders a sorted label set in its exposition spelling — the
+// canonical series key: "" for no labels, `{a="b",c="d"}` otherwise.
+func labelSig(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(a, b int) bool { return ls[a].Name < ls[b].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if err := checkName(l.Name); err != nil || l.Name == "le" {
+			panic(fmt.Sprintf("telemetry: invalid label name %q", l.Name))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// formatValue renders a sample value: integers without a fractional part,
+// everything else in shortest round-trip form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

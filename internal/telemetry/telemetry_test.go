@@ -1,0 +1,271 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildSample populates a registry with one instrument of every kind, using
+// values that are exact in binary floating point so the golden text is
+// deterministic.
+func buildSample() *Registry {
+	r := NewRegistry()
+	r.Counter("dfpr_requests_total", "Total requests.", L("endpoint", "rank"), L("code", "200")).Add(3)
+	r.Counter("dfpr_requests_total", "Total requests.", L("code", "500"), L("endpoint", "rank")).Inc()
+	r.Gauge("dfpr_queue_depth", "Current queue depth.").Set(7)
+	h := r.Histogram("dfpr_apply_seconds", "Apply latency.", []float64{0.25, 4})
+	h.Observe(0.25)
+	h.Observe(2)
+	h.Observe(8)
+	r.GaugeFunc("dfpr_up", "Whether the engine is serving.", func() float64 { return 1 })
+	return r
+}
+
+const golden = `# HELP dfpr_apply_seconds Apply latency.
+# TYPE dfpr_apply_seconds histogram
+dfpr_apply_seconds_bucket{le="0.25"} 1
+dfpr_apply_seconds_bucket{le="4"} 2
+dfpr_apply_seconds_bucket{le="+Inf"} 3
+dfpr_apply_seconds_sum 10.25
+dfpr_apply_seconds_count 3
+# HELP dfpr_queue_depth Current queue depth.
+# TYPE dfpr_queue_depth gauge
+dfpr_queue_depth 7
+# HELP dfpr_requests_total Total requests.
+# TYPE dfpr_requests_total counter
+dfpr_requests_total{code="200",endpoint="rank"} 3
+dfpr_requests_total{code="500",endpoint="rank"} 1
+# HELP dfpr_up Whether the engine is serving.
+# TYPE dfpr_up gauge
+dfpr_up 1
+`
+
+func TestExpositionGolden(t *testing.T) {
+	var b strings.Builder
+	if err := buildSample().WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if b.String() != golden {
+		t.Errorf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", b.String(), golden)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	snap, err := ParseExposition(strings.NewReader(golden))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v", err)
+	}
+	checks := []struct {
+		name   string
+		labels []Label
+		want   float64
+	}{
+		{"dfpr_requests_total", []Label{L("endpoint", "rank"), L("code", "200")}, 3},
+		{"dfpr_requests_total", []Label{L("code", "500"), L("endpoint", "rank")}, 1},
+		{"dfpr_queue_depth", nil, 7},
+		{"dfpr_apply_seconds_sum", nil, 10.25},
+		{"dfpr_apply_seconds_count", nil, 3},
+		{"dfpr_up", nil, 1},
+	}
+	for _, c := range checks {
+		got, ok := snap.Value(c.name, c.labels...)
+		if !ok {
+			t.Errorf("%s%v: missing", c.name, c.labels)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s%v = %g, want %g", c.name, c.labels, got, c.want)
+		}
+	}
+	if got := snap.Sum("dfpr_requests_total"); got != 4 {
+		t.Errorf("Sum(dfpr_requests_total) = %g, want 4", got)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"untyped sample":        "foo 1\n",
+		"bad type":              "# TYPE foo enum\nfoo 1\n",
+		"bad name":              "# TYPE 9foo counter\n9foo 1\n",
+		"bad value":             "# TYPE foo counter\nfoo x\n",
+		"timestamp":             "# TYPE foo counter\nfoo 1 1700000000\n",
+		"unterminated labels":   "# TYPE foo counter\nfoo{a=\"b 1\n",
+		"duplicate sample":      "# TYPE foo counter\nfoo 1\nfoo 2\n",
+		"retyped family":        "# TYPE foo counter\n# TYPE foo gauge\nfoo 1\n",
+		"non-cumulative hist":   "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"missing +Inf bucket":   "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"bucket/count mismatch": "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseExposition(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: parse accepted %q", name, text)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", L("path", "a\\b\"c\nd")).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := `esc_total{path="a\\b\"c\nd"} 1` + "\n"
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("escaped sample missing:\n%s", b.String())
+	}
+	snap, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v", err)
+	}
+	if v, ok := snap.Value("esc_total", L("path", "a\\b\"c\nd")); !ok || v != 1 {
+		t.Fatalf("escaped label did not round-trip: %v %v", v, ok)
+	}
+}
+
+func TestGetOrCreateSharesSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("shared_total", "", L("k", "v"))
+	b := r.Counter("shared_total", "", L("k", "v"))
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("shared counter not shared")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("kinded_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("kinded_total", "")
+}
+
+func TestReservedLabelPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering with le label did not panic")
+		}
+	}()
+	r.Histogram("resv_seconds", "", nil, L("le", "1"))
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("ExpBuckets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	b := DefBuckets()
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("DefBuckets not ascending: %v", b)
+		}
+	}
+}
+
+// TestHotPathZeroAlloc is the allocation contract behind the //dfpr:hotpath
+// annotations: observing a metric from the ingest loop or the WAL append
+// path must never touch the allocator.
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_total", "")
+	g := r.Gauge("alloc_gauge", "")
+	h := r.Histogram("alloc_seconds", "", nil)
+	cases := map[string]func(){
+		"Counter.Inc":       func() { c.Inc() },
+		"Counter.Add":       func() { c.Add(2) },
+		"Gauge.Set":         func() { g.Set(1.5) },
+		"Gauge.Add":         func() { g.Add(-0.5) },
+		"Histogram.Observe": func() { h.Observe(0.003) },
+	}
+	for name, fn := range cases {
+		if n := testing.AllocsPerRun(1000, fn); n != 0 {
+			t.Errorf("%s allocates %.1f times per call, want 0", name, n)
+		}
+	}
+}
+
+// TestScrapeWhileObserving is the concurrency contract: registration,
+// observation and scraping race freely and the scrape output always parses
+// with histogram invariants intact. Run under -race in CI.
+func TestScrapeWhileObserving(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("race_seconds", "", []float64{0.001, 0.01, 0.1})
+	c := r.Counter("race_total", "")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(float64(i%200) / 1000)
+				// Keep registering fresh series so scrapes race the
+				// copy-on-write publication path too.
+				r.Counter("race_labeled_total", "", L("w", fmt.Sprintf("%d-%d", w, i%8))).Inc()
+				i++
+			}
+		}(w)
+	}
+	for s := 0; s < 50; s++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatalf("scrape %d: %v", s, err)
+		}
+		if _, err := ParseExposition(strings.NewReader(b.String())); err != nil {
+			t.Fatalf("scrape %d did not parse: %v\n%s", s, err, b.String())
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// One last quiesced scrape must agree with the instruments exactly.
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("final scrape: %v", err)
+	}
+	snap, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("final scrape did not parse: %v", err)
+	}
+	if v, _ := snap.Value("race_total"); v != float64(c.Value()) {
+		t.Errorf("race_total = %g, counter says %d", v, c.Value())
+	}
+	if v, _ := snap.Value("race_seconds_count"); v != float64(h.Count()) {
+		t.Errorf("race_seconds_count = %g, histogram says %d", v, h.Count())
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	r := buildSample()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if got := rec.Header().Get("Content-Type"); got != ContentType {
+		t.Fatalf("Content-Type = %q, want %q", got, ContentType)
+	}
+	if rec.Body.String() != golden {
+		t.Fatalf("handler body mismatch:\n%s", rec.Body.String())
+	}
+}

@@ -1,9 +1,10 @@
-// Package metrics provides the measurement substrate of §5.1.5: the L∞
-// error norm against reference PageRanks, geometric-mean aggregation across
-// graphs (the paper's "average time taken ... geometric mean"), speedup
-// ratios, and small ASCII/CSV table formatting shared by the experiment
-// drivers.
-package metrics
+// Package topk provides the top-k selection kernel of the query path
+// (Select, the size-k-heap partial selection Views build their leaderboard
+// caches from) and the measurement substrate of §5.1.5: the L∞ error norm
+// against reference PageRanks, geometric-mean aggregation across graphs
+// (the paper's "average time taken ... geometric mean"), speedup ratios,
+// and small ASCII/CSV table formatting shared by the experiment drivers.
+package topk
 
 import (
 	"fmt"
@@ -18,7 +19,7 @@ import (
 // harness bug.
 func LInf(a, b []float64) float64 {
 	if len(a) != len(b) {
-		panic(fmt.Sprintf("metrics: LInf length mismatch %d vs %d", len(a), len(b)))
+		panic(fmt.Sprintf("topk: LInf length mismatch %d vs %d", len(a), len(b)))
 	}
 	var m float64
 	for i := range a {
@@ -32,7 +33,7 @@ func LInf(a, b []float64) float64 {
 // L1 returns the L1 norm (sum of absolute differences).
 func L1(a, b []float64) float64 {
 	if len(a) != len(b) {
-		panic(fmt.Sprintf("metrics: L1 length mismatch %d vs %d", len(a), len(b)))
+		panic(fmt.Sprintf("topk: L1 length mismatch %d vs %d", len(a), len(b)))
 	}
 	var s float64
 	for i := range a {

@@ -37,6 +37,11 @@ type Options struct {
 	SegmentBytes int64
 	// FS overrides the filesystem (fault injection); nil means the OS.
 	FS FS
+	// OnFsync, when set, is called with the duration of every successful
+	// fsync of the record log — the engine's latency-histogram hook, kept as
+	// a callback so the wal layer stays free of telemetry dependencies. It
+	// runs under the log's append lock and must not call back into the Log.
+	OnFsync func(time.Duration)
 }
 
 const (
@@ -321,11 +326,15 @@ func (l *Log) syncLocked() error {
 	if !l.dirty {
 		return nil
 	}
+	t0 := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return l.degradeLocked(fmt.Errorf("fsync segment %d: %w", l.base, err))
 	}
 	l.dirty = false
 	l.lastSync.Store(time.Now().UnixNano())
+	if l.opts.OnFsync != nil {
+		l.opts.OnFsync(time.Since(t0))
+	}
 	return nil
 }
 

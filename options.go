@@ -8,6 +8,7 @@ import (
 	"dfpr/internal/core"
 	"dfpr/internal/fault"
 	"dfpr/internal/snapshot"
+	"dfpr/internal/telemetry"
 	"dfpr/internal/wal"
 )
 
@@ -162,6 +163,11 @@ type settings struct {
 	fsync       FsyncPolicy
 	ckptEvery   int
 	walFS       wal.FS // test hook: fault-injecting filesystem
+
+	// tel is the engine's metrics registry, created by New after the options
+	// resolve (it is not an option: every engine has one, and the durable
+	// open path needs it before the WAL exists to wire the fsync hook).
+	tel *telemetry.Registry
 }
 
 func defaultSettings() settings {

@@ -17,6 +17,11 @@
 //	GET  /v1/wait/{seq}          block until ranks (or ?for=applied: the graph) reach seq
 //	GET  /v1/healthz             liveness: {"status":"ok","ready":bool}
 //	GET  /v1/stats               engine + ingest + serving counters
+//	GET  /metrics                Prometheus text exposition: per-endpoint RED
+//	                             metrics plus the engine's ingest, rank and
+//	                             durability series (see internal/telemetry)
+//
+// WithPprof additionally mounts net/http/pprof under /debug/pprof/.
 //
 // On a keyed engine (dfpr.Open) the read surface speaks external string
 // keys: /v1/rank/{key} resolves the path as a key, topk and delta entries
@@ -46,8 +51,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync/atomic"
@@ -70,6 +77,11 @@ type Server struct {
 	hs    *http.Server
 	opts  options
 	keyed bool // engine owns a key space: reads default to key addressing
+	log   *slog.Logger
+
+	started    time.Time // construction time, the uptime epoch
+	goVersion  string
+	modVersion string
 
 	reads  atomic.Int64 // rank/topk/delta requests answered
 	writes atomic.Int64 // apply batches accepted
@@ -81,6 +93,8 @@ type options struct {
 	maxBatch  int
 	syncApply bool
 	maxWait   time.Duration
+	pprof     bool
+	log       *slog.Logger
 }
 
 // Option configures a Server at construction.
@@ -153,6 +167,28 @@ func WithMaxWait(d time.Duration) Option {
 	}
 }
 
+// WithPprof mounts net/http/pprof under /debug/pprof/ (default off: the
+// profile endpoints expose internals and can be expensive, so production
+// deployments opt in deliberately).
+func WithPprof(on bool) Option {
+	return func(o *options) error {
+		o.pprof = on
+		return nil
+	}
+}
+
+// WithLogger sets the structured logger the server emits operational events
+// to (5xx responses, shutdown drains). Default: discard.
+func WithLogger(l *slog.Logger) Option {
+	return func(o *options) error {
+		if l == nil {
+			return fmt.Errorf("serve: nil logger (omit the option for the discard default)")
+		}
+		o.log = l
+		return nil
+	}
+}
+
 // New wraps the engine. The engine stays owned by the caller: Shutdown
 // drains the HTTP side (and flushes the ingest queue) but does not Close
 // the engine.
@@ -163,14 +199,25 @@ func New(eng *dfpr.Engine, opts ...Option) (*Server, error) {
 			return nil, err
 		}
 	}
-	s := &Server{eng: eng, mux: http.NewServeMux(), opts: o, keyed: eng.Keyed()}
-	s.mux.HandleFunc("GET /v1/rank/{u}", s.handleRank)
-	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
-	s.mux.HandleFunc("GET /v1/delta", s.handleDelta)
-	s.mux.HandleFunc("POST /v1/apply", s.handleApply)
-	s.mux.HandleFunc("GET /v1/wait/{seq}", s.handleWait)
-	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s := &Server{
+		eng: eng, mux: http.NewServeMux(), opts: o, keyed: eng.Keyed(),
+		log: o.log, started: time.Now(),
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		s.goVersion = bi.GoVersion
+		s.modVersion = bi.Main.Version
+	}
+	s.mux.HandleFunc("GET /v1/rank/{u}", s.instrument("rank", s.handleRank))
+	s.mux.HandleFunc("GET /v1/topk", s.instrument("topk", s.handleTopK))
+	s.mux.HandleFunc("GET /v1/delta", s.instrument("delta", s.handleDelta))
+	s.mux.HandleFunc("POST /v1/apply", s.instrument("apply", s.handleApply))
+	s.mux.HandleFunc("GET /v1/wait/{seq}", s.instrument("wait", s.handleWait))
+	s.mux.HandleFunc("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	s.initTelemetry()
 	return s, nil
 }
 
@@ -200,10 +247,14 @@ func (s *Server) Serve(l net.Listener) error {
 // and ranked before Shutdown returns, the drain a rolling deploy needs.
 // Calling it without a running listener still flushes the queue.
 func (s *Server) Shutdown(ctx context.Context) error {
+	t0 := time.Now()
 	var err error
 	if s.hs != nil {
 		err = s.hs.Shutdown(ctx)
 	}
+	defer func() {
+		s.log.Info("server drained", "duration", time.Since(t0), "err", err)
+	}()
 	// The handlers are gone, so the ingest queue is stable. Flush when the
 	// PIPELINE has outstanding work — edits still queued (even ones whose
 	// handler timed out before acknowledging: they were accepted and must
@@ -670,6 +721,11 @@ type statsResponse struct {
 	CoalescedEdits int64  `json:"coalesced_edits"`
 	Reads          int64  `json:"reads_served"`
 	Writes         int64  `json:"writes_accepted"`
+	// Process identity: how long this server has been up and what built it
+	// (module version is "(devel)" outside a released build).
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version,omitempty"`
+	ModVersion    string  `json:"module_version,omitempty"`
 	// Durability gauges, present only on a WithDurability engine.
 	Durable            bool   `json:"durable,omitempty"`
 	WALSeq             uint64 `json:"wal_seq,omitempty"`
@@ -691,6 +747,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CoalescedEdits: st.CoalescedEdits,
 		Reads:          s.reads.Load(),
 		Writes:         s.writes.Load(),
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+		GoVersion:      s.goVersion,
+		ModVersion:     s.modVersion,
 		Keyed:          s.keyed,
 		Keys:           s.eng.Keys(),
 	}

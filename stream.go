@@ -103,6 +103,7 @@ func (e *Engine) publishLocked(res *Result) {
 	// Watermark after the latest-view store: a WaitRanked(seq) that returns
 	// is guaranteed to observe ranks at least that fresh through View().
 	e.rankWM.advance(res.Seq)
+	e.met.noteRanked()
 	if e.dur != nil {
 		// Rank publication is the durability cadence point: clear the
 		// recovering flag once ranks catch the replayed tip, and kick off a

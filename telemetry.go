@@ -1,0 +1,171 @@
+package dfpr
+
+import (
+	"sync/atomic"
+	"time"
+
+	"dfpr/internal/telemetry"
+)
+
+// This file wires the telemetry subsystem (internal/telemetry) into the
+// engine. Every engine owns one registry, created at construction and shared
+// with whatever sits on top (the serve layer registers its RED metrics on
+// the same registry, so one /metrics scrape covers the whole stack).
+//
+// The split follows the subsystem's hot/cold design: counters and histograms
+// the write path touches live as fields on engineMetrics and are observed
+// with lock-free 0-alloc calls; state that already has a home — queue depth
+// behind ingestMu, graph size behind the snapshot store, WAL sequence behind
+// the log — is exported pull-style and read only at scrape time.
+
+// engineMetrics holds the engine's hot-path instruments.
+type engineMetrics struct {
+	reg *telemetry.Registry
+
+	submissions *telemetry.Counter // accepted Submit batches
+	rejectFull  *telemetry.Counter // Submits bounced by the queue bound
+	rejectSize  *telemetry.Counter // batches bounced by the universe bound
+	applies     *telemetry.Counter // versions published through storeApply
+	growEvents  *telemetry.Counter // publications that widened the universe
+
+	rankSeconds    *telemetry.Histogram // successful rank refresh wall time
+	publishSeconds *telemetry.Histogram // publish-to-ranked freshness lag
+	walAppend      *telemetry.Histogram // WAL record append (durable only)
+	walFsync       *telemetry.Histogram // WAL fsync (durable only)
+	ckptSeconds    *telemetry.Histogram // checkpoint write (durable only)
+
+	// oldestUnranked arms the publish-to-ranked histogram: the unix-nano
+	// timestamp of the oldest publication no rank has covered yet, 0 when
+	// ranks are current. Armed by storeApply (first publication after a
+	// refresh wins the CAS), drained by publishLocked.
+	oldestUnranked atomic.Int64
+}
+
+// walBuckets resolve finer than the default latency buckets: an append is
+// a buffered write (microseconds) and an fsync tens of micros to millis.
+func walBuckets() []float64 { return telemetry.ExpBuckets(1e-5, 4, 10) }
+
+// Metrics returns the engine's telemetry registry. Mount
+// Metrics().Handler() to expose it; layers above the engine register their
+// own instruments on it so one scrape covers the stack.
+func (e *Engine) Metrics() *telemetry.Registry { return e.met.reg }
+
+// initTelemetry builds the engine's instruments and registers the
+// pull-style views of state the engine already tracks. Called once from
+// both constructors (newEngine and the recovery path) before the engine is
+// visible to any other goroutine.
+func (e *Engine) initTelemetry(reg *telemetry.Registry) {
+	m := &engineMetrics{
+		reg: reg,
+		submissions: reg.Counter("dfpr_ingest_submissions_total",
+			"Submit batches accepted into the ingest queue."),
+		rejectFull: reg.Counter("dfpr_ingest_rejected_total",
+			"Submit batches rejected before enqueue, by reason.",
+			telemetry.L("reason", "queue_full")),
+		rejectSize: reg.Counter("dfpr_ingest_rejected_total",
+			"Submit batches rejected before enqueue, by reason.",
+			telemetry.L("reason", "universe_bound")),
+		applies: reg.Counter("dfpr_graph_applies_total",
+			"Graph versions published (Apply calls and coalesced ingest rounds)."),
+		growEvents: reg.Counter("dfpr_graph_grow_events_total",
+			"Publications that widened the vertex universe."),
+		rankSeconds: reg.Histogram("dfpr_rank_refresh_seconds",
+			"Wall time of successful rank refreshes that advanced the rank version.", nil),
+		publishSeconds: reg.Histogram("dfpr_publish_to_ranked_seconds",
+			"Freshness lag from a version's publication to ranks covering it.", nil),
+		walAppend: reg.Histogram("dfpr_wal_append_seconds",
+			"WAL record append latency on the apply path.", walBuckets()),
+		walFsync: reg.Histogram("dfpr_wal_fsync_seconds",
+			"WAL fsync latency (per Append under FsyncAlways, per flush otherwise).", walBuckets()),
+		ckptSeconds: reg.Histogram("dfpr_checkpoint_seconds",
+			"Durable checkpoint write duration.", telemetry.ExpBuckets(1e-3, 4, 8)),
+	}
+	e.met = m
+
+	reg.GaugeFunc("dfpr_ingest_queue_edits",
+		"Edits queued in the ingest pipeline, not yet drained into a round.",
+		func() float64 {
+			e.ingestMu.Lock()
+			q := e.ingestEdits
+			e.ingestMu.Unlock()
+			return float64(q)
+		})
+	reg.CounterFunc("dfpr_ingest_rounds_total",
+		"Coalesced ingest rounds applied.",
+		func() float64 { return float64(e.ingestRounds.Load()) })
+	reg.CounterFunc("dfpr_ingest_coalesced_edits_total",
+		"Edits applied through the ingest pipeline after coalescing.",
+		func() float64 { return float64(e.ingestCoalesced.Load()) })
+	reg.CounterFunc("dfpr_rank_refreshes_total",
+		"Incremental rank refreshes completed.",
+		func() float64 { return float64(e.refreshes.Load()) })
+	reg.CounterFunc("dfpr_rank_rebuilds_total",
+		"Rank refreshes that fell back to a full static recomputation.",
+		func() float64 { return float64(e.rebuilds.Load()) })
+	reg.GaugeFunc("dfpr_graph_vertices",
+		"Vertices in the latest published graph version.",
+		func() float64 { return float64(e.store.Current().G.N()) })
+	reg.GaugeFunc("dfpr_graph_edges",
+		"Directed edges (including dead-end self-loops) in the latest published graph version.",
+		func() float64 { return float64(e.store.Current().G.M()) })
+	reg.GaugeFunc("dfpr_graph_version",
+		"Latest published graph version.",
+		func() float64 { return float64(e.store.Current().Seq) })
+	reg.GaugeFunc("dfpr_rank_version",
+		"Graph version the latest published ranks correspond to.",
+		func() float64 {
+			if v := e.latest.Load(); v != nil {
+				return float64(v.seq)
+			}
+			return 0
+		})
+}
+
+// initDurabilityTelemetry registers the pull-style durability gauges. Called
+// by the durable constructors after e.dur is set.
+func (e *Engine) initDurabilityTelemetry() {
+	d := e.dur
+	reg := e.met.reg
+	reg.GaugeFunc("dfpr_wal_degraded",
+		"1 while the WAL is in its sticky degraded state (running volatile), else 0.",
+		func() float64 {
+			if d.log.Degraded() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("dfpr_wal_seq",
+		"Last WAL record sequence appended or recovered.",
+		func() float64 { return float64(d.log.Stats().Seq) })
+	reg.GaugeFunc("dfpr_checkpoint_seq",
+		"Sequence of the newest durable checkpoint.",
+		func() float64 { return float64(d.lastCkpt.Load()) })
+	reg.GaugeFunc("dfpr_recovering",
+		"1 while published ranks still trail the tail replayed at warm restart, else 0.",
+		func() float64 {
+			if d.recovering.Load() {
+				return 1
+			}
+			return 0
+		})
+}
+
+// notePublished records one publication: the applies counter, a grow event
+// when the universe widened, and arming the publish-to-ranked clock when
+// ranks were current until now.
+func (m *engineMetrics) notePublished(nBefore, nAfter int) {
+	m.applies.Inc()
+	if nAfter > nBefore {
+		m.growEvents.Inc()
+	}
+	m.oldestUnranked.CompareAndSwap(0, time.Now().UnixNano())
+}
+
+// noteRanked drains the publish-to-ranked clock into the freshness
+// histogram. Called from publishLocked, so at most one publisher runs at a
+// time; the Swap keeps it correct against concurrent arming anyway.
+func (m *engineMetrics) noteRanked() {
+	if t0 := m.oldestUnranked.Swap(0); t0 != 0 {
+		m.publishSeconds.Observe(time.Since(time.Unix(0, t0)).Seconds())
+	}
+}

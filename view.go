@@ -5,7 +5,7 @@ import (
 	"sync"
 
 	"dfpr/internal/keymap"
-	"dfpr/internal/metrics"
+	"dfpr/internal/topk"
 	"dfpr/internal/snapshot"
 )
 
@@ -136,7 +136,7 @@ func (v *View) order(k int) []uint32 {
 	if grow > len(v.ranks) {
 		grow = len(v.ranks)
 	}
-	v.topkOrder = metrics.Select(v.ranks, grow)
+	v.topkOrder = topk.Select(v.ranks, grow)
 	return v.topkOrder
 }
 

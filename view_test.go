@@ -7,7 +7,7 @@ import (
 	"testing"
 
 	"dfpr/internal/batch"
-	"dfpr/internal/metrics"
+	"dfpr/internal/topk"
 )
 
 // viewEngine converges a small engine and returns it with its mirror graph
@@ -114,7 +114,7 @@ func TestViewTopKMatchesSelection(t *testing.T) {
 	// grow correctly rather than serve a stale short order.
 	for _, k := range []int{1, 3, 17, 64, v.N(), v.N() + 5} {
 		got := v.TopK(k)
-		want := metrics.Select(ranks, k)
+		want := topk.Select(ranks, k)
 		if len(got) != len(want) {
 			t.Fatalf("TopK(%d) returned %d entries, want %d", k, len(got), len(want))
 		}
