@@ -7,6 +7,7 @@ package dfpr
 // full-scale versions.
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -244,3 +245,42 @@ func BenchmarkKernelSweepSeed(b *testing.B) { kernelSweepBench(b, false) }
 // BenchmarkKernelSweepCached measures the contribution-cached kernel: one
 // load and one add per edge.
 func BenchmarkKernelSweepCached(b *testing.B) { kernelSweepBench(b, true) }
+
+// BenchmarkKernelSweepBlocked measures the cache-blocked parallel cached
+// sweep: the same contribution-cached kernel threaded through the
+// edge-balanced scheduler in LLC-sized blocks. Scales with -cpu.
+func BenchmarkKernelSweepBlocked(b *testing.B) {
+	d := largestSpec(b).Build()
+	k := core.NewKernelBench(d.Snapshot(), core.DefaultAlpha)
+	threads := runtime.GOMAXPROCS(0)
+	k.ParallelCachedSweep(threads) // build the pool before timing
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.ParallelCachedSweep(threads)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(k.Edges()), "ns/edge")
+	if s := k.Checksum(); s < 0.5 || s > 1.5 {
+		b.Fatalf("checksum %v, sweep is broken", s)
+	}
+}
+
+// BenchmarkKernelSweepDecode measures the decode-on-sweep kernel over the
+// delta-compressed CSR: varint row decode plus the cached gather, the CPU
+// price of halving the graph's resident bytes.
+func BenchmarkKernelSweepDecode(b *testing.B) {
+	d := largestSpec(b).Build()
+	c := graph.CompressCSR(d.Snapshot())
+	k := core.NewDecodeBench(c, core.DefaultAlpha)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.CachedSweep()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(k.Edges()), "ns/edge")
+	if s := k.Checksum(); s < 0.5 || s > 1.5 {
+		b.Fatalf("checksum %v, sweep is broken", s)
+	}
+}

@@ -1,0 +1,123 @@
+package dfpr
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"dfpr/internal/topk"
+)
+
+// Engine-level blocked-vs-unblocked equivalence: the same workload driven
+// through an engine with the cache-blocked sweeps (default) and one with
+// WithBlockedSweeps(false) must land on the same ranks within the 1e-12
+// acceptance bound. Both engines converge to growthTol, so the comparison
+// works exactly like the growth-equivalence tests: two independently
+// converged runs sit within ~α/(1-α)·τ of the fixed point.
+
+// TestBlockedSweepsGrowthEquivalence drives interleaved grow+apply+rank —
+// the grown leg of the equivalence satellite — under each algorithm family
+// representative. The workload is recorded once and replayed into both
+// engines: nextBatch picks deletions by map iteration, so two independent
+// scripts would diverge even from the same seed.
+func TestBlockedSweepsGrowthEquivalence(t *testing.T) {
+	ctx := context.Background()
+	type step struct{ del, ins []Edge }
+	s := newGrowthScript(40, 7)
+	n0, initial := s.n, s.initialEdges()
+	var steps []step
+	for i := 0; i < 3; i++ {
+		del, ins := s.nextBatch(4 + i)
+		steps = append(steps, step{del, ins})
+	}
+	for _, algo := range Algorithms() {
+		t.Run(fmt.Sprint(algo), func(t *testing.T) {
+			run := func(blocked bool) *Result {
+				eng, err := New(n0, initial,
+					WithAlgorithm(algo), WithThreads(4), WithTolerance(growthTol),
+					WithBlockedSweeps(blocked))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer eng.Close()
+				for _, st := range steps {
+					if _, err := eng.Apply(ctx, st.del, st.ins); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := eng.Rank(ctx); err != nil {
+						t.Fatal(err)
+					}
+				}
+				res, err := eng.Rank(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Converged {
+					t.Fatal("engine did not converge")
+				}
+				return res
+			}
+			rBlocked := run(true)
+			rPlain := run(false)
+			if d := topk.LInf(ranksOf(rBlocked.View), ranksOf(rPlain.View)); d > 1e-12 {
+				t.Errorf("blocked deviates from unblocked by %g (bound 1e-12)", d)
+			}
+		})
+	}
+}
+
+// TestBlockedSweepsKeyedEquivalence covers the keyed leg: string-keyed
+// submissions through both engines produce identical per-key scores.
+func TestBlockedSweepsKeyedEquivalence(t *testing.T) {
+	ctx := context.Background()
+	edges := make([]KeyEdge, 0, 300)
+	for i := 0; i < 100; i++ {
+		edges = append(edges,
+			KeyEdge{From: Key(fmt.Sprintf("u%d", i)), To: Key(fmt.Sprintf("u%d", (i*7+1)%100))},
+			KeyEdge{From: Key(fmt.Sprintf("u%d", i)), To: Key(fmt.Sprintf("u%d", (i*13+5)%100))},
+			KeyEdge{From: Key(fmt.Sprintf("u%d", (i*3)%100)), To: Key(fmt.Sprintf("u%d", i))},
+		)
+	}
+	run := func(blocked bool) map[Key]float64 {
+		eng, err := Open(WithThreads(4), WithTolerance(growthTol), WithBlockedSweeps(blocked))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		if _, err := eng.SubmitKeyed(ctx, nil, edges); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Rank(ctx); err != nil {
+			t.Fatal(err)
+		}
+		v, err := eng.View()
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores := make(map[Key]float64, 100)
+		for i := 0; i < 100; i++ {
+			k := Key(fmt.Sprintf("u%d", i))
+			s, ok := v.ScoreOfKey(k)
+			if !ok {
+				t.Fatalf("key %q missing", k)
+			}
+			scores[k] = s
+		}
+		return scores
+	}
+	blocked := run(true)
+	plain := run(false)
+	for k, b := range blocked {
+		p := plain[k]
+		d := b - p
+		if d < 0 {
+			d = -d
+		}
+		if d > 1e-12 {
+			t.Errorf("key %q: blocked %g vs unblocked %g", k, b, p)
+		}
+	}
+}

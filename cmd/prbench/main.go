@@ -42,16 +42,22 @@ func main() {
 		reps    = flag.Int("reps", 1, "timing repetitions per measurement (min reported)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		bjson   = flag.String("benchjson", "", "write kernel + snapshot micro-benchmarks as JSON to this path and exit")
+		matrixS = flag.String("matrix", "1,2,4,8,16", "with -benchjson: comma-separated worker counts for the multi-core scaling matrix ('' disables)")
 	)
 	flag.Parse()
 
 	if *bjson != "" {
+		matrix, err := parseMatrix(*matrixS)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prbench: %v\n", err)
+			os.Exit(2)
+		}
 		extras := []func(*harness.BenchReport){
 			queryBench(*scale, *threads), ingestBench(*scale, *threads),
 			keyedBench(*scale, *threads), growthBench(*scale, *threads),
 			durabilityBench(*scale, *threads),
 		}
-		if err := harness.RunBenchJSON(*bjson, *scale, *reps, extras...); err != nil {
+		if err := harness.RunBenchJSON(*bjson, *scale, *reps, matrix, extras...); err != nil {
 			fmt.Fprintf(os.Stderr, "prbench: benchjson: %v\n", err)
 			os.Exit(1)
 		}
@@ -103,6 +109,24 @@ func main() {
 		}
 		fmt.Printf("-- %s completed in %s --\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// parseMatrix resolves the -matrix flag: a comma-separated list of worker
+// counts, empty to skip the threads section.
+func parseMatrix(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var t int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &t); err != nil || t < 1 {
+			return nil, fmt.Errorf("bad -matrix entry %q (want positive integers)", part)
+		}
+		out = append(out, t)
+	}
+	return out, nil
 }
 
 // ingestBench contributes the write-path section of the benchjson report:

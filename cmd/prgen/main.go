@@ -11,6 +11,8 @@
 //	prgen -graph indochina-2004 -scale 0.5 > web.el
 //	prgen -temporal wiki-talk-temporal > stream.tel
 //	prgen -graph asia_osm -batch 0.0001 -seed 7 > update.batch
+//	prgen -graph indochina-2004 -csr web.csr            # binary CSR container
+//	prgen -graph indochina-2004 -csr web.csr -compress  # delta-compressed edges
 package main
 
 import (
@@ -21,6 +23,8 @@ import (
 
 	"dfpr/internal/batch"
 	"dfpr/internal/gen"
+	"dfpr/internal/gio"
+	"dfpr/internal/graph"
 )
 
 func main() {
@@ -31,6 +35,8 @@ func main() {
 		scale     = flag.Float64("scale", 1, "dataset scale factor")
 		seed      = flag.Int64("seed", 42, "random seed for -batch")
 		batchFrac = flag.Float64("batch", 0, "emit a batch update of this fraction of |E| instead of the graph")
+		csrPath   = flag.String("csr", "", "with -graph: write a binary CSR container to this path instead of text to stdout")
+		compress  = flag.Bool("compress", false, "with -csr: delta-compress the adjacency (smaller file, decode-on-sweep)")
 	)
 	flag.Parse()
 
@@ -68,6 +74,16 @@ func main() {
 				continue
 			}
 			d := s.Build()
+			if *csrPath != "" {
+				if *batchFrac > 0 {
+					fatalf("-csr and -batch are mutually exclusive")
+				}
+				writeCSR(d.Snapshot(), *csrPath, *compress)
+				return
+			}
+			if *compress {
+				fatalf("-compress requires -csr")
+			}
 			if *batchFrac > 0 {
 				size := int(*batchFrac * float64(d.M()))
 				if size < 1 {
@@ -94,6 +110,26 @@ func main() {
 	default:
 		fatalf("nothing to do: pass -graph or -temporal (or -list)")
 	}
+}
+
+// writeCSR writes the snapshot as a binary CSR container — the zero-parse
+// format gio.LoadCSRMapped memory-maps — optionally with delta-compressed
+// adjacency. Unlike the text form this stores the exact CSR, so a loader
+// skips both parsing and rebuild.
+func writeCSR(g *graph.CSR, path string, compress bool) {
+	var opts []gio.CSRFileOption
+	if compress {
+		opts = append(opts, gio.WithCompressedEdges())
+	}
+	if err := gio.WriteCSRFile(path, g, opts...); err != nil {
+		fatalf("write %s: %v", path, err)
+	}
+	layout := "plain"
+	if compress {
+		layout = "compressed"
+	}
+	fmt.Fprintf(os.Stderr, "prgen: wrote %s (%d vertices, %d edges, %s)\n",
+		path, g.N(), g.M(), layout)
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -15,6 +15,7 @@
 // Usage:
 //
 //	prserve -in graph.el -addr :8080
+//	prserve -in web.csr                      # binary CSR container (prgen -csr): zero-parse mmap load
 //	prserve -gen web -n 65536 -deg 12        # synthetic graph, no file needed
 //	prserve -gen web -data /var/lib/dfpr     # durable: applied edits survive restarts
 //	prserve -data /var/lib/dfpr              # warm restart from the directory alone
@@ -52,13 +53,14 @@ import (
 	"dfpr"
 	"dfpr/internal/exutil"
 	"dfpr/internal/gen"
+	"dfpr/internal/telemetry"
 	"dfpr/serve"
 )
 
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
-		in       = flag.String("in", "", "graph file: edge list ('u v' per line) or MatrixMarket (.mtx)")
+		in       = flag.String("in", "", "graph file: edge list ('u v' per line), MatrixMarket (.mtx), or binary CSR container (prgen -csr)")
 		genClass = flag.String("gen", "", "generate a synthetic graph instead of -in: web|social|road|kmer")
 		n        = flag.Int("n", 1<<14, "vertex count for -gen")
 		deg      = flag.Int("deg", 12, "average degree for -gen")
@@ -121,6 +123,7 @@ func main() {
 	}
 	var eng *dfpr.Engine
 	var nv, ne int
+	var src *exutil.GraphSource
 	switch {
 	case warm:
 		// The directory holds the authoritative state: skip loading any
@@ -136,17 +139,30 @@ func main() {
 	case *keyed:
 		eng, nv, ne, err = openKeyed(*in, *genClass, *n, *deg, *seed, opts)
 	default:
-		var edges []dfpr.Edge
-		nv, edges, err = loadOrGenerate(*in, *genClass, *n, *deg, *seed)
-		ne = len(edges)
+		src, err = loadOrGenerate(*in, *genClass, *n, *deg, *seed)
 		if err == nil {
-			eng, err = dfpr.New(nv, edges, opts...)
+			nv, ne = src.N, len(src.Edges)
+			eng, err = dfpr.New(nv, src.Edges, opts...)
 		}
 	}
 	if err != nil {
 		fatalf("%v", err)
 	}
 	defer eng.Close()
+	if src != nil && src.Layout == "csr-compressed" {
+		// The engine exports dfpr_graph_bytes{layout="plain"} for its live
+		// snapshot; when serving from a compressed container, export the
+		// compressed footprint next to it so the trade is visible per scrape.
+		resident := src.ResidentBytes
+		eng.Metrics().GaugeFunc("dfpr_graph_bytes",
+			"Resident bytes of the latest published graph snapshot's CSR arrays, by layout.",
+			func() float64 { return float64(resident) },
+			telemetry.L("layout", "compressed"))
+	}
+	if src != nil && src.Layout != "text" && *in != "" {
+		logger.Info("loaded binary CSR container", "path", *in,
+			"layout", src.Layout, "file_bytes", src.FileBytes)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -249,11 +265,11 @@ func openKeyed(in, genClass string, n, deg int, seed int64, opts []dfpr.Option) 
 			return nil, 0, 0, err
 		}
 	} else {
-		_, edges, err := loadOrGenerate(in, genClass, n, deg, seed)
+		src, err := loadOrGenerate(in, genClass, n, deg, seed)
 		if err != nil {
 			return nil, 0, 0, err
 		}
-		kedges = exutil.KeyEdges(edges, func(u uint32) string { return fmt.Sprintf("v%d", u) })
+		kedges = exutil.KeyEdges(src.Edges, func(u uint32) string { return fmt.Sprintf("v%d", u) })
 	}
 	eng, err := dfpr.Open(opts...)
 	if err != nil {
@@ -266,14 +282,15 @@ func openKeyed(in, genClass string, n, deg int, seed int64, opts []dfpr.Option) 
 	return eng, eng.Keys(), len(kedges), nil
 }
 
-// loadOrGenerate resolves the serving graph: a file via -in, or a synthetic
-// family via -gen.
-func loadOrGenerate(in, genClass string, n, deg int, seed int64) (int, []dfpr.Edge, error) {
+// loadOrGenerate resolves the serving graph: a file via -in (text, .mtx, or
+// a binary CSR container — sniffed by magic), or a synthetic family via
+// -gen.
+func loadOrGenerate(in, genClass string, n, deg int, seed int64) (*exutil.GraphSource, error) {
 	if (in == "") == (genClass == "") {
-		return 0, nil, fmt.Errorf("prserve: exactly one of -in or -gen is required")
+		return nil, fmt.Errorf("prserve: exactly one of -in or -gen is required")
 	}
 	if in != "" {
-		return exutil.LoadGraph(in)
+		return exutil.LoadGraphSource(in)
 	}
 	var class gen.Class
 	switch strings.ToLower(genClass) {
@@ -286,11 +303,11 @@ func loadOrGenerate(in, genClass string, n, deg int, seed int64) (int, []dfpr.Ed
 	case "kmer":
 		class = gen.KMer
 	default:
-		return 0, nil, fmt.Errorf("prserve: unknown -gen class %q (web|social|road|kmer)", genClass)
+		return nil, fmt.Errorf("prserve: unknown -gen class %q (web|social|road|kmer)", genClass)
 	}
 	d := gen.Spec{Name: genClass, Class: class, N: n, Deg: deg, Seed: seed}.Build()
 	nv, edges := exutil.Flatten(d)
-	return nv, edges, nil
+	return &exutil.GraphSource{N: nv, Edges: edges, Layout: "gen"}, nil
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -132,7 +132,10 @@
 //	internal/avec      atomic float64 and flag vectors
 //	internal/keymap    append-only string↔id interner (lock-free reads)
 //	internal/graph     CSR snapshots (incremental delta-merge + parallel
-//	                   cold build), growable dynamic edge store, batches
+//	                   cold build), growable dynamic edge store, batches,
+//	                   binary container codec + delta-compressed adjacency
+//	internal/gio       edge-list/MatrixMarket readers, binary CSR container
+//	                   files and the zero-parse mmap loader
 //	internal/gen       synthetic stand-ins for the paper's datasets
 //	internal/batch     batch-update generation and temporal replay
 //	internal/sched     dynamic chunk scheduling (uniform and edge-balanced),
@@ -161,12 +164,22 @@
 // baseline at an equal ranked-freshness deadline. BENCH_PR5.json adds the
 // keyed-lookup overhead (ScoreOfKey vs the raw dense load, 0 allocs) and
 // growth-heavy ingest (a stream that keeps growing the universe, pinned
-// against a cold rebuild).
+// against a cold rebuild). BENCH_PR9.json adds the memory-layout story:
+// graphs load from versioned binary CSR containers (DFPRCSR1) that a
+// page-aligned mmap aliases zero-parse — ~45× faster than parsing the
+// text edge list — with an optional delta-compressed adjacency (~2.6×
+// smaller, decoded on the fly during sweeps); WithBlockedSweeps turns the
+// pull kernels cache-blocked (LLC-sized destination blocks, word-at-a-time
+// frontier scans; WithBlockBytes sizes them), all eight variants pinned
+// L∞ ≤ 1e-12 against the unblocked sweeps; and a threads section records
+// the multi-core scaling matrix with host CPU and GOMAXPROCS metadata.
 //
 // Binaries (all built on the public API): cmd/prbench regenerates every
 // table and figure (and, with -benchjson, records kernel, snapshot,
 // view-query, ingest, keyed and growth micro-benchmarks machine-readably,
-// e.g. BENCH_PR5.json), cmd/prgen emits datasets as edge lists, cmd/prrank
+// e.g. BENCH_PR5.json, plus a -matrix thread sweep and container-load
+// timings), cmd/prgen emits datasets as edge lists or binary CSR
+// containers (-csr, -compress), cmd/prrank
 // ranks an edge list with any variant (-keyed for string keys),
 // cmd/prserve serves ranks over HTTP, cmd/prload load-tests a running
 // server and validates its metrics exposition.

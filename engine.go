@@ -72,9 +72,11 @@ type Engine struct {
 	// and Behind; refreshes/rebuilds mirror the ranker's counters so Stats
 	// never waits behind an in-flight Rank (it briefly takes ingestMu for
 	// the queue gauge, which no slow operation ever holds).
-	latest    atomic.Pointer[View]
-	refreshes atomic.Int64
-	rebuilds  atomic.Int64
+	latest          atomic.Pointer[View]
+	refreshes       atomic.Int64
+	rebuilds        atomic.Int64
+	sweepBlocks     atomic.Int64
+	frontierScanned atomic.Int64
 
 	// viewMu guards the ring of retained published views ViewAt serves
 	// from; each entry pins its store version so version chains stay
@@ -315,6 +317,7 @@ func (e *Engine) Rank(ctx context.Context) (*Result, error) {
 		rk.DisableFallback = e.opts.noFallback
 		rk.CoalesceSpans = !e.opts.uncoalesced
 		e.ranker = rk
+		e.syncStatsLocked()
 		// The initial convergence covers every version up to the current
 		// one, matching what Behind() reported before the call.
 		out := resultOf(res, int(rk.Seq())+1, false)
@@ -492,10 +495,12 @@ func (e *Engine) Stats() Stats {
 }
 
 // syncStatsLocked mirrors the ranker's counters into the atomics Stats
-// reads. Caller holds e.mu.
+// and the telemetry counter views read. Caller holds e.mu.
 func (e *Engine) syncStatsLocked() {
 	e.refreshes.Store(int64(e.ranker.Refreshes))
 	e.rebuilds.Store(int64(e.ranker.Rebuilds))
+	e.sweepBlocks.Store(e.ranker.SweepBlocks)
+	e.frontierScanned.Store(e.ranker.FrontierScanned)
 }
 
 // SetFaultPlan replaces the fault-injection plan applied to subsequent

@@ -21,6 +21,7 @@ package avec
 
 import (
 	"math"
+	"math/bits"
 	"sync/atomic"
 )
 
@@ -122,6 +123,14 @@ type FlagVec interface {
 	Reset()
 	// SetAll sets all flags (element-wise atomic).
 	SetAll()
+	// NextSet returns the index of the first set flag in [from, limit), or
+	// limit when none is set there. Each call re-reads the underlying
+	// storage, so a forward scan that calls NextSet after processing each
+	// hit observes exactly the flags set at the moment it passes them —
+	// semantically identical to probing Get per index in order, but
+	// word-at-a-time for the packed representation. The blocked rank sweeps
+	// use it to visit the affected frontier in sorted order within a block.
+	NextSet(from, limit int) int
 }
 
 // Flags is a word-packed atomic bitset. Set and Clear use CAS on the
@@ -173,6 +182,31 @@ func (f *Flags) Clear(i int) bool {
 func (f *Flags) Get(i int) bool {
 	w, b := i>>6, uint64(1)<<(uint(i)&63)
 	return atomic.LoadUint64(&f.words[w])&b != 0
+}
+
+// NextSet returns the first set flag in [from, limit), or limit. The scan
+// masks the partial first word and then skips clear words whole, so a
+// sparse frontier costs one atomic load per 64 vertices instead of one per
+// vertex.
+//
+//dfpr:hotpath
+func (f *Flags) NextSet(from, limit int) int {
+	if from < 0 {
+		from = 0
+	}
+	for from < limit {
+		w := from >> 6
+		word := atomic.LoadUint64(&f.words[w]) >> (uint(from) & 63)
+		if word != 0 {
+			i := from + bits.TrailingZeros64(word)
+			if i >= limit {
+				return limit
+			}
+			return i
+		}
+		from = (w + 1) << 6
+	}
+	return limit
 }
 
 // AllClear reports whether every flag is clear (snapshot).
@@ -270,6 +304,23 @@ func (f *U8) Clear(i int) bool {
 // Get reports whether flag i is set.
 func (f *U8) Get(i int) bool {
 	return atomic.LoadUint32(&f.cells[i]) != 0
+}
+
+// NextSet returns the first set flag in [from, limit), or limit. Cells are
+// unpacked, so this is the plain load-per-index scan the packed bitset
+// improves on — kept exactly equivalent for the representation ablation.
+//
+//dfpr:hotpath
+func (f *U8) NextSet(from, limit int) int {
+	if from < 0 {
+		from = 0
+	}
+	for ; from < limit; from++ {
+		if atomic.LoadUint32(&f.cells[from]) != 0 {
+			return from
+		}
+	}
+	return limit
 }
 
 // AllClear reports whether every flag is clear (snapshot).

@@ -286,3 +286,111 @@ func TestPopcount(t *testing.T) {
 		}
 	}
 }
+
+func TestFlagVecNextSetBasics(t *testing.T) {
+	for name, f := range flagKinds(200) {
+		t.Run(name, func(t *testing.T) {
+			if got := f.NextSet(0, 200); got != 200 {
+				t.Fatalf("empty vector: NextSet = %d, want 200", got)
+			}
+			for _, i := range []int{0, 63, 64, 65, 127, 128, 199} {
+				f.Set(i)
+			}
+			want := []int{0, 63, 64, 65, 127, 128, 199}
+			got := []int{}
+			for v := f.NextSet(0, 200); v < 200; v = f.NextSet(v+1, 200) {
+				got = append(got, v)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("scan found %v, want %v", got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("scan found %v, want %v", got, want)
+				}
+			}
+			// Limit excludes a set flag at the boundary.
+			if v := f.NextSet(129, 199); v != 199 {
+				t.Errorf("NextSet(129, 199) = %d, want 199 (limit)", v)
+			}
+			// A hit in the same word as from but past limit must clamp.
+			if v := f.NextSet(130, 190); v != 190 {
+				t.Errorf("NextSet(130, 190) = %d, want 190", v)
+			}
+			// Negative from clamps to zero.
+			if v := f.NextSet(-5, 200); v != 0 {
+				t.Errorf("NextSet(-5, 200) = %d, want 0", v)
+			}
+			// Empty range.
+			if v := f.NextSet(64, 64); v != 64 {
+				t.Errorf("NextSet(64, 64) = %d, want 64", v)
+			}
+		})
+	}
+}
+
+func TestFlagVecNextSetMatchesGetModel(t *testing.T) {
+	const n = 300
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		vecs := flagKinds(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) == 0 {
+				for _, v := range vecs {
+					v.Set(i)
+				}
+			}
+		}
+		from := rng.Intn(n)
+		limit := from + rng.Intn(n-from)
+		for name, v := range vecs {
+			want := limit
+			for i := from; i < limit; i++ {
+				if v.Get(i) {
+					want = i
+					break
+				}
+			}
+			if got := v.NextSet(from, limit); got != want {
+				t.Fatalf("%s trial %d: NextSet(%d, %d) = %d, want %d",
+					name, trial, from, limit, got, want)
+			}
+		}
+	}
+}
+
+func TestFlagVecNextSetConcurrentSmoke(t *testing.T) {
+	// NextSet must be safe against concurrent Set: it may or may not see a
+	// flag set while it scans, but it must never return an index outside
+	// [from, limit] and never a clear-and-never-set index.
+	for name, f := range flagKinds(512) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(1))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						f.Set(rng.Intn(512))
+					}
+				}
+			}()
+			for i := 0; i < 2000; i++ {
+				v := f.NextSet(0, 512)
+				if v < 0 || v > 512 {
+					t.Fatalf("NextSet out of range: %d", v)
+				}
+				if v < 512 && !f.Get(v) {
+					t.Fatalf("NextSet returned clear flag %d", v)
+				}
+			}
+			close(stop)
+			wg.Wait()
+		})
+	}
+}

@@ -45,6 +45,11 @@ func (c *Counted) Clear(i int) bool {
 // Get reports whether flag i is set.
 func (c *Counted) Get(i int) bool { return c.inner.Get(i) }
 
+// NextSet returns the first set flag in [from, limit), or limit.
+//
+//dfpr:hotpath
+func (c *Counted) NextSet(from, limit int) int { return c.inner.NextSet(from, limit) }
+
 // AllClear reports whether no flags are set, in O(1).
 func (c *Counted) AllClear() bool { return atomic.LoadInt64(&c.set) == 0 }
 

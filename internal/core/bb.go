@@ -70,6 +70,24 @@ type pad64 struct {
 	_ [7]uint64
 }
 
+// padStats is a cache-line padded per-worker tally of sweep instrumentation
+// (chunks fetched, frontier vertices located by flag scan). Workers own one
+// slot each and the totals are summed after the run joins, so the hot loop
+// pays plain increments, never atomics.
+type padStats struct {
+	blocks   int64
+	frontier int64
+	_        [6]uint64
+}
+
+// sumStats folds the per-worker tallies into a Result.
+func sumStats(stats []padStats, res *Result) {
+	for i := range stats {
+		res.SweepBlocks += stats[i].blocks
+		res.FrontierScanned += stats[i].frontier
+	}
+}
+
 func runBB(ctx context.Context, vr variant, in Input, cfg Config) Result {
 	cfg = cfg.withDefaults()
 	g := in.GNew
@@ -122,10 +140,12 @@ func runBB(ctx context.Context, vr variant, in Input, cfg Config) Result {
 	if cfg.UniformChunks {
 		pool = sched.NewPool(n, cfg.Chunk)
 	} else {
-		pool = sched.NewPoolBounds(vertexBounds(g, cfg.Chunk))
+		pool = sched.NewPoolBounds(vertexBounds(g, cfg))
 	}
 	edgePool := sched.NewPool(len(edges), cfg.Chunk)
 	localMax := make([]pad64, cfg.Threads)
+	stats := make([]padStats, cfg.Threads)
+	blocked := cfg.blocked()
 
 	// Cancellation: an AfterFunc flips the flag and aborts the chunk pools,
 	// so in-pass workers stop at their next chunk fetch instead of finishing
@@ -177,19 +197,34 @@ func runBB(ctx context.Context, vr variant, in Input, cfg Config) Result {
 			}
 			r, rNew := sh.r, sh.rNew
 			cb, cbNew := sh.contrib, sh.contribNew
+			st := &stats[w]
 			var lmax float64
 			for {
 				lo, hi, ok := pool.Next()
 				if !ok {
 					break
 				}
+				st.blocks++
 				if inj != nil && inj.AtChunk(w) {
 					bar.Crash()
 					return
 				}
 				for v := lo; v < hi; v++ {
-					if va != nil && !va.Get(v) {
-						continue
+					// Blocked sweeps visit the affected frontier in sorted
+					// order with a word-at-a-time scan: NextSet re-reads the
+					// flags on every call, so the visit sequence is exactly
+					// the per-vertex Get probes of the unblocked loop — the
+					// DF mid-pass marking (va.Set below) is observed at the
+					// same points either way.
+					if va != nil {
+						if blocked {
+							if v = va.NextSet(v, hi); v >= hi {
+								break
+							}
+							st.frontier++
+						} else if !va.Get(v) {
+							continue
+						}
 					}
 					vv := uint32(v)
 					var nr float64
@@ -267,6 +302,7 @@ func runBB(ctx context.Context, vr variant, in Input, cfg Config) Result {
 		Elapsed:     elapsed,
 		BarrierWait: bar.TotalWait(),
 	}
+	sumStats(stats, &res)
 	if inj != nil {
 		res.CrashedWorkers = inj.CrashedCount()
 	}

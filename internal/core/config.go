@@ -37,6 +37,19 @@ const (
 	DefaultMaxIter = 500
 )
 
+// DefaultBlockBytes is the cache-block budget for the blocked rank sweeps:
+// chunk boundaries are capped so one chunk's working set (adjacency plus
+// the contributions it gathers) stays within this many bytes — sized for a
+// typical last-level-cache slice, so the contrib reads a block triggers
+// mostly stay resident while the block is swept.
+const DefaultBlockBytes = 4 << 20
+
+// blockBytesPerWeight converts chunk weight units (indeg+1 per vertex) to
+// the bytes a pull sweep touches per unit: 4 B of adjacency and 8 B of
+// gathered contribution per in-edge, plus ~4 B of per-vertex rank state
+// amortised over the +1.
+const blockBytesPerWeight = 16
+
 // Config carries the tunable parameters shared by all algorithm variants.
 // The zero value selects the paper's defaults.
 type Config struct {
@@ -69,6 +82,14 @@ type Config struct {
 	// Either way Chunk scales the per-chunk work, so the chunk-size ablation
 	// stays meaningful.
 	UniformChunks bool
+	// BlockBytes bounds the working set of one rank-loop chunk for the
+	// cache-blocked sweeps: edge-balanced chunk boundaries are additionally
+	// capped so a chunk's adjacency plus gathered contributions fit in this
+	// many bytes, and within a chunk the affected frontier is visited in
+	// sorted order via word-at-a-time flag scans (sequential contrib reads
+	// instead of per-vertex probes). 0 selects DefaultBlockBytes; negative
+	// disables blocking entirely and restores the probe-per-vertex loop.
+	BlockBytes int
 	// PruneFrontier removes a vertex from the DF affected set once its rank
 	// change falls within the iteration tolerance (the "DF with pruning"
 	// refinement from the paper's companion work). A pruned vertex is
@@ -109,8 +130,15 @@ func (c Config) withDefaults() Config {
 	if c.Chunk <= 0 {
 		c.Chunk = 2048
 	}
+	if c.BlockBytes == 0 {
+		c.BlockBytes = DefaultBlockBytes
+	}
 	return c
 }
+
+// blocked reports whether the cache-blocked sweep path is enabled. The
+// config must have passed withDefaults.
+func (c Config) blocked() bool { return c.BlockBytes > 0 }
 
 // Result reports the outcome of one algorithm run.
 type Result struct {
@@ -130,6 +158,15 @@ type Result struct {
 	// BarrierWait is the cumulative time workers spent blocked at iteration
 	// barriers (zero for lock-free variants). Regenerates Figure 1.
 	BarrierWait time.Duration
+	// SweepBlocks is the number of rank-loop chunks workers fetched over the
+	// whole run — the unit the cache-blocked scheduler dispatches. Feeds the
+	// dfpr_rank_sweep_block_scheduled_total counter.
+	SweepBlocks int64
+	// FrontierScanned is the number of affected-frontier vertices located by
+	// the sorted word-at-a-time flag scans of the blocked sweeps (zero when
+	// blocking is disabled or the variant has no frontier). Feeds the
+	// dfpr_rank_sweep_block_frontier_total counter.
+	FrontierScanned int64
 	// Err is non-nil when the run could not complete — notably
 	// sched.ErrBroken when a barrier-based variant deadlocks because a
 	// worker crashed, or ErrAllCrashed when every lock-free worker died.
@@ -322,14 +359,24 @@ func balancedTarget(g *graph.CSR, chunk int) int {
 
 // vertexBounds computes the edge-balanced chunk boundaries for the rank
 // loop: weight[v] = indeg(v)+1 matches the pull kernel's per-vertex cost
-// (one gather per in-edge plus constant overhead).
-func vertexBounds(g *graph.CSR, chunk int) []int {
+// (one gather per in-edge plus constant overhead). With blocking enabled
+// the per-chunk weight is additionally capped so one chunk's working set
+// fits in cfg.BlockBytes — on small graphs the balanced target is already
+// far below the cap and nothing changes; on graphs whose hub rows would
+// make a chunk overflow the LLC, the cap splits them.
+func vertexBounds(g *graph.CSR, cfg Config) []int {
 	n := g.N()
 	w := make([]int, n)
 	for v := uint32(0); int(v) < n; v++ {
 		w[v] = g.InDeg(v) + 1
 	}
-	return sched.BalancedBounds(w, balancedTarget(g, chunk))
+	target := balancedTarget(g, cfg.Chunk)
+	if cfg.blocked() {
+		if lim := cfg.BlockBytes / blockBytesPerWeight; lim >= 1 && lim < target {
+			target = lim
+		}
+	}
+	return sched.BalancedBounds(w, target)
 }
 
 // newFlags builds a flag vector per the configured representation, wrapping

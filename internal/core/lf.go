@@ -96,9 +96,11 @@ func runLF(ctx context.Context, vr variant, in Input, cfg Config) Result {
 	if cfg.UniformChunks {
 		rounds = sched.NewRounds(n, cfg.Chunk)
 	} else {
-		rounds = sched.NewRoundsBounds(vertexBounds(g, cfg.Chunk))
+		rounds = sched.NewRoundsBounds(vertexBounds(g, cfg))
 	}
 	edgePool := sched.NewPool(len(edges), cfg.Chunk)
+	stats := make([]padStats, cfg.Threads)
+	blocked := cfg.blocked()
 	var maxRound avec.Counter
 
 	// Cancellation: aborting the ticket stream makes every worker's next
@@ -163,11 +165,13 @@ func runLF(ctx context.Context, vr variant, in Input, cfg Config) Result {
 		// dynamic loops: a worker finishing pass r flows straight into pass
 		// r+1 while slower workers are still inside pass r.
 		completed := uint64(0)
+		st := &stats[w]
 		for {
 			lo, hi, round := rounds.Next()
 			if round >= uint64(cfg.MaxIter) {
 				break
 			}
+			st.blocks++
 			if inj != nil && inj.AtChunk(w) {
 				atomicMaxU64(&maxRound, completed)
 				return
@@ -181,8 +185,24 @@ func runLF(ctx context.Context, vr variant, in Input, cfg Config) Result {
 				// clear before the Set), leaving VA=0 ∧ RC=1 — without this
 				// guard such a vertex would be unreachable yet unconverged
 				// and the run could never terminate.
-				if va != nil && !va.Get(v) && !rc.Get(v) {
-					continue
+				if va != nil {
+					if blocked {
+						// Sorted-frontier scan over VA ∪ RC: jump to the
+						// nearest vertex either vector flags. NextSet reloads
+						// the words per call, so a single-threaded pass sees
+						// exactly what the per-vertex probes below would see.
+						nv := va.NextSet(v, hi)
+						if nr := rc.NextSet(v, nv); nr < nv {
+							nv = nr
+						}
+						if nv >= hi {
+							break
+						}
+						v = nv
+						st.frontier++
+					} else if !va.Get(v) && !rc.Get(v) {
+						continue
+					}
 				}
 				vv := uint32(v)
 				var nr float64
@@ -251,6 +271,7 @@ func runLF(ctx context.Context, vr variant, in Input, cfg Config) Result {
 		Converged:  converged,
 		Elapsed:    elapsed,
 	}
+	sumStats(stats, &res)
 	if inj != nil {
 		res.CrashedWorkers = inj.CrashedCount()
 		if !converged && res.CrashedWorkers >= cfg.Threads {

@@ -1,6 +1,9 @@
 package core
 
-import "dfpr/internal/graph"
+import (
+	"dfpr/internal/graph"
+	"dfpr/internal/sched"
+)
 
 // KernelBench is instrumentation for measuring the raw per-edge cost of the
 // pull kernels outside any engine: one synchronous sweep over every vertex,
@@ -13,6 +16,7 @@ type KernelBench struct {
 	r, rNew     []float64
 	cb, cbNew   []float64
 	alpha, base float64
+	pool        *sched.Pool // lazily built cache-blocked chunk pool
 }
 
 // NewKernelBench prepares sweep state over g with uniform initial ranks.
@@ -67,10 +71,135 @@ func (k *KernelBench) CachedSweep() {
 	k.cb, k.cbNew = k.cbNew, k.cb
 }
 
+// BlockedCachedSweep is CachedSweep through the cache-blocked chunk
+// schedule: the same arithmetic in the same vertex order, dispatched as
+// LLC-sized edge-balanced blocks. Single-threaded it is bit-identical to
+// CachedSweep; it exists so benchmarks can price the block scheduler
+// itself.
+func (k *KernelBench) BlockedCachedSweep() {
+	k.ParallelCachedSweep(1)
+}
+
+// ParallelCachedSweep runs one contribution-cached Jacobi sweep with the
+// given number of workers over cache-blocked, edge-balanced chunks — the
+// multi-core scaling measurement behind the benchjson threads matrix. The
+// chunk pool is built once and reset per sweep, so repeated sweeps do not
+// allocate.
+func (k *KernelBench) ParallelCachedSweep(threads int) {
+	if threads < 1 {
+		threads = 1
+	}
+	if k.pool == nil {
+		k.pool = sched.NewPoolBounds(vertexBounds(k.g, Config{}.withDefaults()))
+	} else {
+		k.pool.Reset()
+	}
+	pool := k.pool
+	g, cb, cbNew, rNew, ainv, base := k.g, k.cb, k.cbNew, k.rNew, k.ainv, k.base
+	sched.Run(threads, func(int) {
+		for {
+			lo, hi, ok := pool.Next()
+			if !ok {
+				return
+			}
+			cachedSweepRange(g, cb, cbNew, rNew, ainv, base, lo, hi)
+		}
+	})
+	k.r, k.rNew = k.rNew, k.r
+	k.cb, k.cbNew = k.cbNew, k.cb
+}
+
 // Checksum returns the rank sum, defeating dead-code elimination in
 // benchmark loops and doubling as a sanity probe (≈1 for a stochastic
 // iteration).
 func (k *KernelBench) Checksum() float64 {
+	s := 0.0
+	for _, x := range k.r {
+		s += x
+	}
+	return s
+}
+
+// DecodeBench is KernelBench over a delta-compressed graph: the same
+// contribution-cached sweep, but every in-row is varint-decoded into a
+// recycled buffer first (the decode-on-sweep path WithCompressedEdges
+// selects). Comparing its ns/edge against KernelBench prices the ~2× RAM
+// saving in decode work.
+type DecodeBench struct {
+	c         *graph.CompressedCSR
+	ainv      []float64
+	r, rNew   []float64
+	cb, cbNew []float64
+	base      float64
+	pool      *sched.Pool
+	bounds    []int
+}
+
+// NewDecodeBench prepares decode-sweep state over c with uniform initial
+// ranks. The graph is transiently decompressed to derive the degree
+// vectors and the edge-balanced block bounds; only the compressed form is
+// retained for sweeping.
+func NewDecodeBench(c *graph.CompressedCSR, alpha float64) *DecodeBench {
+	if alpha <= 0 || alpha >= 1 {
+		alpha = DefaultAlpha
+	}
+	g := c.Decompress()
+	n := g.N()
+	k := &DecodeBench{
+		c:      c,
+		base:   (1 - alpha) / float64(n),
+		r:      uniformRanks(n),
+		rNew:   make([]float64, n),
+		cb:     make([]float64, n),
+		cbNew:  make([]float64, n),
+		bounds: vertexBounds(g, Config{}.withDefaults()),
+	}
+	k.ainv = alphaInv(invOutDeg(g), alpha)
+	for v := range k.cb {
+		k.cb[v] = k.r[v] * k.ainv[v]
+	}
+	return k
+}
+
+// Edges returns the number of edges one sweep decodes and gathers over.
+func (k *DecodeBench) Edges() int { return k.c.M() }
+
+// CachedSweep performs one full decode-on-sweep Jacobi iteration and swaps
+// both vector pairs.
+func (k *DecodeBench) CachedSweep() {
+	k.ParallelCachedSweep(1)
+}
+
+// ParallelCachedSweep is CachedSweep with the given number of workers over
+// the cache-blocked chunk schedule; each worker recycles its own decode
+// buffer.
+func (k *DecodeBench) ParallelCachedSweep(threads int) {
+	if threads < 1 {
+		threads = 1
+	}
+	if k.pool == nil {
+		k.pool = sched.NewPoolBounds(k.bounds)
+	} else {
+		k.pool.Reset()
+	}
+	pool := k.pool
+	c, cb, cbNew, rNew, ainv, base := k.c, k.cb, k.cbNew, k.rNew, k.ainv, k.base
+	sched.Run(threads, func(int) {
+		buf := make([]uint32, 0, 256)
+		for {
+			lo, hi, ok := pool.Next()
+			if !ok {
+				return
+			}
+			buf = decodeSweepRange(c, cb, cbNew, rNew, ainv, base, lo, hi, buf)
+		}
+	})
+	k.r, k.rNew = k.rNew, k.r
+	k.cb, k.cbNew = k.cbNew, k.cb
+}
+
+// Checksum returns the rank sum (see KernelBench.Checksum).
+func (k *DecodeBench) Checksum() float64 {
 	s := 0.0
 	for _, x := range k.r {
 		s += x

@@ -80,6 +80,75 @@ func LoadGraph(path string) (int, []dfpr.Edge, error) {
 	return n, edges, nil
 }
 
+// GraphSource describes a loaded graph input: the pair dfpr.New takes plus
+// where it came from, so binaries can log and export layout-aware metrics.
+type GraphSource struct {
+	N     int
+	Edges []dfpr.Edge
+	// Layout is "text" (edge list / MatrixMarket), "csr" (binary CSR
+	// container, prgen -csr), or "csr-compressed" (container written with
+	// delta-compressed adjacency).
+	Layout        string
+	FileBytes     int64 // on-disk size of the input file
+	ResidentBytes int   // CSR arrays' in-memory footprint as stored (0 for text)
+}
+
+// LoadGraphSource loads a graph in any supported on-disk format. Binary CSR
+// containers (recognised by the DFPRCSR1 magic, regardless of file name)
+// are memory-mapped and decoded zero-parse; everything else goes through
+// the text readers. The returned edges are detached from any mapping — the
+// caller owns them outright.
+func LoadGraphSource(path string) (*GraphSource, error) {
+	isContainer, size, err := sniffContainer(path)
+	if err != nil {
+		return nil, err
+	}
+	if !isContainer {
+		n, edges, err := LoadGraph(path)
+		if err != nil {
+			return nil, err
+		}
+		return &GraphSource{N: n, Edges: edges, Layout: "text", FileBytes: size}, nil
+	}
+	m, err := gio.LoadCSRMapped(path)
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	src := &GraphSource{Layout: "csr", FileBytes: int64(m.FileBytes()), ResidentBytes: m.ResidentBytes()}
+	if m.Compressed() != nil {
+		src.Layout = "csr-compressed"
+	}
+	g := m.CSR()
+	src.N = g.N()
+	src.Edges = make([]dfpr.Edge, 0, g.M())
+	for u := uint32(0); int(u) < g.N(); u++ {
+		for _, v := range g.Out(u) {
+			src.Edges = append(src.Edges, dfpr.Edge{U: u, V: v})
+		}
+	}
+	return src, nil
+}
+
+// sniffContainer reports whether the file leads with the binary CSR
+// container magic, plus its size.
+func sniffContainer(path string) (bool, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return false, 0, err
+	}
+	var hdr [8]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return false, st.Size(), nil // too short to be a container: treat as text
+	}
+	return graph.IsContainer(hdr[:]), st.Size(), nil
+}
+
 // LoadKeyEdges reads a keyed edge list (gio.ScanKeyedEdges format:
 // whitespace-free string keys, one "fromKey toKey" pair per line, '#'/'%'
 // comments) into the public KeyEdge form, leaving the interning to the

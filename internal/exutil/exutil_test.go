@@ -1,0 +1,85 @@
+package exutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dfpr/internal/gio"
+	"dfpr/internal/graph"
+)
+
+// TestLoadGraphSourceAllLayouts pins that the same graph loads identically
+// from a text edge list, a plain CSR container, and a compressed container —
+// and that the source metadata identifies each layout.
+func TestLoadGraphSourceAllLayouts(t *testing.T) {
+	dir := t.TempDir()
+	d := graph.NewDynamic(6)
+	for _, e := range [][2]uint32{{0, 1}, {1, 2}, {2, 0}, {3, 1}, {4, 4}, {5, 0}} {
+		d.AddEdge(e[0], e[1])
+	}
+	d.EnsureSelfLoops()
+	g := d.Snapshot()
+
+	text := filepath.Join(dir, "g.el")
+	var lines []byte
+	for u := uint32(0); int(u) < g.N(); u++ {
+		for _, v := range g.Out(u) {
+			lines = append(lines, []byte(itoa(u)+" "+itoa(v)+"\n")...)
+		}
+	}
+	if err := os.WriteFile(text, lines, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	plain := filepath.Join(dir, "g.csr")
+	if err := gio.WriteCSRFile(plain, g); err != nil {
+		t.Fatal(err)
+	}
+	comp := filepath.Join(dir, "gc.csr")
+	if err := gio.WriteCSRFile(comp, g, gio.WithCompressedEdges()); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := LoadGraphSource(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Layout != "text" || want.FileBytes != int64(len(lines)) {
+		t.Fatalf("text source: %+v", want)
+	}
+	for path, layout := range map[string]string{plain: "csr", comp: "csr-compressed"} {
+		src, err := LoadGraphSource(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if src.Layout != layout {
+			t.Errorf("%s: layout %q, want %q", path, src.Layout, layout)
+		}
+		if src.N != g.N() || len(src.Edges) != g.M() {
+			t.Errorf("%s: %d vertices %d edges, want %d/%d", path, src.N, len(src.Edges), g.N(), g.M())
+		}
+		if src.ResidentBytes <= 0 || src.FileBytes <= 0 {
+			t.Errorf("%s: footprint not recorded: %+v", path, src)
+		}
+		for i, e := range src.Edges {
+			w := want.Edges[i]
+			if e.U != w.U || e.V != w.V {
+				t.Fatalf("%s: edge %d = %v, text loader got %v", path, i, e, w)
+			}
+		}
+	}
+}
+
+func itoa(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [10]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package gio
+
+import "os"
+
+// mapFile on platforms without the unix mmap syscalls reads the whole file;
+// LoadCSRMapped still skips text parsing, it just pays one copy.
+func mapFile(path string) ([]byte, bool, error) {
+	data, err := os.ReadFile(path)
+	return data, false, err
+}
+
+// unmapFile releases a mapFile result (no-op for the read fallback).
+func unmapFile(data []byte, mapped bool) error { return nil }

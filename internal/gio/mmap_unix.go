@@ -1,0 +1,48 @@
+//go:build unix
+
+package gio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only and reports whether the bytes are a real
+// mapping (true) or a fallback heap copy (false). Empty files read as a
+// copy — mmap of length 0 is an error on several platforms.
+func mapFile(path string) ([]byte, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return []byte{}, false, nil
+	}
+	if int64(int(size)) != size {
+		return nil, false, syscall.EFBIG
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap support still load, just not zero-copy.
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, false, err
+		}
+		return data, false, nil
+	}
+	return data, true, nil
+}
+
+// unmapFile releases a mapFile result.
+func unmapFile(data []byte, mapped bool) error {
+	if !mapped || len(data) == 0 {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

@@ -7,47 +7,49 @@ import (
 )
 
 // Binary codec for CSR snapshots, used by the durability layer's
-// checkpoints. The format is the struct laid out raw in little-endian —
-// both offset arrays and both adjacency arrays — so encoding is four
-// sequential array walks and decoding rebuilds an immutable snapshot
-// without re-sorting or re-counting anything. Integrity is the caller's
-// concern (checkpoint files carry a checksum over the whole payload);
-// DecodeCSR still validates the structural invariants so a corrupted but
+// checkpoints. Since the DFPRCSR1 container (container.go) became the
+// shared on-disk layout, AppendBinary/EncodedSize delegate to it, so
+// checkpoints and the mmap'd graph files in internal/gio are byte-for-byte
+// the same format. DecodeCSR sniffs the magic and falls back to the
+// original headerless layout (the raw struct little-endian: dimensions,
+// both offset arrays, both adjacency arrays) so checkpoints written before
+// the container existed still restore. Integrity is the caller's concern
+// (checkpoint files carry a checksum over the whole payload); decoding
+// still validates the structural invariants so a corrupted but
 // checksum-colliding payload cannot smuggle out-of-range offsets into the
 // kernels.
 
-// AppendBinary serialises g onto dst and returns the extended slice.
+// AppendBinary serialises g onto dst and returns the extended slice. The
+// output is a plain DFPRCSR1 container.
 func (g *CSR) AppendBinary(dst []byte) []byte {
-	le := binary.LittleEndian
-	dst = le.AppendUint64(dst, uint64(g.n))
-	dst = le.AppendUint64(dst, uint64(len(g.outAdj)))
-	dst = le.AppendUint64(dst, uint64(len(g.inAdj)))
-	for _, p := range g.outPtr {
-		dst = le.AppendUint64(dst, p)
-	}
-	for _, v := range g.outAdj {
-		dst = le.AppendUint32(dst, v)
-	}
-	for _, p := range g.inPtr {
-		dst = le.AppendUint64(dst, p)
-	}
-	for _, v := range g.inAdj {
-		dst = le.AppendUint32(dst, v)
-	}
-	return dst
+	return g.AppendContainer(dst)
 }
 
 // EncodedSize returns the exact byte length AppendBinary produces for g.
 func (g *CSR) EncodedSize() int {
-	return 3*8 + 2*8*(g.n+1) + 4*(len(g.outAdj)+len(g.inAdj))
+	return g.ContainerSize()
 }
 
 // DecodeCSR rebuilds a snapshot from AppendBinary output, validating the
-// CSR invariants before returning it. The two sides are independent byte
-// ranges with independent invariants, so they decode and validate
-// concurrently — this sits on the warm-restart critical path, where the
-// checkpointed graph is by far the largest thing to deserialise.
+// CSR invariants before returning it. Containers (plain or compressed)
+// decode via DecodeContainer; the legacy headerless format decodes here,
+// where the two sides are independent byte ranges with independent
+// invariants and run concurrently — this sits on the warm-restart critical
+// path, where the checkpointed graph is by far the largest thing to
+// deserialise. A container's magic read as a uint64 is ≈ 3.5e18, so it can
+// never be mistaken for a legacy header's vertex count (and vice versa:
+// the legacy length check rejects container payloads).
 func DecodeCSR(b []byte) (*CSR, error) {
+	if IsContainer(b) {
+		g, c, err := DecodeContainer(b, false)
+		if err != nil {
+			return nil, err
+		}
+		if c != nil {
+			return c.Decompress(), nil
+		}
+		return g, nil
+	}
 	le := binary.LittleEndian
 	if len(b) < 3*8 {
 		return nil, fmt.Errorf("graph: truncated CSR header (%d bytes)", len(b))

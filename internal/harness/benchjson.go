@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"dfpr/internal/batch"
 	"dfpr/internal/core"
 	"dfpr/internal/gen"
+	"dfpr/internal/gio"
 	"dfpr/internal/graph"
 )
 
@@ -21,13 +23,26 @@ import (
 type BenchReport struct {
 	// Generated is the RFC3339 timestamp of the run.
 	Generated string `json:"generated"`
-	// GoVersion and CPUs describe the machine the numbers come from.
-	GoVersion string `json:"go_version"`
-	CPUs      int    `json:"cpus"`
+	// GoVersion, CPUs and GoMaxProcs describe the machine the numbers come
+	// from: CPUs is the hardware (runtime.NumCPU), GoMaxProcs the scheduler
+	// width the non-matrix sections ran under. Thread-matrix rows carry
+	// their own gomaxprocs.
+	GoVersion  string `json:"go_version"`
+	CPUs       int    `json:"cpus"`
+	GoMaxProcs int    `json:"gomaxprocs"`
 	// Kernels holds per-graph seed-vs-cached kernel sweeps.
 	Kernels []KernelResult `json:"kernels"`
 	// Snapshots holds delta-merge vs full-rebuild times per batch fraction.
 	Snapshots []SnapshotResult `json:"snapshots"`
+	// Threads holds the multi-core scaling matrix: the cached kernel sweep
+	// and a full static rank on the largest graph, re-run at each worker
+	// count with GOMAXPROCS pinned to match. Written when RunBenchJSON is
+	// given a matrix (cmd/prbench -matrix).
+	Threads []ThreadResult `json:"threads,omitempty"`
+	// Loads holds the loader comparison: text edge-list parse+build against
+	// the memory-mapped binary CSR container (plain and delta-compressed),
+	// warm (file in page cache) and min-of-reps.
+	Loads []LoadResult `json:"loads,omitempty"`
 	// Queries holds read-path micro-benchmarks (View.ScoreOf/TopK costs and
 	// allocation counts). The harness cannot import the root package, so
 	// the section is filled by an extra passed to RunBenchJSON — cmd/prbench
@@ -157,22 +172,61 @@ type QueryResult struct {
 	SnapshotCopyNs float64 `json:"snapshot_copy_ns_per_call"`
 }
 
-// KernelResult reports one graph's kernel sweep comparison.
+// KernelResult reports one graph's kernel sweep comparison. Threads is the
+// worker count the sweeps ran with (the baseline section is sequential; the
+// scaling matrix re-measures the cached sweep at each width).
 type KernelResult struct {
 	Graph        string  `json:"graph"`
 	Vertices     int     `json:"vertices"`
 	Edges        int     `json:"edges"`
+	Threads      int     `json:"threads"`
 	SeedNsEdge   float64 `json:"seed_ns_per_edge"`
 	CachedNsEdge float64 `json:"cached_ns_per_edge"`
 	Speedup      float64 `json:"speedup"`
 }
 
+// ThreadResult is one row of the multi-core scaling matrix: the same two
+// workloads — one contribution-cached kernel sweep through the edge-balanced
+// scheduler, and a full static-PageRank converge on the graph snapshot — at
+// one worker count, with GOMAXPROCS pinned to the same value for the row.
+// Speedups are against the matrix's own 1-thread row, so the column reads
+// as a scaling curve.
+type ThreadResult struct {
+	Graph        string  `json:"graph"`
+	Threads      int     `json:"threads"`
+	GoMaxProcs   int     `json:"gomaxprocs"`
+	SweepNs      int64   `json:"cached_sweep_ns"`
+	SweepNsEdge  float64 `json:"cached_ns_per_edge"`
+	SweepSpeedup float64 `json:"sweep_speedup_vs_1"`
+	RankNs       int64   `json:"static_rank_ns"`
+	RankIters    int     `json:"static_rank_iterations"`
+	RankSpeedup  float64 `json:"rank_speedup_vs_1"`
+}
+
+// LoadResult reports one loader path on the largest graph: how long until a
+// usable CSR exists, warm (the file was just written, so the bytes are in
+// page cache — the restart case the mmap loader exists for). For the
+// compressed container "usable" means mapped and validated: its sweeps
+// decode rows on the fly, so no decompression is on the load path.
+type LoadResult struct {
+	Graph         string  `json:"graph"`
+	Vertices      int     `json:"vertices"`
+	Edges         int     `json:"edges"`
+	Format        string  `json:"format"` // "text", "csr", "csr-compressed"
+	FileBytes     int64   `json:"file_bytes"`
+	ResidentBytes int     `json:"resident_bytes"`
+	LoadNs        int64   `json:"load_ns"`
+	SpeedupVsText float64 `json:"speedup_vs_text"`
+}
+
 // SnapshotResult reports one batch fraction's snapshot comparison on the
-// generator's largest graph.
+// generator's largest graph. Snapshot construction is single-threaded, so
+// Threads is always 1 — recorded so every timed section names its width.
 type SnapshotResult struct {
 	Graph         string  `json:"graph"`
 	Vertices      int     `json:"vertices"`
 	Edges         int     `json:"edges"`
+	Threads       int     `json:"threads"`
 	BatchFraction float64 `json:"batch_fraction"`
 	BatchSize     int     `json:"batch_size"`
 	DeltaNs       int64   `json:"delta_merge_ns"`
@@ -198,18 +252,20 @@ func benchSpecs(scale float64) []gen.Spec {
 	return out
 }
 
-// RunBenchJSON runs the measurements and writes the report to path. extras
-// run against the assembled report before it is written; the binaries use
-// them to contribute sections measured through the public API (which this
-// internal package cannot import).
-func RunBenchJSON(path string, scale float64, reps int, extras ...func(*BenchReport)) error {
+// RunBenchJSON runs the measurements and writes the report to path. matrix,
+// when non-empty, is the worker-count sweep of the threads section
+// (cmd/prbench -matrix). extras run against the assembled report before it
+// is written; the binaries use them to contribute sections measured through
+// the public API (which this internal package cannot import).
+func RunBenchJSON(path string, scale float64, reps int, matrix []int, extras ...func(*BenchReport)) error {
 	if reps < 3 {
 		reps = 3
 	}
 	rep := BenchReport{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		CPUs:      runtime.NumCPU(),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 
 	specs := benchSpecs(scale)
@@ -226,6 +282,7 @@ func RunBenchJSON(path string, scale float64, reps int, extras ...func(*BenchRep
 			Graph:        s.Name,
 			Vertices:     g.N(),
 			Edges:        g.M(),
+			Threads:      1,
 			SeedNsEdge:   float64(seed.Nanoseconds()) / m,
 			CachedNsEdge: float64(cached.Nanoseconds()) / m,
 			Speedup:      float64(seed) / float64(cached),
@@ -249,6 +306,7 @@ func RunBenchJSON(path string, scale float64, reps int, extras ...func(*BenchRep
 			Graph:         big.Name,
 			Vertices:      d.N(),
 			Edges:         d.M(),
+			Threads:       1,
 			BatchFraction: fraction,
 			BatchSize:     up.Size(),
 			DeltaNs:       delta.Nanoseconds(),
@@ -258,6 +316,11 @@ func RunBenchJSON(path string, scale float64, reps int, extras ...func(*BenchRep
 		fmt.Fprintf(os.Stderr, "benchjson: snapshot frac=%.0e delta=%v full=%v (%.2fx)\n",
 			fraction, delta, full, float64(full)/float64(delta))
 	}
+
+	if len(matrix) > 0 {
+		rep.Threads = threadMatrix(big, matrix, reps)
+	}
+	rep.Loads = loadBench(big, reps)
 
 	for _, extra := range extras {
 		extra(&rep)
@@ -271,6 +334,160 @@ func RunBenchJSON(path string, scale float64, reps int, extras ...func(*BenchRep
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// threadMatrix measures the multi-core scaling matrix on the largest graph:
+// for each worker count it pins GOMAXPROCS to match (so the row reports
+// what that many cores would deliver, not what oversubscription on fewer
+// does silently), runs the parallel contribution-cached sweep through the
+// edge-balanced scheduler, and converges a full static PageRank. The
+// original GOMAXPROCS is restored before returning.
+func threadMatrix(big gen.Spec, matrix []int, reps int) []ThreadResult {
+	d := big.Build()
+	g := d.Snapshot()
+	m := float64(g.M())
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var rows []ThreadResult
+	var sweep1, rank1 time.Duration
+	for _, t := range matrix {
+		if t < 1 {
+			continue
+		}
+		runtime.GOMAXPROCS(t)
+		k := core.NewKernelBench(g, core.DefaultAlpha)
+		k.ParallelCachedSweep(t) // warm: build pool + caches
+		sweep := minDuration(reps, func() { k.ParallelCachedSweep(t) })
+
+		cfg := core.Config{Threads: t}
+		var iters int
+		rank := minDuration(reps, func() {
+			res := core.Run(core.AlgoStaticBB, core.Input{GNew: g}, cfg)
+			iters = res.Iterations
+		})
+
+		row := ThreadResult{
+			Graph:       big.Name,
+			Threads:     t,
+			GoMaxProcs:  t,
+			SweepNs:     sweep.Nanoseconds(),
+			SweepNsEdge: float64(sweep.Nanoseconds()) / m,
+			RankNs:      rank.Nanoseconds(),
+			RankIters:   iters,
+		}
+		if sweep1 == 0 {
+			sweep1, rank1 = sweep, rank
+		}
+		row.SweepSpeedup = float64(sweep1) / float64(sweep)
+		row.RankSpeedup = float64(rank1) / float64(rank)
+		rows = append(rows, row)
+		fmt.Fprintf(os.Stderr, "benchjson: threads=%-2d sweep %v (%.2fx)  rank %v (%.2fx, %d iters)\n",
+			t, sweep, row.SweepSpeedup, rank, row.RankSpeedup, iters)
+	}
+	return rows
+}
+
+// loadBench measures how long each on-disk format takes to become a usable
+// CSR, warm: the text edge list is parsed and rebuilt (ReadEdgeList +
+// Snapshot — what a restart without the container pays), the containers are
+// memory-mapped and validated by gio.LoadCSRMapped. Files are written once
+// to a temp dir, so every timed load hits page cache.
+func loadBench(big gen.Spec, reps int) []LoadResult {
+	fail := func(err error) []LoadResult {
+		fmt.Fprintf(os.Stderr, "benchjson: loadbench: %v\n", err)
+		return nil
+	}
+	d := big.Build()
+	g := d.Snapshot()
+	dir, err := os.MkdirTemp("", "dfpr-bench-load-")
+	if err != nil {
+		return fail(err)
+	}
+	defer os.RemoveAll(dir)
+
+	textPath := dir + "/g.el"
+	tf, err := os.Create(textPath)
+	if err != nil {
+		return fail(err)
+	}
+	w := bufio.NewWriter(tf)
+	if err := gio.WriteEdgeList(w, d); err != nil {
+		return fail(err)
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := tf.Close(); err != nil {
+		return fail(err)
+	}
+	plainPath := dir + "/g.csr"
+	if err := gio.WriteCSRFile(plainPath, g); err != nil {
+		return fail(err)
+	}
+	compPath := dir + "/gc.csr"
+	if err := gio.WriteCSRFile(compPath, g, gio.WithCompressedEdges()); err != nil {
+		return fail(err)
+	}
+
+	fileSize := func(p string) int64 {
+		st, err := os.Stat(p)
+		if err != nil {
+			return 0
+		}
+		return st.Size()
+	}
+	var loadErr error
+	text := minDuration(reps, func() {
+		f, err := os.Open(textPath)
+		if err != nil {
+			loadErr = err
+			return
+		}
+		defer f.Close()
+		dd, err := gio.ReadEdgeList(bufio.NewReader(f))
+		if err != nil {
+			loadErr = err
+			return
+		}
+		dd.EnsureSelfLoops()
+		dd.Snapshot()
+	})
+	rows := []LoadResult{{
+		Graph: big.Name, Vertices: g.N(), Edges: g.M(),
+		Format: "text", FileBytes: fileSize(textPath),
+		ResidentBytes: g.Bytes(),
+		LoadNs:        text.Nanoseconds(), SpeedupVsText: 1,
+	}}
+	for _, c := range []struct{ format, path string }{
+		{"csr", plainPath}, {"csr-compressed", compPath},
+	} {
+		var resident int
+		mapped := minDuration(reps, func() {
+			m, err := gio.LoadCSRMapped(c.path)
+			if err != nil {
+				loadErr = err
+				return
+			}
+			resident = m.ResidentBytes()
+			m.Close()
+		})
+		rows = append(rows, LoadResult{
+			Graph: big.Name, Vertices: g.N(), Edges: g.M(),
+			Format: c.format, FileBytes: fileSize(c.path),
+			ResidentBytes: resident,
+			LoadNs:        mapped.Nanoseconds(),
+			SpeedupVsText: float64(text) / float64(mapped),
+		})
+	}
+	if loadErr != nil {
+		return fail(loadErr)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(os.Stderr, "benchjson: load %-14s %8.2fms (%6.1fx vs text, %d file bytes)\n",
+			r.Format, float64(r.LoadNs)/1e6, r.SpeedupVsText, r.FileBytes)
+	}
+	return rows
 }
 
 // minDuration returns the minimum wall time of reps runs of fn (minimum, as

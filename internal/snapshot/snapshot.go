@@ -251,6 +251,12 @@ type Ranker struct {
 	// fallbacks (history evicted or incremental failure).
 	Refreshes, Rebuilds int
 
+	// SweepBlocks and FrontierScanned accumulate the per-run sweep
+	// instrumentation (core.Result.SweepBlocks/FrontierScanned) over every
+	// run this ranker performed — initial convergence, refreshes, rebuilds.
+	// The engine mirrors them into the dfpr_rank_sweep_block_* counters.
+	SweepBlocks, FrontierScanned int64
+
 	// DisableFallback stops Refresh from converting a *failed* incremental
 	// run (crash, deadlock) into a static rebuild: the failed result and its
 	// error are returned instead, leaving ranks at the last good version.
@@ -290,7 +296,16 @@ func NewRanker(ctx context.Context, s *Store, algo core.Algo, cfg core.Config) (
 	if res.Err != nil {
 		return nil, res, fmt.Errorf("snapshot: initial ranking failed: %w", res.Err)
 	}
-	return &Ranker{store: s, cfg: cfg, algo: algo, ranks: res.Ranks, seq: v.Seq, cur: v}, res, nil
+	r := &Ranker{store: s, cfg: cfg, algo: algo, ranks: res.Ranks, seq: v.Seq, cur: v}
+	r.noteRun(res)
+	return r, res, nil
+}
+
+// noteRun accumulates one core run's sweep instrumentation. Failed runs
+// count too: their sweeps happened.
+func (r *Ranker) noteRun(res core.Result) {
+	r.SweepBlocks += res.SweepBlocks
+	r.FrontierScanned += res.FrontierScanned
 }
 
 // ResumeRanker positions a ranker at an already-converged rank vector for
@@ -382,6 +397,7 @@ func (r *Ranker) Refresh(ctx context.Context) (core.Result, int, error) {
 			Prev: prev,
 		}
 		last = core.RunCtx(ctx, r.algo, in, r.cfg)
+		r.noteRun(last)
 		if last.Err != nil {
 			if errors.Is(last.Err, core.ErrCanceled) {
 				return last, advanced, fmt.Errorf("snapshot: refresh aborted at version %d: %w", v.Seq, last.Err)
@@ -423,6 +439,7 @@ func (r *Ranker) refreshSpan(ctx context.Context, prevG *graph.CSR, chain []*Ver
 		Prev: prev,
 	}
 	res := core.RunCtx(ctx, r.algo, in, r.cfg)
+	r.noteRun(res)
 	if res.Err != nil {
 		if errors.Is(res.Err, core.ErrCanceled) {
 			return res, 0, fmt.Errorf("snapshot: coalesced refresh aborted at version %d: %w", last.Seq, res.Err)
@@ -486,6 +503,7 @@ func (r *Ranker) RefreshTrace(ctx context.Context) (core.Result, []core.Frontier
 	for _, v := range chain {
 		gOld, prev := grownInputs(prevG, r.ranks, v.G.N())
 		res, s := core.TraceDF(ctx, gOld, v.G, v.Update.Del, v.Update.Ins, prev, r.cfg)
+		r.noteRun(res)
 		if res.Err != nil {
 			return res, series, advanced, fmt.Errorf("snapshot: traced refresh aborted at version %d: %w", v.Seq, res.Err)
 		}
@@ -512,6 +530,7 @@ func (r *Ranker) refreshStatic(ctx context.Context) (core.Result, int, error) {
 		return core.Result{Ranks: r.ranks, Converged: true}, 0, nil
 	}
 	res := core.RunCtx(ctx, r.algo, core.Input{GNew: v.G}, r.cfg)
+	r.noteRun(res)
 	if res.Err != nil {
 		return res, 0, fmt.Errorf("snapshot: static refresh failed: %w", res.Err)
 	}
@@ -526,6 +545,7 @@ func (r *Ranker) refreshStatic(ctx context.Context) (core.Result, int, error) {
 func (r *Ranker) rebuild(ctx context.Context) (core.Result, int, error) {
 	v := r.store.Current()
 	res := core.RunCtx(ctx, core.AlgoStaticBB, core.Input{GNew: v.G}, r.cfg)
+	r.noteRun(res)
 	if res.Err != nil {
 		return res, 0, fmt.Errorf("snapshot: static rebuild failed: %w", res.Err)
 	}

@@ -229,6 +229,18 @@ func TestServeSoakUnderFaults(t *testing.T) {
 	if v, _ := snap.Value("dfpr_publish_to_ranked_seconds_count"); v < 1 || v > applies {
 		t.Errorf("publish_to_ranked_seconds_count=%v, applies=%v", v, applies)
 	}
+	// The blocked sweeps ran: every refresh dispatched scheduler chunks and
+	// the dynamic variants scanned the affected frontier word-at-a-time.
+	if v, _ := snap.Value("dfpr_rank_sweep_block_scheduled_total"); v < 1 {
+		t.Errorf("rank_sweep_block_scheduled_total=%v, want ≥1 after ranked soak", v)
+	}
+	if v, _ := snap.Value("dfpr_rank_sweep_block_frontier_total"); v < 1 {
+		t.Errorf("rank_sweep_block_frontier_total=%v, want ≥1 (dynamic refreshes scan the frontier)", v)
+	}
+	// The graph footprint gauge reports the live snapshot's CSR bytes.
+	if v, ok := snap.Value("dfpr_graph_bytes", telemetry.L("layout", "plain")); !ok || v <= 0 {
+		t.Errorf("graph_bytes{layout=plain}=%v ok=%v", v, ok)
+	}
 	// Delay faults never fail a request: the 5xx counters must all be zero.
 	for _, ep := range []string{"rank", "topk", "apply", "stats"} {
 		if v, _ := snap.Value("dfpr_http_errors_total",

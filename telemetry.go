@@ -102,6 +102,16 @@ func (e *Engine) initTelemetry(reg *telemetry.Registry) {
 	reg.CounterFunc("dfpr_rank_rebuilds_total",
 		"Rank refreshes that fell back to a full static recomputation.",
 		func() float64 { return float64(e.rebuilds.Load()) })
+	reg.CounterFunc("dfpr_rank_sweep_block_scheduled_total",
+		"Rank-sweep chunks dispatched by the cache-blocked scheduler across all runs.",
+		func() float64 { return float64(e.sweepBlocks.Load()) })
+	reg.CounterFunc("dfpr_rank_sweep_block_frontier_total",
+		"Affected-frontier vertices located by the sorted word-at-a-time flag scans of the blocked sweeps.",
+		func() float64 { return float64(e.frontierScanned.Load()) })
+	reg.GaugeFunc("dfpr_graph_bytes",
+		"Resident bytes of the latest published graph snapshot's CSR arrays, by layout.",
+		func() float64 { return float64(e.store.Current().G.Bytes()) },
+		telemetry.L("layout", "plain"))
 	reg.GaugeFunc("dfpr_graph_vertices",
 		"Vertices in the latest published graph version.",
 		func() float64 { return float64(e.store.Current().G.N()) })
