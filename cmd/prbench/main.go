@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -55,7 +57,7 @@ func main() {
 		extras := []func(*harness.BenchReport){
 			queryBench(*scale, *threads), ingestBench(*scale, *threads),
 			keyedBench(*scale, *threads), growthBench(*scale, *threads),
-			durabilityBench(*scale, *threads),
+			durabilityBench(*scale, *threads), replicationBench(*scale, *threads),
 		}
 		if err := harness.RunBenchJSON(*bjson, *scale, *reps, matrix, extras...); err != nil {
 			fmt.Fprintf(os.Stderr, "prbench: benchjson: %v\n", err)
@@ -683,6 +685,176 @@ func durabilityBench(scale float64, threads int) func(*harness.BenchReport) {
 		fmt.Fprintf(os.Stderr,
 			"benchjson: durability %-10s cold %.1fms warm %.1fms (%.1fx, %d replayed)  applies %s %.0f/s vs unlogged %.0f/s (%.2fx cost)\n",
 			spec.Name, coldMs, warmMs, r.WarmSpeedup, replayed, fsync, loggedSec, unloggedSec, r.LoggedOverhead)
+	}
+}
+
+// replicationBench contributes the replication section of the benchjson
+// report on a 65k web graph: a durable writer streaming its WAL over a real
+// loopback HTTP listener to one replica. It measures the snapshot bootstrap
+// time, the per-apply replication lag (writer Apply returns → the replica
+// has applied that record, the full append→frame→stream→decode→apply path),
+// the feed's catch-up throughput on a back-to-back burst, and the final
+// rank divergence between the two engines at the same version.
+func replicationBench(scale float64, threads int) func(*harness.BenchReport) {
+	return func(rep *harness.BenchReport) {
+		ctx := context.Background()
+		fail := func(err error) { fmt.Fprintf(os.Stderr, "prbench: replicationbench: %v\n", err) }
+		n := int(float64(1<<16) * scale)
+		if n < 1<<12 {
+			n = 1 << 12
+		}
+		spec := gen.Spec{Name: "web-65k", Class: gen.Web, N: n, Deg: 12, Seed: 42}
+		d := spec.Build()
+		nv, edges := exutil.Flatten(d)
+		tol := 1e-3 / float64(nv)
+		opts := func(extra ...dfpr.Option) []dfpr.Option {
+			return append([]dfpr.Option{
+				dfpr.WithThreads(threads),
+				dfpr.WithTolerance(tol),
+				dfpr.WithFrontierTolerance(tol),
+			}, extra...)
+		}
+		dir, err := os.MkdirTemp("", "dfpr-bench-repl-")
+		if err != nil {
+			fail(err)
+			return
+		}
+		defer os.RemoveAll(dir)
+		writer, err := dfpr.New(nv, edges, opts(dfpr.WithDurability(dir), dfpr.WithFsync(dfpr.FsyncBatched(0)))...)
+		if err != nil {
+			fail(err)
+			return
+		}
+		defer writer.Close()
+		if _, err := writer.Rank(ctx); err != nil {
+			fail(err)
+			return
+		}
+
+		// The feed over a real loopback listener, so the lag numbers include
+		// the HTTP streaming path a production replica pays.
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /v1/feed", func(w http.ResponseWriter, r *http.Request) {
+			if f := writer.Feed(); f != nil {
+				f.ServeHTTP(w, r)
+				return
+			}
+			http.Error(w, "no feed", http.StatusServiceUnavailable)
+		})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fail(err)
+			return
+		}
+		hs := &http.Server{Handler: mux}
+		go hs.Serve(l)
+		defer hs.Close()
+
+		t0 := time.Now()
+		replica, err := dfpr.StartReplica(ctx, "http://"+l.Addr().String(), opts()...)
+		if err != nil {
+			fail(err)
+			return
+		}
+		defer replica.Close()
+		reng := replica.Engine()
+		if err := reng.WaitVersion(ctx, writer.Version()); err != nil {
+			fail(err)
+			return
+		}
+		bootstrapMs := time.Since(t0).Seconds() * 1e3
+
+		const batchEdges = 10
+		applies := 200
+		if scale < 1 {
+			applies = 80
+		}
+		batches := make([]batch.Update, 64)
+		for i := range batches {
+			batches[i] = batch.Random(d, batchEdges, int64(3000+i))
+		}
+		lags := make([]time.Duration, 0, applies)
+		for i := 0; i < applies; i++ {
+			up := batches[i%len(batches)]
+			seq, err := writer.Apply(ctx, exutil.Convert(up.Del), exutil.Convert(up.Ins))
+			if err != nil {
+				fail(err)
+				return
+			}
+			a0 := time.Now()
+			if err := reng.WaitVersion(ctx, seq); err != nil {
+				fail(err)
+				return
+			}
+			lags = append(lags, time.Since(a0))
+		}
+
+		// Catch-up throughput: a back-to-back burst with no per-record waits,
+		// timed from the first apply until the replica holds the last record.
+		burst := 512
+		if scale < 1 {
+			burst = 128
+		}
+		b0 := time.Now()
+		var last uint64
+		for i := 0; i < burst; i++ {
+			up := batches[(applies+i)%len(batches)]
+			if last, err = writer.Apply(ctx, exutil.Convert(up.Del), exutil.Convert(up.Ins)); err != nil {
+				fail(err)
+				return
+			}
+		}
+		if err := reng.WaitVersion(ctx, last); err != nil {
+			fail(err)
+			return
+		}
+		recSec := float64(burst) / time.Since(b0).Seconds()
+
+		// Final divergence at a common version: both sides ranked at `last`.
+		if _, err := writer.Rank(ctx); err != nil {
+			fail(err)
+			return
+		}
+		if err := reng.WaitRanked(ctx, last); err != nil {
+			fail(err)
+			return
+		}
+		wv, err := writer.ViewAt(last)
+		if err != nil {
+			fail(err)
+			return
+		}
+		rv, err := reng.ViewAt(last)
+		if err != nil {
+			fail(err)
+			return
+		}
+		var linf float64
+		wv.Range(func(u uint32, s float64) bool {
+			rs, _ := rv.ScoreOf(u)
+			if diff := s - rs; diff > linf {
+				linf = diff
+			} else if -diff > linf {
+				linf = -diff
+			}
+			return true
+		})
+
+		r := harness.ReplicationResult{
+			Graph: spec.Name, Vertices: nv, Edges: d.M(),
+			BootstrapMs:  bootstrapMs,
+			Applies:      applies,
+			LagP50Ms:     percentile(lags, 0.50).Seconds() * 1e3,
+			LagP99Ms:     percentile(lags, 0.99).Seconds() * 1e3,
+			BurstRecords: burst,
+			RecordsSec:   recSec,
+			LInf:         linf,
+			Tol:          tol,
+		}
+		rep.Replication = append(rep.Replication, r)
+		fmt.Fprintf(os.Stderr,
+			"benchjson: replication %-10s bootstrap %.1fms  lag p50 %.2fms p99 %.2fms  burst %.0f rec/s  L∞ %.1e\n",
+			spec.Name, r.BootstrapMs, r.LagP50Ms, r.LagP99Ms, r.RecordsSec, r.LInf)
 	}
 }
 

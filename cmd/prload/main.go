@@ -18,6 +18,12 @@
 //
 //	prload -addr localhost:8080 -duration 10s -read-qps 400 -write-qps 40
 //	prload -addr localhost:8080 -keyed -n 65536 -out latency.json
+//
+// Against a replication cluster, -read-addrs spreads the read traffic over
+// the listed replicas (writes keep targeting -addr — typically the writer,
+// though any node proxies them to the leader):
+//
+//	prload -addr localhost:8081 -read-addrs localhost:8082,localhost:8083
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -38,7 +45,8 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "localhost:8080", "prserve host:port")
+		addr     = flag.String("addr", "localhost:8080", "prserve host:port (the write target)")
+		readAddr = flag.String("read-addrs", "", "comma-separated host:port list reads are spread over in addition to -addr (cluster replicas)")
 		duration = flag.Duration("duration", 10*time.Second, "how long to drive load")
 		readQPS  = flag.Float64("read-qps", 400, "offered read rate (rank + topk)")
 		writeQPS = flag.Float64("write-qps", 40, "offered write rate (apply batches)")
@@ -54,9 +62,20 @@ func main() {
 	flag.Parse()
 
 	base := "http://" + *addr
+	// Reads fan out over every listed address (the write target included);
+	// writes stay on -addr, whose node proxies them to the leader if it is a
+	// replica.
+	readBases := []string{base}
+	for _, a := range strings.Split(*readAddr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			readBases = append(readBases, "http://"+a)
+		}
+	}
 	client := &http.Client{Timeout: 30 * time.Second}
-	if err := waitHealthy(client, base, 10*time.Second); err != nil {
-		fatalf("%v", err)
+	for _, b := range readBases {
+		if err := waitHealthy(client, b, 10*time.Second); err != nil {
+			fatalf("%v", err)
+		}
 	}
 
 	var wg sync.WaitGroup
@@ -71,7 +90,7 @@ func main() {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(w)))
 			drive(client, stopAt, *readQPS/float64(*workers), readCols[w], func() error {
-				return doRead(client, base, rng, *nVerts, *topkFrac, *k, *keyed)
+				return doRead(client, readBases[rng.Intn(len(readBases))], rng, *nVerts, *topkFrac, *k, *keyed)
 			})
 		}(w)
 		go func(w int) {
@@ -236,15 +255,15 @@ type classSummary struct {
 }
 
 type metricsSummary struct {
-	ScrapeOK         bool    `json:"scrape_ok"`
-	ScrapeError      string  `json:"scrape_error,omitempty"`
-	Series           int     `json:"series,omitempty"`
-	HTTPRequests     float64 `json:"http_requests_total,omitempty"`
-	IngestRounds     float64 `json:"ingest_rounds_total,omitempty"`
-	CoalescedEdits   float64 `json:"ingest_coalesced_edits_total,omitempty"`
-	RankRefreshes    float64 `json:"rank_refreshes_total,omitempty"`
-	GraphVersion     float64 `json:"graph_version,omitempty"`
-	PublishObserved  float64 `json:"publish_to_ranked_count,omitempty"`
+	ScrapeOK        bool    `json:"scrape_ok"`
+	ScrapeError     string  `json:"scrape_error,omitempty"`
+	Series          int     `json:"series,omitempty"`
+	HTTPRequests    float64 `json:"http_requests_total,omitempty"`
+	IngestRounds    float64 `json:"ingest_rounds_total,omitempty"`
+	CoalescedEdits  float64 `json:"ingest_coalesced_edits_total,omitempty"`
+	RankRefreshes   float64 `json:"rank_refreshes_total,omitempty"`
+	GraphVersion    float64 `json:"graph_version,omitempty"`
+	PublishObserved float64 `json:"publish_to_ranked_count,omitempty"`
 }
 
 type summary struct {

@@ -34,6 +34,19 @@
 //	curl localhost:8080/v1/stats
 //	curl localhost:8080/metrics              # Prometheus text exposition
 //
+// With -cluster-node the process joins a replication cluster: the nodes
+// race for the writer lease in the shared -data directory, the winner
+// serves writes and streams its WAL from /v1/feed, and the others follow
+// as read replicas. A replica proxies POST /v1/apply to the leader, so any
+// node's URL accepts the full surface; when the writer dies, a replica
+// promotes itself within the lease TTL and resumes the sequence. All nodes
+// of one cluster must share -data (a shared filesystem) and list the same
+// -cluster-peers:
+//
+//	prserve -gen web -data /shared/dfpr -addr :8081 \
+//	  -cluster-node a -cluster-self http://127.0.0.1:8081 \
+//	  -cluster-peers http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083
+//
 // Logs are structured (log/slog) on stderr; -log-format json machine-parses,
 // -log-level debug|info|warn|error filters. -pprof mounts net/http/pprof
 // under /debug/pprof/ for live profiling.
@@ -85,6 +98,11 @@ func main() {
 		logFmt   = flag.String("log-format", "text", "log output format: text|json")
 		logLvl   = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+
+		clusterNode  = flag.String("cluster-node", "", "join a replication cluster under this node id (requires -data and -cluster-self)")
+		clusterSelf  = flag.String("cluster-self", "", "cluster: this node's advertised base URL, e.g. http://127.0.0.1:8081")
+		clusterPeers = flag.String("cluster-peers", "", "cluster: comma-separated base URLs of every node (including self)")
+		leaseTTL     = flag.Duration("lease-ttl", 0, "cluster: writer lease TTL, the failover detection horizon (0 = default 3s)")
 	)
 	flag.Parse()
 
@@ -116,15 +134,27 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		opts = append(opts, dfpr.WithDurability(*data), dfpr.WithFsync(fp), dfpr.WithCheckpointEvery(*ckptN))
-		if warm, err = dfpr.HasDurableState(*data); err != nil {
-			fatalf("probe -data %s: %v", *data, err)
+		opts = append(opts, dfpr.WithFsync(fp), dfpr.WithCheckpointEvery(*ckptN))
+		if *clusterNode == "" {
+			// The cluster wires the directory itself (on the writer only);
+			// standalone durability attaches it here.
+			opts = append(opts, dfpr.WithDurability(*data))
+			if warm, err = dfpr.HasDurableState(*data); err != nil {
+				fatalf("probe -data %s: %v", *data, err)
+			}
 		}
 	}
 	var eng *dfpr.Engine
+	var cl *dfpr.Cluster
 	var nv, ne int
 	var src *exutil.GraphSource
 	switch {
+	case *clusterNode != "":
+		cl, err = joinCluster(*clusterNode, *clusterSelf, *clusterPeers, *data, *leaseTTL, *keyed, *in, *genClass, *n, *deg, *seed, opts, logger)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		eng = cl.Engine()
 	case warm:
 		// The directory holds the authoritative state: skip loading any
 		// input graph — recovery supersedes it.
@@ -148,7 +178,11 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	defer eng.Close()
+	if cl != nil {
+		defer cl.Close() // releases the lease (when held) and closes the engine
+	} else {
+		defer eng.Close()
+	}
 	if src != nil && src.Layout == "csr-compressed" {
 		// The engine exports dfpr_graph_bytes{layout="plain"} for its live
 		// snapshot; when serving from a compressed container, export the
@@ -167,12 +201,16 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if warm {
+	switch {
+	case cl != nil:
+		logger.Info("cluster member ready", "node", *clusterNode,
+			"role", cl.Role().String(), "leader", cl.LeaderURL(), "term", cl.Term())
+	case warm:
 		ds := eng.Stats().Durability
 		logger.Info("warm restart",
 			"data", *data, "version", eng.Version(),
 			"checkpoint", ds.CheckpointSeq, "replayed", ds.ReplayedRecords)
-	} else {
+	default:
 		logger.Info("converging initial ranks", "vertices", nv, "edges", ne)
 	}
 	res, err := eng.Rank(ctx)
@@ -182,9 +220,14 @@ func main() {
 	logger.Info("initial ranks ready",
 		"version", res.Seq, "iterations", res.Iterations, "duration", res.Elapsed)
 
-	srv, err := serve.New(eng,
+	srvOpts := []serve.Option{
 		serve.WithDefaultTopK(*topk), serve.WithSyncApply(*syncW),
-		serve.WithLogger(logger), serve.WithPprof(*pprofOn))
+		serve.WithLogger(logger), serve.WithPprof(*pprofOn),
+	}
+	if cl != nil {
+		srvOpts = append(srvOpts, serve.WithCluster(cl))
+	}
+	srv, err := serve.New(eng, srvOpts...)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -251,6 +294,51 @@ func parsePolicy(name string, quiet, maxLat time.Duration, everyN int) (dfpr.Ran
 	default:
 		return dfpr.RankPolicy{}, fmt.Errorf("prserve: unknown -rank-policy %q (immediate|debounce|every)", name)
 	}
+}
+
+// joinCluster resolves the -cluster-* flags and joins the replication
+// cluster: the seed graph (if any input flags were given) matters only when
+// this node becomes the first-ever writer of a fresh directory — recovered
+// or streamed state supersedes it everywhere else.
+func joinCluster(node, self, peersCSV, data string, ttl time.Duration, keyed bool,
+	in, genClass string, n, deg int, seed int64, opts []dfpr.Option, logger *slog.Logger) (*dfpr.Cluster, error) {
+	if data == "" || self == "" {
+		return nil, fmt.Errorf("prserve: -cluster-node requires -data (the shared directory) and -cluster-self (this node's base URL)")
+	}
+	if keyed {
+		return nil, fmt.Errorf("prserve: -keyed is not supported with -cluster-node (the cluster seeds a dense engine)")
+	}
+	var peers []string
+	for _, p := range strings.Split(peersCSV, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	var seedN int
+	var seedEdges []dfpr.Edge
+	if in != "" || genClass != "" {
+		src, err := loadOrGenerate(in, genClass, n, deg, seed)
+		if err != nil {
+			return nil, err
+		}
+		seedN, seedEdges = src.N, src.Edges
+	}
+	// The join has its own bound: a replica keeps retrying the leader's feed
+	// while the leader's listener comes up, but a misconfigured cluster must
+	// not hang the process forever.
+	jctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return dfpr.JoinCluster(jctx, dfpr.ClusterConfig{
+		NodeID:    node,
+		Dir:       data,
+		SelfURL:   self,
+		Peers:     peers,
+		LeaseTTL:  ttl,
+		Engine:    opts,
+		SeedN:     seedN,
+		SeedEdges: seedEdges,
+		Logger:    logger,
+	})
 }
 
 // openKeyed builds the -keyed serving engine: an open-universe dfpr.Open

@@ -76,6 +76,24 @@
 // ErrDurabilityDegraded wrapping the cause. HasDurableState probes a
 // directory; keyed engines recover with Open, dense ones with New.
 //
+// The WAL doubles as a replication stream. Engine.Feed returns the HTTP
+// handler replicas tail (a checkpoint bootstrap followed by CRC-framed
+// records), and StartReplica dials it to build a read-only follower — a
+// full Engine whose views, watermarks and WaitRanked semantics work
+// unchanged, with writes bouncing as ErrNotWriter and
+// Stats().Replication reporting role, applied sequence and lag. A replica
+// replays the writer's round boundaries, so a follower that keeps pace
+// carries bitwise-identical ranks. JoinCluster adds membership and
+// failover on top: nodes share the durability directory, the writer holds
+// a TTL lease, and when it dies a replica promotes itself — replaying the
+// shared log tail, taking over the feed, and resuming the WAL sequence
+// exactly where the dead writer stopped:
+//
+//	c, err := dfpr.JoinCluster(ctx, dfpr.ClusterConfig{
+//		NodeID: "a", Dir: dir, SelfURL: self, Peers: peers,
+//	})
+//	eng := c.Engine()          // writer or follower, per c.Role()
+//
 // Reads go through Views — immutable, zero-copy handles pinned to one
 // published version, shared by every reader of that version:
 //
@@ -106,9 +124,14 @@
 // ?wait=ranked for read-your-ranks — with per-request version pinning via
 // the X-DFPR-Version header and a graceful drain that flushes the ingest
 // queue); on a keyed engine the surface speaks keys (/v1/rank/{key}, keyed
-// top-k/delta entries, keyed apply edges; ?ids=dense opts out).
+// top-k/delta entries, keyed apply edges; ?ids=dense opts out). Clustered
+// serving rides the same surface: GET /v1/feed streams the WAL,
+// serve.WithCluster makes a replica proxy writes to the current leader,
+// version pins wait at the replica's watermark so read-your-ranks survives
+// fan-out, and /v1/healthz /v1/stats report role and replication lag.
 // cmd/prserve is its ready-made binary (-keyed for string-keyed serving,
-// -data for durable serving with crash-safe warm restarts).
+// -data for durable serving with crash-safe warm restarts, -cluster-node/
+// -cluster-self/-cluster-peers to serve as a cluster member).
 //
 // Every engine is observable without dependencies: Engine.Metrics returns
 // a telemetry registry (stdlib-only counters, gauges and histograms —
@@ -142,6 +165,8 @@
 //	                   instrumented barriers, abortable work pools
 //	internal/fault     thread delay, crash-stop and filesystem-I/O injection
 //	internal/wal       write-ahead log segments + checkpoint files
+//	internal/repl      WAL feed streaming, replica client, writer lease,
+//	                   peer health polling
 //	internal/traverse  reachability marking for the DT baseline
 //	internal/topk      top-k selection kernel, norms, geometric means, tables
 //	internal/telemetry metrics registry + Prometheus exposition encoder/parser
@@ -173,6 +198,9 @@
 // frontier scans; WithBlockBytes sizes them), all eight variants pinned
 // L∞ ≤ 1e-12 against the unblocked sweeps; and a threads section records
 // the multi-core scaling matrix with host CPU and GOMAXPROCS metadata.
+// BENCH_PR10.json adds the replication numbers: replica bootstrap time,
+// per-apply replication lag percentiles over a real loopback stream, and
+// the feed's catch-up throughput on a backlogged burst.
 //
 // Binaries (all built on the public API): cmd/prbench regenerates every
 // table and figure (and, with -benchjson, records kernel, snapshot,

@@ -41,6 +41,10 @@ type durability struct {
 	replayed   int // tail records replayed at recovery (diagnostic)
 }
 
+// durable returns the engine's durability sidecar, nil while the engine has
+// none (volatile engines, and followers until promotion installs it).
+func (e *Engine) durable() *durability { return e.dur.Load() }
+
 // HasDurableState reports whether dir holds recoverable engine state from a
 // previous WithDurability run — the probe cmd/prserve uses to skip loading
 // an input graph when a warm restart will supersede it anyway.
@@ -91,7 +95,7 @@ func seedDurable(n int, edges []Edge, st settings, log *wal.Log) (*Engine, error
 	if e.keys != nil {
 		d.keysLogged = e.keys.Len()
 	}
-	e.dur = d
+	e.dur.Store(d)
 	e.initDurabilityTelemetry()
 	cur := e.store.Current()
 	ckpt := &wal.State{Seq: cur.Seq, Graph: cur.G}
@@ -135,7 +139,7 @@ func recoverDurable(st settings, log *wal.Log, rec *wal.Recovered) (*Engine, err
 	}
 	e.initTelemetry(st.tel)
 	d := &durability{log: log, ckptEvery: uint64(st.ckptEvery)}
-	e.dur = d
+	e.dur.Store(d)
 	e.initDurabilityTelemetry()
 	d.noteCheckpoint(ck.Seq)
 	if st.keyed {
@@ -214,7 +218,7 @@ func recoverDurable(st settings, log *wal.Log, rec *wal.Recovered) (*Engine, err
 // surfaces ErrDurabilityDegraded. Callers hold e.closeMu.RLock with
 // applyble true, exactly like the direct store.Apply they replace.
 func (e *Engine) storeApply(up batch.Update) *snapshot.Version {
-	d := e.dur
+	d := e.durable()
 	if d == nil {
 		before := e.store.Current().G.N()
 		e.met.notePublished(before, up.Universe(before))
@@ -250,7 +254,7 @@ func (e *Engine) storeApply(up batch.Update) *snapshot.Version {
 // snapshots only immutable data (the view's CSR, rank vector, and the
 // append-only key prefix), so it runs without any engine lock.
 func (e *Engine) maybeCheckpointLocked(v *View) {
-	d := e.dur
+	d := e.durable()
 	if d.recovering.Load() && v.seq >= d.recoverTip {
 		d.recovering.Store(false)
 	}
@@ -303,7 +307,7 @@ func (d *durability) noteCheckpoint(seq uint64) {
 // for tests, for pre-shutdown compaction, and for callers that just applied
 // a bulk load they do not want to replay ever again.
 func (e *Engine) Checkpoint() error {
-	d := e.dur
+	d := e.durable()
 	if d == nil {
 		return fmt.Errorf("dfpr: engine has no durability directory (WithDurability)")
 	}
@@ -332,5 +336,6 @@ func (e *Engine) Checkpoint() error {
 // replayed tip. Reads serve the checkpointed version meanwhile; the serve
 // layer rejects writes with 503 while this holds.
 func (e *Engine) Recovering() bool {
-	return e.dur != nil && e.dur.recovering.Load()
+	d := e.durable()
+	return d != nil && d.recovering.Load()
 }

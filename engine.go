@@ -10,6 +10,7 @@ import (
 	"dfpr/internal/core"
 	"dfpr/internal/graph"
 	"dfpr/internal/keymap"
+	"dfpr/internal/repl"
 	"dfpr/internal/snapshot"
 	"dfpr/internal/telemetry"
 )
@@ -114,8 +115,21 @@ type Engine struct {
 
 	// dur is the durability sidecar (nil without WithDurability): the WAL
 	// every published round is logged to ahead of publication, plus the
-	// checkpoint machinery and recovery state. See durable.go.
-	dur *durability
+	// checkpoint machinery and recovery state. It is atomic because a
+	// follower promoted to writer (cluster.go) installs it on a live engine
+	// while readers inspect it concurrently. See durable.go.
+	dur atomic.Pointer[durability]
+
+	// Replication state (cluster.go). follower is true while the engine
+	// applies streamed rounds instead of accepting writes — public writes
+	// bounce with ErrNotWriter until promotion clears it. replStats is the
+	// provider a Replica or Cluster installs for Stats().Replication;
+	// replTel guards the one-time registration of its gauges. feed is the
+	// lazily built WAL streaming handler of a durable engine.
+	follower  atomic.Bool
+	replStats atomic.Pointer[func() ReplicationStats]
+	replTel   sync.Once
+	feed      atomic.Pointer[repl.Feed]
 
 	// met is the engine's telemetry (never nil): hot-path instruments the
 	// write path observes lock-free, plus the registry /metrics serves. See
@@ -212,6 +226,9 @@ func (e *Engine) Apply(ctx context.Context, del, ins []Edge) (uint64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, fmt.Errorf("dfpr: apply aborted: %w", err)
 	}
+	if err := e.errIfFollower(); err != nil {
+		return 0, err
+	}
 	return e.applyInternal(batch.Update{Del: toInternal(del), Ins: toInternal(ins)})
 }
 
@@ -231,7 +248,20 @@ func (e *Engine) Grow(ctx context.Context, n int) (uint64, error) {
 	if n < 0 {
 		return 0, fmt.Errorf("dfpr: negative vertex count %d", n)
 	}
+	if err := e.errIfFollower(); err != nil {
+		return 0, err
+	}
 	return e.applyInternal(batch.Update{N: n})
+}
+
+// errIfFollower rejects public writes on a follower engine: a replica's
+// graph is the writer's WAL replayed, so local mutations would fork it.
+// Callers route writes to the leader instead (the serve layer proxies them).
+func (e *Engine) errIfFollower() error {
+	if e.follower.Load() {
+		return ErrNotWriter
+	}
+	return nil
 }
 
 // applyInternal publishes one converted batch, excluding a concurrent Close
@@ -473,10 +503,11 @@ func (e *Engine) Stats() Stats {
 		Refreshes:      int(e.refreshes.Load()),
 		Rebuilds:       int(e.rebuilds.Load()),
 		QueuedEdits:    queued,
+		QueueBound:     e.opts.queue,
 		IngestRounds:   e.ingestRounds.Load(),
 		CoalescedEdits: e.ingestCoalesced.Load(),
 	}
-	if d := e.dur; d != nil {
+	if d := e.durable(); d != nil {
 		ls := d.log.Stats()
 		s.Durability = DurabilityStats{
 			Enabled:         true,
@@ -490,6 +521,9 @@ func (e *Engine) Stats() Stats {
 		if ls.Err != nil {
 			s.Durability.Err = fmt.Errorf("%w: %w", ErrDurabilityDegraded, ls.Err)
 		}
+	}
+	if f := e.replStats.Load(); f != nil {
+		s.Replication = (*f)()
 	}
 	return s
 }
@@ -549,7 +583,7 @@ func (e *Engine) Close() error {
 		close(sub.ch)
 	}
 	e.subMu.Unlock()
-	if d := e.dur; d != nil {
+	if d := e.durable(); d != nil {
 		// Durable teardown: wait out an in-flight background checkpoint,
 		// then flush and close the log — Close is the last fsync barrier, so
 		// everything applied before it survives a subsequent crash. The

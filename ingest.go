@@ -159,6 +159,9 @@ type flushReq struct {
 // to retry later. A submission larger than the whole bound can never be
 // accepted.
 func (e *Engine) Submit(ctx context.Context, del, ins []Edge) (*Ticket, error) {
+	if err := e.errIfFollower(); err != nil {
+		return nil, err
+	}
 	return e.submitInternal(ctx, toInternal(del), toInternal(ins))
 }
 
@@ -220,11 +223,11 @@ func (e *Engine) Flush(ctx context.Context) error {
 	e.wakeIngest()
 	select {
 	case <-f.done:
-		if f.err == nil && e.dur != nil {
+		if d := e.durable(); f.err == nil && d != nil {
 			// A drain is a durability barrier too: under batched fsync the
 			// drained rounds may still sit in the page cache — force them
 			// down so "Flush returned" means "survives a crash".
-			if err := e.dur.log.Sync(); err != nil {
+			if err := d.log.Sync(); err != nil {
 				return fmt.Errorf("%w: %w", ErrDurabilityDegraded, err)
 			}
 		}

@@ -68,6 +68,42 @@ type BenchReport struct {
 	// logged against unlogged apply throughput. Filled by a cmd/prbench
 	// extra.
 	Durability []DurabilityResult `json:"durability,omitempty"`
+	// Replication holds the WAL-streaming replica measurement: snapshot
+	// bootstrap time, per-apply replication lag percentiles (writer apply
+	// returns → replica has applied the record), catch-up feed throughput,
+	// and the final rank divergence between writer and replica. Filled by a
+	// cmd/prbench extra.
+	Replication []ReplicationResult `json:"replication,omitempty"`
+}
+
+// ReplicationResult reports one writer→replica streaming run. The lag
+// percentiles time the full path — WAL append, feed frame, HTTP stream,
+// replica decode and apply — per record under a paced write load; the
+// burst numbers measure the feed's sustained catch-up throughput when the
+// replica trails by many records.
+type ReplicationResult struct {
+	Graph    string `json:"graph"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	// BootstrapMs is StartReplica → caught up with the writer's version:
+	// checkpoint snapshot transfer plus tail replay plus the first rank.
+	BootstrapMs float64 `json:"bootstrap_ms"`
+	// Applies paced writes were timed one by one; the percentiles are the
+	// apply-visible replication lag.
+	Applies  int     `json:"applies"`
+	LagP50Ms float64 `json:"apply_lag_p50_ms"`
+	LagP99Ms float64 `json:"apply_lag_p99_ms"`
+	// BurstRecords were applied back-to-back with no waiting; RecordsSec is
+	// how fast the replica streamed and applied that backlog.
+	BurstRecords int     `json:"burst_records"`
+	RecordsSec   float64 `json:"feed_records_per_sec"`
+	// LInf is the final rank divergence writer vs replica at the same
+	// version. A replica that kept pace replays the writer's exact refresh
+	// schedule and lands bitwise-equal; one that span-coalesced a backlog
+	// (as the burst above forces) takes a different incremental trajectory
+	// and may differ up to the solver tolerance Tol — never more.
+	LInf float64 `json:"final_linf_vs_writer"`
+	Tol  float64 `json:"tolerance"`
 }
 
 // DurabilityResult reports the durability subsystem's two headline numbers

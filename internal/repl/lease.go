@@ -1,0 +1,197 @@
+package repl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Writer election is a lease file in the shared durability directory — the
+// same idiom metallb uses for its controller lease, reduced to a filesystem
+// all cluster nodes already share (they replay each other's WAL from it).
+// The holder renews on a timer; a lease not renewed within its TTL is
+// expired, and an expired lease may be stolen. Stealers serialize through
+// an O_EXCL lock file so exactly one of them writes the next term, and a
+// stale lock (a stealer that died mid-steal) is itself reaped after a TTL.
+//
+// The usual lease caveat applies: expiry compares the holder's last renew
+// stamp against the local clock, so nodes sharing the directory should
+// share a clock (one host, or NFS with synced time). A deposed writer that
+// was merely paused can discover its deposition one renew period late; it
+// responds by fencing its log (wal.Log.Fence), never writing again to
+// segment files the new term owns. A kill -9'd writer — the case the
+// failover test drills — has no such window.
+
+const (
+	leaseFile     = "cluster-lease.json"
+	leaseLockFile = "cluster-lease.lock"
+	// DefaultLeaseTTL is the election lease time-to-live; renewals run at a
+	// third of it.
+	DefaultLeaseTTL = 3 * time.Second
+)
+
+// ErrDeposed reports that the lease is now held by another node: the caller
+// was the writer and must stop writing immediately.
+var ErrDeposed = errors.New("repl: lease lost to another holder")
+
+// LeaseInfo is the lease file's content.
+type LeaseInfo struct {
+	// Holder is the owning node's ID and URL its advertised base URL —
+	// where replicas find the writer's feed.
+	Holder string `json:"holder"`
+	URL    string `json:"url"`
+	// Term increments on every change of holder; a fencing token.
+	Term uint64 `json:"term"`
+	// Renewed is the holder's last renewal time; the lease expires TTL
+	// after it.
+	Renewed time.Time     `json:"renewed"`
+	TTL     time.Duration `json:"ttl"`
+}
+
+// Expired reports whether the lease has gone unrenewed past its TTL.
+func (i LeaseInfo) Expired(now time.Time) bool {
+	ttl := i.TTL
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	return now.Sub(i.Renewed) > ttl
+}
+
+// Lease is one node's handle on the election.
+type Lease struct {
+	// Dir is the shared durability directory; ID this node's identity; URL
+	// its advertised base URL; TTL the lease time-to-live (DefaultLeaseTTL
+	// when zero).
+	Dir string
+	ID  string
+	URL string
+	TTL time.Duration
+}
+
+func (l *Lease) ttl() time.Duration {
+	if l.TTL <= 0 {
+		return DefaultLeaseTTL
+	}
+	return l.TTL
+}
+
+// RenewEvery is the cadence a holder should call Renew at.
+func (l *Lease) RenewEvery() time.Duration { return l.ttl() / 3 }
+
+// Read returns the current lease, reporting ok=false when none exists. A
+// corrupt lease file reads as an expired lease so the cluster can recover
+// by stealing it.
+func (l *Lease) Read() (LeaseInfo, bool, error) {
+	b, err := os.ReadFile(filepath.Join(l.Dir, leaseFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return LeaseInfo{}, false, nil
+		}
+		return LeaseInfo{}, false, fmt.Errorf("repl: read lease: %w", err)
+	}
+	var info LeaseInfo
+	if err := json.Unmarshal(b, &info); err != nil {
+		return LeaseInfo{Renewed: time.Time{}, TTL: l.ttl()}, true, nil
+	}
+	return info, true, nil
+}
+
+// TryAcquire attempts to take or keep the lease. It returns true when this
+// node holds the lease on return (acquiring it fresh, stealing it expired,
+// or renewing its own); false with the blocking lease otherwise.
+func (l *Lease) TryAcquire() (bool, LeaseInfo, error) {
+	if err := os.MkdirAll(l.Dir, 0o755); err != nil {
+		return false, LeaseInfo{}, fmt.Errorf("repl: %w", err)
+	}
+	now := time.Now()
+	info, ok, err := l.Read()
+	if err != nil {
+		return false, info, err
+	}
+	if ok && info.Holder == l.ID {
+		if err := l.Renew(); err != nil {
+			return false, info, err
+		}
+		info.Renewed = now
+		return true, info, nil
+	}
+	if ok && !info.Expired(now) {
+		return false, info, nil
+	}
+
+	// Absent or expired: serialize with competing stealers.
+	lock := filepath.Join(l.Dir, leaseLockFile)
+	lf, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			// Another stealer holds the lock — unless it died mid-steal, in
+			// which case the lock itself is reaped once stale.
+			if fi, serr := os.Stat(lock); serr == nil && now.Sub(fi.ModTime()) > l.ttl() {
+				_ = os.Remove(lock)
+			}
+			return false, info, nil
+		}
+		return false, info, fmt.Errorf("repl: lock lease: %w", err)
+	}
+	_, _ = lf.WriteString(l.ID)
+	_ = lf.Close()
+	defer os.Remove(lock)
+
+	// Re-check under the lock: the holder may have renewed, or another
+	// stealer may have won just before us.
+	if cur, ok2, rerr := l.Read(); rerr != nil {
+		return false, info, rerr
+	} else if ok2 && cur.Holder != l.ID && !cur.Expired(time.Now()) {
+		return false, cur, nil
+	}
+	next := LeaseInfo{Holder: l.ID, URL: l.URL, Term: info.Term + 1, Renewed: time.Now(), TTL: l.ttl()}
+	if err := l.write(next); err != nil {
+		return false, info, err
+	}
+	return true, next, nil
+}
+
+// Renew refreshes the lease this node holds; ErrDeposed when another node
+// took it.
+func (l *Lease) Renew() error {
+	info, ok, err := l.Read()
+	if err != nil {
+		return err
+	}
+	if !ok || info.Holder != l.ID {
+		return ErrDeposed
+	}
+	info.Renewed = time.Now()
+	info.URL = l.URL
+	return l.write(info)
+}
+
+// Release drops the lease if this node holds it, letting a successor
+// acquire without waiting out the TTL. Best-effort.
+func (l *Lease) Release() {
+	info, ok, err := l.Read()
+	if err != nil || !ok || info.Holder != l.ID {
+		return
+	}
+	_ = os.Remove(filepath.Join(l.Dir, leaseFile))
+}
+
+// write lands the lease atomically: temp file, rename.
+func (l *Lease) write(info LeaseInfo) error {
+	b, err := json.Marshal(info)
+	if err != nil {
+		return fmt.Errorf("repl: encode lease: %w", err)
+	}
+	tmp := filepath.Join(l.Dir, leaseFile+".tmp."+l.ID)
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("repl: write lease: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.Dir, leaseFile)); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("repl: install lease: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package repl
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Membership is a static peer list plus liveness heartbeats, in the spirit
+// of metallb's speakerlist: every node knows every node's URL up front, and
+// each polls the others' /v1/healthz to learn who is up and what role and
+// watermark they report. There is no dynamic join protocol — replicas are
+// added by restarting them with a longer -cluster-peers list — which keeps
+// membership a pure observation problem and leaves safety entirely to the
+// lease.
+
+// DefaultHeartbeatEvery is the peer liveness polling cadence.
+const DefaultHeartbeatEvery = time.Second
+
+// PeerStatus is the last observation of one peer.
+type PeerStatus struct {
+	URL string
+	// Alive reports the last probe succeeded; LastSeen is when a probe last
+	// succeeded.
+	Alive    bool
+	LastSeen time.Time
+	// Role, Seq and LagSeq echo the peer's healthz: its writer/replica role,
+	// rank version watermark, and replication lag.
+	Role   string
+	Seq    uint64
+	LagSeq uint64
+}
+
+// peerHealthz is the subset of the serve healthz body peers care about.
+type peerHealthz struct {
+	Role   string `json:"role"`
+	LagSeq uint64 `json:"replication_lag_seq"`
+}
+
+// Peers polls a static membership list.
+type Peers struct {
+	self  string
+	urls  []string // peers excluding self, sorted
+	all   []string // full membership including self, sorted
+	every time.Duration
+	hc    *http.Client
+
+	mu   sync.Mutex
+	st   map[string]*PeerStatus
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewPeers builds a poller for the membership urls (self included or not;
+// it is excluded from polling either way).
+func NewPeers(self string, urls []string, every time.Duration) *Peers {
+	if every <= 0 {
+		every = DefaultHeartbeatEvery
+	}
+	all := append([]string(nil), urls...)
+	if !contains(all, self) {
+		all = append(all, self)
+	}
+	sort.Strings(all)
+	p := &Peers{
+		self:  self,
+		all:   all,
+		every: every,
+		hc:    &http.Client{Timeout: every},
+		st:    make(map[string]*PeerStatus),
+	}
+	for _, u := range all {
+		if u != self {
+			p.urls = append(p.urls, u)
+			p.st[u] = &PeerStatus{URL: u}
+		}
+	}
+	return p
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// SelfIndex is this node's position in the sorted membership — the basis
+// for staggering election attempts so stealers do not stampede.
+func (p *Peers) SelfIndex() int {
+	for i, u := range p.all {
+		if u == p.self {
+			return i
+		}
+	}
+	return 0
+}
+
+// Start begins polling; Stop ends it.
+func (p *Peers) Start() {
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go p.loop()
+}
+
+func (p *Peers) Stop() {
+	if p.stop != nil {
+		close(p.stop)
+		<-p.done
+		p.stop = nil
+	}
+}
+
+// Snapshot returns the latest observation of every peer, sorted by URL.
+func (p *Peers) Snapshot() []PeerStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PeerStatus, 0, len(p.urls))
+	for _, u := range p.urls {
+		out = append(out, *p.st[u])
+	}
+	return out
+}
+
+func (p *Peers) loop() {
+	defer close(p.done)
+	t := time.NewTicker(p.every)
+	defer t.Stop()
+	p.pollAll()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.pollAll()
+		}
+	}
+}
+
+func (p *Peers) pollAll() {
+	var wg sync.WaitGroup
+	for _, u := range p.urls {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			p.poll(url)
+		}(u)
+	}
+	wg.Wait()
+}
+
+func (p *Peers) poll(url string) {
+	resp, err := p.hc.Get(url + "/v1/healthz")
+	if err != nil {
+		p.note(url, func(s *PeerStatus) { s.Alive = false })
+		return
+	}
+	defer resp.Body.Close()
+	var h peerHealthz
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK || json.Unmarshal(body, &h) != nil {
+		p.note(url, func(s *PeerStatus) { s.Alive = false })
+		return
+	}
+	var seq uint64
+	if v := resp.Header.Get("X-DFPR-Version"); v != "" {
+		json.Unmarshal([]byte(v), &seq) // plain decimal; ignore failure
+	}
+	now := time.Now()
+	p.note(url, func(s *PeerStatus) {
+		s.Alive = true
+		s.LastSeen = now
+		s.Role = h.Role
+		s.LagSeq = h.LagSeq
+		s.Seq = seq
+	})
+}
+
+func (p *Peers) note(url string, f func(*PeerStatus)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f(p.st[url])
+}

@@ -17,6 +17,9 @@ type FS interface {
 	MkdirAll(dir string) error
 	ReadDir(dir string) ([]string, error)
 	ReadFile(name string) ([]byte, error)
+	// ReadFileFrom reads name from byte offset off to its current end — the
+	// incremental read a live segment follower performs on each wakeup.
+	ReadFileFrom(name string, off int64) ([]byte, error)
 	// OpenAppend opens name for appending, creating it if absent.
 	OpenAppend(name string) (File, error)
 	// Create truncates or creates name for writing.
@@ -58,6 +61,18 @@ func (osFS) ReadDir(dir string) ([]string, error) {
 }
 
 func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) ReadFileFrom(name string, off int64) ([]byte, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return io.ReadAll(f)
+}
 
 func (osFS) OpenAppend(name string) (File, error) {
 	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

@@ -90,14 +90,15 @@ type Log struct {
 	fs   FS
 	opts Options
 
-	mu    sync.Mutex
-	f     File
-	base  uint64 // active segment's base sequence
-	size  int64
-	seq   uint64
-	dirty bool
-	cause error // sticky degradation cause
-	buf   []byte
+	mu     sync.Mutex
+	f      File
+	base   uint64 // active segment's base sequence
+	size   int64
+	seq    uint64
+	dirty  bool
+	cause  error // sticky degradation cause
+	buf    []byte
+	notify chan struct{} // closed on append to wake AppendWait followers
 
 	ckptMu sync.Mutex // serialises WriteCheckpoint
 
@@ -305,6 +306,7 @@ func (l *Log) Append(r *Record) error {
 	l.size += int64(n)
 	l.seq = r.Seq
 	l.dirty = true
+	l.notifyLocked()
 	if l.opts.Mode == SyncAlways {
 		return l.syncLocked()
 	}
@@ -491,6 +493,7 @@ func (l *Log) Close() error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.notifyLocked()
 	err := l.cause
 	if err == nil {
 		err = l.syncLocked()

@@ -77,6 +77,11 @@ func (e *Engine) Keys() int {
 // through the same coalescing ingest pipeline as Submit, so keyed and
 // dense submissions coalesce into the same rounds.
 func (e *Engine) SubmitKeyed(ctx context.Context, del, ins []KeyEdge) (*Ticket, error) {
+	// The follower check precedes interning: ids are permanent, so a
+	// rejected write must not grow the key space either.
+	if err := e.errIfFollower(); err != nil {
+		return nil, err
+	}
 	gdel, gins, err := e.internKeyed(del, ins)
 	if err != nil {
 		return nil, err
@@ -90,6 +95,9 @@ func (e *Engine) SubmitKeyed(ctx context.Context, del, ins []KeyEdge) (*Ticket, 
 func (e *Engine) ApplyKeyed(ctx context.Context, del, ins []KeyEdge) (uint64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, fmt.Errorf("dfpr: apply aborted: %w", err)
+	}
+	if err := e.errIfFollower(); err != nil {
+		return 0, err
 	}
 	gdel, gins, err := e.internKeyed(del, ins)
 	if err != nil {

@@ -44,6 +44,13 @@ var ErrQueueFull = errors.New("dfpr: ingest queue full")
 // queued or being coalesced — before Ticket.Done has closed.
 var ErrPending = errors.New("dfpr: submission not applied yet")
 
+// ErrNotWriter is returned by the write API (Apply, Submit and their keyed
+// forms, Grow) on a follower engine: a replica's graph is the writer's WAL
+// replayed in order, so local writes would fork it. Route writes to the
+// leader — the serve layer proxies them there automatically. A follower
+// promoted to writer (leader failover) stops returning it.
+var ErrNotWriter = errors.New("dfpr: engine is a replica; writes go to the leader")
+
 // ErrDurabilityDegraded reports that the durability layer has hit a
 // persistent disk failure and stopped logging: the engine keeps applying in
 // memory and serving reads (degradation over outage), but writes since the
@@ -94,8 +101,11 @@ type Stats struct {
 	Refreshes, Rebuilds int
 	// QueuedEdits is the number of edits sitting in the ingest queue right
 	// now — accepted by Submit, not yet drained into a round. The
-	// backpressure gauge a load balancer watches.
+	// backpressure gauge a load balancer watches. QueueBound is the
+	// WithIngestQueue limit those edits press against (0 = unbounded), so
+	// a shedding layer can turn depth into a retry hint.
 	QueuedEdits int
+	QueueBound  int
 	// IngestRounds counts coalescing rounds the pipeline has applied;
 	// CoalescedEdits the edits those rounds carried (after merge). Their
 	// ratio against writes submitted is the amortisation the pipeline won.
@@ -104,6 +114,10 @@ type Stats struct {
 	// Durability is the write-ahead-log state of a WithDurability engine
 	// (zero value, Enabled false, otherwise).
 	Durability DurabilityStats
+	// Replication is the cluster-role state of an engine running as a
+	// replication writer or replica (zero value, Enabled false, on a
+	// standalone engine). See ReplicationStats in cluster.go.
+	Replication ReplicationStats
 }
 
 // DurabilityStats is the durable-state gauge of a WithDurability engine.

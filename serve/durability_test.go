@@ -154,6 +154,46 @@ func TestServeQueueFullRetryAfter(t *testing.T) {
 	}
 }
 
+// TestRetryAfterDerivation pins the shed-path hints: both scale with the
+// actual pressure (queue fullness, replay distance) instead of a constant,
+// and both stay inside the 1..8s band clients can act on.
+func TestRetryAfterDerivation(t *testing.T) {
+	queueCases := []struct {
+		queued, bound int
+		want          string
+	}{
+		{0, 0, "1"},     // unbounded queue: nothing to derive from
+		{500, 0, "1"},   // unbounded queue with depth: still the floor
+		{0, 100, "1"},   // empty queue (bounce off an oversized batch)
+		{25, 100, "1"},  // quarter full
+		{26, 100, "2"},  // just past a quarter: ceil kicks in
+		{50, 100, "2"},  // half full
+		{100, 100, "4"}, // pressed against the bound
+		{150, 100, "6"}, // backlogged past the bound
+		{300, 100, "8"}, // clamp: the hint stays actionable
+	}
+	for _, tc := range queueCases {
+		if got := retryAfterQueue(tc.queued, tc.bound); got != tc.want {
+			t.Errorf("retryAfterQueue(%d, %d) = %q, want %q", tc.queued, tc.bound, got, tc.want)
+		}
+	}
+	recoveryCases := []struct {
+		behind uint64
+		want   string
+	}{
+		{0, "1"},
+		{255, "1"},
+		{256, "2"},
+		{1024, "5"},
+		{100000, "8"}, // clamp
+	}
+	for _, tc := range recoveryCases {
+		if got := retryAfterRecovery(tc.behind); got != tc.want {
+			t.Errorf("retryAfterRecovery(%d) = %q, want %q", tc.behind, got, tc.want)
+		}
+	}
+}
+
 func TestServeDenseStatsOmitDurability(t *testing.T) {
 	s, _ := testServer(t)
 	_, body, _ := do(t, s.Handler(), "GET", "/v1/stats", "", nil)

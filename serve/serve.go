@@ -15,13 +15,30 @@
 //	POST /v1/apply               {"del":[{"u":..,"v":..}],"ins":[…]} → 202 {"version":..,"rank_version":..,"ranked":false}
 //	POST /v1/apply?wait=ranked   same, but 200 once ranks cover the new version
 //	GET  /v1/wait/{seq}          block until ranks (or ?for=applied: the graph) reach seq
-//	GET  /v1/healthz             liveness: {"status":"ok","ready":bool}
+//	GET  /v1/healthz             liveness: {"status":"ok","ready":bool,"role":"writer|replica","replication_lag_seq":n}
 //	GET  /v1/stats               engine + ingest + serving counters
+//	GET  /v1/feed                replication feed: the long-lived WAL stream
+//	                             replicas tail (503 on an engine with no log)
 //	GET  /metrics                Prometheus text exposition: per-endpoint RED
 //	                             metrics plus the engine's ingest, rank and
 //	                             durability series (see internal/telemetry)
 //
 // WithPprof additionally mounts net/http/pprof under /debug/pprof/.
+//
+// # Clusters
+//
+// A server can front any node of a replication cluster (dfpr.JoinCluster,
+// dfpr.StartReplica). The /v1/feed endpoint streams the writer's WAL to
+// replicas; it answers per request, so a replica promoted to writer starts
+// feeding without a restart. healthz and stats report the node's role and
+// replication lag — the fields peers poll for liveness. With WithCluster
+// the write surface follows the leader: a POST /v1/apply landing on a
+// replica is proxied to the current leader and the response (including its
+// X-DFPR-Version) relayed, so clients write anywhere and read their writes
+// everywhere. Versioned reads are watermark-aware: pinning a version the
+// node has not ranked yet parks the request until replication catches up
+// (bounded by WithMaxWait) instead of serving stale ranks — read-your-ranks
+// survives fan-out through any replica.
 //
 // On a keyed engine (dfpr.Open) the read surface speaks external string
 // keys: /v1/rank/{key} resolves the path as a key, topk and delta entries
@@ -47,10 +64,12 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -85,6 +104,11 @@ type Server struct {
 
 	reads  atomic.Int64 // rank/topk/delta requests answered
 	writes atomic.Int64 // apply batches accepted
+
+	// proxy carries replica-received writes to the leader (WithCluster).
+	// Its timeout covers connect+response; the per-request context still
+	// applies on top.
+	proxy *http.Client
 }
 
 type options struct {
@@ -95,6 +119,16 @@ type options struct {
 	maxWait   time.Duration
 	pprof     bool
 	log       *slog.Logger
+	cluster   ClusterInfo
+}
+
+// ClusterInfo is the server's window into the replication membership: the
+// node's current role and where the leader's write surface lives. Both
+// *dfpr.Cluster and *dfpr.Replica satisfy it. The server re-reads it per
+// request, so role changes (failover, promotion) take effect immediately.
+type ClusterInfo interface {
+	Role() dfpr.Role
+	LeaderURL() string
 }
 
 // Option configures a Server at construction.
@@ -177,6 +211,21 @@ func WithPprof(on bool) Option {
 	}
 }
 
+// WithCluster connects the server to its replication membership. On a
+// replica, POST /v1/apply is proxied to the current leader instead of
+// bouncing with 421 — clients keep one URL through failovers. The info is
+// consulted per request, so a node promoted mid-flight starts accepting
+// writes locally on the next request.
+func WithCluster(info ClusterInfo) Option {
+	return func(o *options) error {
+		if info == nil {
+			return fmt.Errorf("serve: nil ClusterInfo (omit the option on a standalone node)")
+		}
+		o.cluster = info
+		return nil
+	}
+}
+
 // WithLogger sets the structured logger the server emits operational events
 // to (5xx responses, shutdown drains). Default: discard.
 func WithLogger(l *slog.Logger) Option {
@@ -217,8 +266,25 @@ func New(eng *dfpr.Engine, opts ...Option) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/wait/{seq}", s.instrument("wait", s.handleWait))
 	s.mux.HandleFunc("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	// The feed is deliberately uninstrumented: a replica's stream stays open
+	// for hours, and a duration histogram built from hour-long observations
+	// would poison the RED latency series every read shares.
+	s.mux.HandleFunc("GET /v1/feed", s.handleFeed)
+	s.proxy = &http.Client{Timeout: o.maxWait}
 	s.initTelemetry()
 	return s, nil
+}
+
+// handleFeed streams the engine's write-ahead log to a replica. The handler
+// re-resolves Engine.Feed on every request: a volatile engine (and a
+// replica, until a failover promotes it) has no log to stream and answers
+// 503, while a freshly promoted writer starts feeding immediately.
+func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
+	if h := s.eng.Feed(); h != nil {
+		h.ServeHTTP(w, r)
+		return
+	}
+	writeErr(w, http.StatusServiceUnavailable, "no feed: this node has no write-ahead log to stream (replica or volatile engine)")
 }
 
 // Handler returns the HTTP handler serving the /v1 surface, for mounting
@@ -274,6 +340,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // viewFor resolves the view a read request is served from: the version
 // pinned by the request's X-DFPR-Version header, or the latest. It writes
 // the error response itself and returns nil when there is nothing to serve.
+//
+// The version pin is a watermark, which is what lets read-your-ranks
+// survive fan-out across replicas: a version this node retains is served
+// exactly; a version newer than anything ranked here parks the request
+// until replication (or the local pipeline) catches up, bounded by the
+// server's max wait — the node never silently answers with ranks older
+// than the client proved it saw elsewhere. Only a version that existed and
+// has been evicted from retention is Gone.
 func (s *Server) viewFor(w http.ResponseWriter, r *http.Request) *dfpr.View {
 	if h := r.Header.Get(VersionHeader); h != "" {
 		seq, err := strconv.ParseUint(h, 10, 64)
@@ -281,12 +355,32 @@ func (s *Server) viewFor(w http.ResponseWriter, r *http.Request) *dfpr.View {
 			writeErr(w, http.StatusBadRequest, "malformed %s header %q", VersionHeader, h)
 			return nil
 		}
-		v, err := s.eng.ViewAt(seq)
-		if err != nil {
-			writeErr(w, http.StatusGone, "%v", err)
+		if v, err := s.eng.ViewAt(seq); err == nil {
+			return v
+		}
+		if lv, err := s.eng.View(); err == nil && seq <= lv.Seq() {
+			// Retained window passed the version by: either it was ranked and
+			// evicted, or a coalesced refresh skipped it. Serving the latest
+			// would be correct for a watermark but wrong for a historical pin,
+			// and the request cannot say which it meant — Gone keeps the pin
+			// contract honest (watermark readers retry unpinned).
+			writeErr(w, http.StatusGone, "rank version %d no longer retained here", seq)
 			return nil
 		}
-		return v
+		// Ahead of this node's ranks: wait for the watermark instead of
+		// serving stale state.
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.maxWait)
+		defer cancel()
+		if err := s.eng.WaitRanked(ctx, seq); err != nil {
+			writeErr(w, waitStatusOf(r.Context(), err), "rank version %d not reached here yet: %v", seq, err)
+			return nil
+		}
+		// The watermark passed seq; the exact version may have been coalesced
+		// over, in which case the latest view (≥ seq by the wait) serves the
+		// read-your-ranks contract.
+		if v, err := s.eng.ViewAt(seq); err == nil {
+			return v
+		}
 	}
 	v, err := s.eng.View()
 	if err != nil {
@@ -521,11 +615,20 @@ type applyResponse struct {
 }
 
 func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
+	// On a cluster replica the write surface lives at the leader: relay the
+	// request there and the response back, so one URL works for writes
+	// through any node and across failovers. Role is read per request — a
+	// node promoted a moment ago takes the local path below.
+	if c := s.opts.cluster; c != nil && c.Role() == dfpr.RoleReplica {
+		s.proxyApply(w, r, c.LeaderURL())
+		return
+	}
 	// A recovering engine is replaying its write-ahead log: reads serve the
 	// pre-crash watermark, but accepting writes would interleave them with
-	// the replay. Shed them with a retry hint until the ranks catch the tip.
+	// the replay. Shed them with a retry hint scaled to how far the replay
+	// still has to go.
 	if s.eng.Recovering() {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfterRecovery(s.eng.Behind()))
 		writeErr(w, http.StatusServiceUnavailable, "engine recovering: log replay has not caught up, retry shortly")
 		return
 	}
@@ -567,8 +670,10 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if errors.Is(err, dfpr.ErrQueueFull) {
 			// Backpressure, not rejection: tell the client when to come back
-			// instead of leaving it to guess a retry cadence.
-			w.Header().Set("Retry-After", "1")
+			// instead of leaving it to guess a retry cadence, scaling the
+			// hint with how overfull the queue actually is.
+			st := s.eng.Stats()
+			w.Header().Set("Retry-After", retryAfterQueue(st.QueuedEdits, st.QueueBound))
 		}
 		writeErr(w, statusOf(err), "%v", err)
 		return
@@ -601,6 +706,86 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(VersionHeader, strconv.FormatUint(resp.RankVersion, 10))
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// proxyApply relays a write that landed on a replica to the leader's apply
+// endpoint, streaming the leader's status, version header and body back
+// verbatim — the client cannot tell it did not talk to the leader directly.
+// The X-DFPR-Version it relays is the leader's, which is exactly what a
+// follow-up versioned read against this replica needs: viewFor treats it as
+// a watermark and waits for replication to cover it.
+func (s *Server) proxyApply(w http.ResponseWriter, r *http.Request, leader string) {
+	if leader == "" {
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "no leader known yet: election in progress, retry shortly")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading apply body: %v", err)
+		return
+	}
+	target := leader + "/v1/apply"
+	if q := r.URL.RawQuery; q != "" {
+		target += "?" + q
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, target, bytes.NewReader(body))
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, "building leader request: %v", err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.proxy.Do(req)
+	if err != nil {
+		// The leader is unreachable — possibly mid-failover. 502 tells the
+		// client the relay failed, not its request; retry hits the new
+		// leader once the election settles.
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusBadGateway, "leader %s unreachable: %v", leader, err)
+		return
+	}
+	defer resp.Body.Close()
+	for _, hk := range []string{"Content-Type", VersionHeader, "Retry-After"} {
+		if hv := resp.Header.Get(hk); hv != "" {
+			w.Header().Set(hk, hv)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	if resp.StatusCode < 300 {
+		s.writes.Add(1)
+	}
+}
+
+// retryAfterQueue derives the Retry-After hint of a queue-full 429 from how
+// full the ingest queue actually is: a bounce off a mostly drained queue
+// (one oversized batch) clears within a coalescing round, while a queue
+// pressed against its bound needs the pipeline a few rounds to drain.
+// Quarter-full steps, clamped to 1..8s so the hint stays actionable.
+func retryAfterQueue(queued, bound int) string {
+	secs := 1
+	if bound > 0 && queued > 0 {
+		secs = (4*queued + bound - 1) / bound // ceil(4·fullness)
+		if secs < 1 {
+			secs = 1
+		}
+		if secs > 8 {
+			secs = 8
+		}
+	}
+	return strconv.Itoa(secs)
+}
+
+// retryAfterRecovery derives the Retry-After hint of a recovery 503 from
+// how many replayed versions the ranks still trail: replay progress is the
+// engine's Behind gauge, and each retry step covers a few hundred versions
+// of catch-up. Clamped to 1..8s like the queue hint.
+func retryAfterRecovery(behind uint64) string {
+	secs := 1 + int(behind/256)
+	if secs > 8 {
+		secs = 8
+	}
+	return strconv.Itoa(secs)
 }
 
 // applySync is the synchronous baseline behind WithSyncApply: publish with
@@ -682,6 +867,12 @@ func (s *Server) handleWait(w http.ResponseWriter, r *http.Request) {
 type healthzResponse struct {
 	Status string `json:"status"`
 	Ready  bool   `json:"ready"`
+	// Role and ReplicationLagSeq are the liveness fields cluster peers poll:
+	// whether this node is the writer or a replica, and how many WAL records
+	// it still trails the writer by (always 0 on the writer itself). A
+	// standalone engine is trivially the writer of its own state.
+	Role              string `json:"role"`
+	ReplicationLagSeq uint64 `json:"replication_lag_seq"`
 }
 
 // handleHealthz is the liveness probe: 200 whenever the process serves.
@@ -690,9 +881,13 @@ type healthzResponse struct {
 // engine that is still replaying its log reports status "recovering": the
 // process is alive and reads work, but writes are shed with 503.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	resp := healthzResponse{Status: "ok"}
+	resp := healthzResponse{Status: "ok", Role: dfpr.RoleWriter.String()}
 	if s.eng.Recovering() {
 		resp.Status = "recovering"
+	}
+	if rs := s.eng.Stats().Replication; rs.Enabled {
+		resp.Role = rs.Role
+		resp.ReplicationLagSeq = rs.LagRecords
 	}
 	if v, err := s.eng.View(); err == nil {
 		resp.Ready = true
@@ -733,6 +928,21 @@ type statsResponse struct {
 	LastFsync          string `json:"last_fsync,omitempty"`
 	Recovering         bool   `json:"recovering,omitempty"`
 	DurabilityDegraded bool   `json:"durability_degraded,omitempty"`
+	// Replication gauges, present only on a cluster writer or replica.
+	// Role and ReplicationLagSeq mirror healthz; the rest expose the node's
+	// position in the stream (applied vs writer tip), the election state
+	// (leader, term, promotions performed) and a writer's feed load.
+	Role              string  `json:"role,omitempty"`
+	NodeID            string  `json:"node_id,omitempty"`
+	LeaderURL         string  `json:"leader_url,omitempty"`
+	Term              uint64  `json:"term,omitempty"`
+	AppliedSeq        uint64  `json:"applied_seq,omitempty"`
+	WriterSeq         uint64  `json:"writer_seq,omitempty"`
+	ReplicationLagSeq uint64  `json:"replication_lag_seq,omitempty"`
+	ReplicationLagSec float64 `json:"replication_lag_seconds,omitempty"`
+	FeedConnections   int64   `json:"feed_connections,omitempty"`
+	FeedRecords       int64   `json:"feed_records,omitempty"`
+	Failovers         uint64  `json:"failovers,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -762,6 +972,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		if !d.LastFsync.IsZero() {
 			out.LastFsync = d.LastFsync.UTC().Format(time.RFC3339Nano)
 		}
+	}
+	if rs := st.Replication; rs.Enabled {
+		out.Role = rs.Role
+		out.NodeID = rs.NodeID
+		out.LeaderURL = rs.LeaderURL
+		out.Term = rs.Term
+		out.AppliedSeq = rs.AppliedSeq
+		out.WriterSeq = rs.WriterSeq
+		out.ReplicationLagSeq = rs.LagRecords
+		out.ReplicationLagSec = rs.LagSeconds
+		out.FeedConnections = rs.FeedConnections
+		out.FeedRecords = rs.FeedRecords
+		out.Failovers = rs.Failovers
 	}
 	if v, err := s.eng.View(); err == nil {
 		out.RankVersion = v.Seq()
@@ -805,6 +1028,10 @@ func statusOf(err error) int {
 		return http.StatusTooManyRequests // ingest backpressure: retry later
 	case errors.Is(err, dfpr.ErrNoRanks), errors.Is(err, dfpr.ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, dfpr.ErrNotWriter):
+		// A write reached a replica that has no cluster info to proxy with:
+		// the client addressed the wrong node, and the body names the leader.
+		return http.StatusMisdirectedRequest
 	case errors.Is(err, context.Canceled), errors.Is(err, dfpr.ErrCanceled):
 		return 499 // client closed request (nginx convention)
 	default:

@@ -139,7 +139,7 @@ func TestServeErrors(t *testing.T) {
 }
 
 func TestServeApplyDeltaAndVersionPinning(t *testing.T) {
-	s, _ := testServer(t)
+	s, eng := testServer(t)
 	h := s.Handler()
 
 	// Remember the hub's score at version 0, then reroute the spokes.
@@ -185,8 +185,16 @@ func TestServeApplyDeltaAndVersionPinning(t *testing.T) {
 	if pinned["score"].(float64) != rank0["score"].(float64) {
 		t.Errorf("pinned read drifted: %v vs %v", pinned["score"], rank0["score"])
 	}
-	if code, _, _ := do(t, h, "GET", "/v1/topk", "", map[string]string{VersionHeader: "7"}); code != http.StatusGone {
-		t.Errorf("read pinned to an unknown version: %d, want 410", code)
+	// A pin ahead of anything ranked here is a watermark, not a miss: the
+	// read parks until the version arrives (read-your-ranks through any
+	// node) and 504s server-side when it never does. A short-wait server
+	// over the same engine keeps the park testable.
+	sw, err := New(eng, WithMaxWait(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := do(t, sw.Handler(), "GET", "/v1/topk", "", map[string]string{VersionHeader: "7"}); code != http.StatusGatewayTimeout {
+		t.Errorf("read pinned to a future version: %d, want 504", code)
 	}
 	if code, _, _ := do(t, h, "GET", "/v1/topk", "", map[string]string{VersionHeader: "x"}); code != http.StatusBadRequest {
 		t.Errorf("read pinned to garbage: %d, want 400", code)

@@ -260,4 +260,24 @@ func TestServeSoakUnderFaults(t *testing.T) {
 	if v, _ := snap.Value("dfpr_serve_reads_total"); v < float64(reads.Load()) {
 		t.Errorf("serve_reads_total=%v, client saw %d successful reads", v, reads.Load())
 	}
+
+	// The liveness surface carries the replication fields cluster peers
+	// poll: a standalone engine is trivially its own writer with zero lag,
+	// and the fields must be present (not omitted) for the pollers to parse.
+	resp, err := client.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&hz)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hz["role"] != "writer" {
+		t.Errorf("healthz role %v, want writer on a standalone engine", hz["role"])
+	}
+	if lag, ok := hz["replication_lag_seq"].(float64); !ok || lag != 0 {
+		t.Errorf("healthz replication_lag_seq %v (present %v), want 0", hz["replication_lag_seq"], ok)
+	}
 }

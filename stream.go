@@ -104,7 +104,7 @@ func (e *Engine) publishLocked(res *Result) {
 	// is guaranteed to observe ranks at least that fresh through View().
 	e.rankWM.advance(res.Seq)
 	e.met.noteRanked()
-	if e.dur != nil {
+	if e.durable() != nil {
 		// Rank publication is the durability cadence point: clear the
 		// recovering flag once ranks catch the replayed tip, and kick off a
 		// background checkpoint when one is due (immutable data only — the

@@ -134,7 +134,7 @@ func (e *Engine) initTelemetry(reg *telemetry.Registry) {
 // initDurabilityTelemetry registers the pull-style durability gauges. Called
 // by the durable constructors after e.dur is set.
 func (e *Engine) initDurabilityTelemetry() {
-	d := e.dur
+	d := e.durable()
 	reg := e.met.reg
 	reg.GaugeFunc("dfpr_wal_degraded",
 		"1 while the WAL is in its sticky degraded state (running volatile), else 0.",
